@@ -1,0 +1,364 @@
+package joininference
+
+// Benchmark harness: one benchmark per figure/table of the paper's
+// evaluation (Section 5) plus ablation benches for the design choices
+// DESIGN.md calls out. Each figure bench runs the same workload the
+// experiment harness renders (cmd/experiments regenerates the actual
+// rows); benches additionally report "interactions" as a custom metric so
+// `go test -bench` output shows both measures the paper reports.
+//
+// Figure ↔ bench map:
+//
+//	Fig 6(a)/(c)  BenchmarkFig6TPCHScale1       (interactions + time, ×1)
+//	Fig 6(b)/(d)  BenchmarkFig6TPCHScale100000  (interactions + time, ×4)
+//	Fig 7(a)/(c)  BenchmarkFig7Synth/cfg_(3,_3,_100,_100)
+//	Fig 7(b)/(d)  BenchmarkFig7Synth/cfg_(3,_3,_50,_100)
+//	Fig 7(e)/(g)  BenchmarkFig7Synth/cfg_(3,_4,_50,_100)
+//	Fig 7(f)/(h)  BenchmarkFig7Synth/cfg_(2,_5,_50,_100)
+//	Fig 7(i)/(k)  BenchmarkFig7Synth/cfg_(2,_4,_50,_50)
+//	Fig 7(j)/(l)  BenchmarkFig7Synth/cfg_(2,_4,_50,_100)
+//	Table 1       BenchmarkTable1Summary
+//	Thm 6.1       BenchmarkSemijoinConsistencyScaling (exponential growth)
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/inference"
+	"repro/internal/oracle"
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+	"repro/internal/product"
+	"repro/internal/semijoin"
+	"repro/internal/strategy"
+	"repro/internal/synth"
+	"repro/internal/tpch"
+)
+
+// reportInteractions attaches the average interaction count of the rows to
+// the benchmark output.
+func reportInteractions(b *testing.B, rows []experiments.Row) {
+	b.Helper()
+	var sum float64
+	var n int
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			sum += c.Interactions
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), "interactions/run")
+	}
+}
+
+func benchTPCH(b *testing.B, mult int) {
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.TPCH(experiments.TPCHOptions{Multiplier: mult, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportInteractions(b, rows)
+}
+
+// BenchmarkFig6TPCHScale1 regenerates Figure 6(a)/(c): all five goal joins,
+// all five strategies, at the small scale.
+func BenchmarkFig6TPCHScale1(b *testing.B) { benchTPCH(b, 1) }
+
+// BenchmarkFig6TPCHScale100000 regenerates Figure 6(b)/(d): the large
+// scale, mapped to row multiplier 4 (see tpch.SFToMultiplier).
+func BenchmarkFig6TPCHScale100000(b *testing.B) {
+	benchTPCH(b, tpch.SFToMultiplier(100000))
+}
+
+// BenchmarkFig6PerJoin breaks Figure 6 down: one sub-bench per (join,
+// strategy) so regressions localize.
+func BenchmarkFig6PerJoin(b *testing.B) {
+	data := tpch.MustGenerate(1, 42)
+	for _, j := range tpch.AllJoins() {
+		inst, goal, err := data.Instance(j)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := predicate.NewUniverse(inst)
+		classes := product.ClassesIndexed(inst, u)
+		for _, mk := range experiments.DefaultMakers(7) {
+			b.Run(fmt.Sprintf("join%d/%s", int(j), mk.Name), func(b *testing.B) {
+				interactions := 0
+				for i := 0; i < b.N; i++ {
+					e := inference.New(inst, inference.WithClasses(classes))
+					res, err := inference.Run(e, mk.New(int64(j)), oracle.NewHonest(inst, e.U, goal), 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					interactions = res.Interactions
+				}
+				b.ReportMetric(float64(interactions), "interactions")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Synth regenerates Figure 7: per configuration, all goal
+// sizes and strategies (a reduced number of runs/goals per iteration; the
+// cmd/experiments tool exposes the full averaging).
+func BenchmarkFig7Synth(b *testing.B) {
+	for _, cfg := range synth.PaperConfigs() {
+		b.Run("cfg_"+cfg.String(), func(b *testing.B) {
+			var rows []experiments.Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = experiments.Synth(experiments.SynthOptions{
+					Config:          cfg,
+					Runs:            2,
+					Seed:            42,
+					MaxGoalsPerSize: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportInteractions(b, rows)
+		})
+	}
+}
+
+// BenchmarkTable1Summary assembles the whole Table 1 workload.
+func BenchmarkTable1Summary(b *testing.B) {
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table1(42, 1, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportInteractions(b, rows)
+}
+
+// BenchmarkSemijoinConsistencyScaling gives the Theorem 6.1 evidence: time
+// to decide CONS⋉ on 3SAT reductions of growing size (worst-case
+// exponential; the witness search stays feasible only because the formulas
+// are small).
+func BenchmarkSemijoinConsistencyScaling(b *testing.B) {
+	for _, n := range []int{2, 4, 6, 8} {
+		f := hardFormula(n)
+		red, err := semijoin.Reduce(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("vars%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := semijoin.Consistent(red.Instance, red.Sample); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// hardFormula builds a satisfiable chain formula over n variables with
+// 3-literal clauses linking consecutive variables.
+func hardFormula(n int) semijoin.Formula {
+	f := semijoin.Formula{NumVars: n}
+	for i := 1; i+2 <= n; i++ {
+		f.Clauses = append(f.Clauses,
+			semijoin.Clause{semijoin.Literal(i), semijoin.Literal(-(i + 1)), semijoin.Literal(i + 2)},
+			semijoin.Clause{semijoin.Literal(-i), semijoin.Literal(i + 1), semijoin.Literal(-(i + 2))},
+		)
+	}
+	if len(f.Clauses) == 0 {
+		f.Clauses = append(f.Clauses, semijoin.Clause{1})
+	}
+	return f
+}
+
+// --- Ablation benches (DESIGN.md, "Design choices worth ablating") ---
+
+// BenchmarkAblationClassCollection compares the full O(|R|·|P|) product
+// scan against the shared-value inverted-index scan on a sparse TPC-H
+// instance.
+func BenchmarkAblationClassCollection(b *testing.B) {
+	data := tpch.MustGenerate(1, 42)
+	inst, _, err := data.Instance(tpch.Join4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := predicate.NewUniverse(inst)
+	b.Run("full-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			product.Classes(inst, u)
+		}
+	})
+	b.Run("value-indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			product.ClassesIndexed(inst, u)
+		}
+	})
+}
+
+// BenchmarkAblationLookaheadDepth compares lookahead depths on the same
+// workload: interactions drop (or stay) as k grows, time rises steeply.
+func BenchmarkAblationLookaheadDepth(b *testing.B) {
+	inst := synth.MustGenerate(synth.Config{AttrsR: 3, AttrsP: 3, Rows: 50, Values: 100}, 11)
+	u := predicate.NewUniverse(inst)
+	classes := product.ClassesIndexed(inst, u)
+	goal := predicate.Pred{}
+	// Use the first size-2 class predicate as the goal.
+	for _, c := range classes {
+		if c.Theta.Size() == 2 {
+			goal = c.Theta
+			break
+		}
+	}
+	for k := 1; k <= 3; k++ {
+		b.Run(fmt.Sprintf("L%dS", k), func(b *testing.B) {
+			interactions := 0
+			for i := 0; i < b.N; i++ {
+				e := inference.New(inst, inference.WithClasses(classes))
+				res, err := inference.Run(e, strategy.Lookahead{K: k},
+					oracle.NewHonest(inst, e.U, goal), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				interactions = res.Interactions
+			}
+			b.ReportMetric(float64(interactions), "interactions")
+		})
+	}
+}
+
+// BenchmarkAblationCountingUnit compares tuple-weighted (the paper's)
+// against class-weighted entropy counting.
+func BenchmarkAblationCountingUnit(b *testing.B) {
+	data := tpch.MustGenerate(1, 42)
+	inst, goal, err := data.Instance(tpch.Join2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := predicate.NewUniverse(inst)
+	classes := product.ClassesIndexed(inst, u)
+	for _, mode := range []struct {
+		name         string
+		countClasses bool
+	}{{"tuples", false}, {"classes", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			interactions := 0
+			for i := 0; i < b.N; i++ {
+				e := inference.New(inst, inference.WithClasses(classes))
+				res, err := inference.Run(e,
+					strategy.Lookahead{K: 1, CountClasses: mode.countClasses},
+					oracle.NewHonest(inst, e.U, goal), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				interactions = res.Interactions
+			}
+			b.ReportMetric(float64(interactions), "interactions")
+		})
+	}
+}
+
+// BenchmarkAblationHalvingVsLookahead compares the version-space halving
+// extension against the paper's lookahead strategies on the same workload.
+func BenchmarkAblationHalvingVsLookahead(b *testing.B) {
+	inst := synth.MustGenerate(synth.Config{AttrsR: 3, AttrsP: 3, Rows: 50, Values: 100}, 3)
+	u := predicate.NewUniverse(inst)
+	classes := product.ClassesIndexed(inst, u)
+	goal := predicate.Pred{}
+	for _, c := range classes {
+		if c.Theta.Size() == 1 {
+			goal = c.Theta
+			break
+		}
+	}
+	for _, mk := range []struct {
+		name string
+		s    func() inference.Strategy
+	}{
+		{"HALVE", func() inference.Strategy { return strategy.Halving{} }},
+		{"L1S", func() inference.Strategy { return strategy.Lookahead{K: 1} }},
+		{"L2S", func() inference.Strategy { return strategy.Lookahead{K: 2} }},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			interactions := 0
+			for i := 0; i < b.N; i++ {
+				e := inference.New(inst, inference.WithClasses(classes))
+				res, err := inference.Run(e, mk.s(), oracle.NewHonest(inst, e.U, goal), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				interactions = res.Interactions
+			}
+			b.ReportMetric(float64(interactions), "interactions")
+		})
+	}
+}
+
+// BenchmarkAblationBeam compares exact L2S against beamed L2S on a
+// many-class TPC-H workload.
+func BenchmarkAblationBeam(b *testing.B) {
+	data := tpch.MustGenerate(1, 42)
+	inst, goal, err := data.Instance(tpch.Join5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := predicate.NewUniverse(inst)
+	classes := product.ClassesIndexed(inst, u)
+	for _, spec := range []struct {
+		name string
+		beam int
+	}{{"exact", 0}, {"beam32", 32}, {"beam8", 8}} {
+		b.Run(spec.name, func(b *testing.B) {
+			interactions := 0
+			for i := 0; i < b.N; i++ {
+				e := inference.New(inst, inference.WithClasses(classes))
+				res, err := inference.Run(e,
+					strategy.Lookahead{K: 2, MaxCandidates: spec.beam},
+					oracle.NewHonest(inst, e.U, goal), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				interactions = res.Interactions
+			}
+			b.ReportMetric(float64(interactions), "interactions")
+		})
+	}
+}
+
+// BenchmarkInformativeTest measures the PTIME informativeness test of
+// Theorem 3.5 in isolation (the hot inner loop of every strategy).
+func BenchmarkInformativeTest(b *testing.B) {
+	inst := paperdata.Example21()
+	e := inference.New(inst)
+	// Midway through an interaction: one positive, one negative.
+	e.Label(5, oracle.NewHonest(inst, e.U, predicate.FromPairs(e.U, [2]int{1, 2})).
+		LabelFor(e.Classes()[5].RI, e.Classes()[5].PI))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for ci := range e.Classes() {
+			e.Informative(ci)
+		}
+	}
+}
+
+// BenchmarkSessionEndToEnd measures the public-API path on the travel
+// scenario.
+func BenchmarkSessionEndToEnd(b *testing.B) {
+	inst := paperdata.FlightHotel()
+	s := NewSession(inst)
+	goal, err := PredFromNames(s.Universe(), [2]string{"To", "City"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := InferGoal(inst, StrategyTD, goal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCSVs(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	f := filepath.Join(dir, "Flight.csv")
+	h := filepath.Join(dir, "Hotel.csv")
+	os.WriteFile(f, []byte("From,To,Airline\nParis,Lille,AF\nLille,NYC,AA\nNYC,Paris,AA\nParis,NYC,AF\n"), 0o644)
+	os.WriteFile(h, []byte("City,Discount\nNYC,AA\nParis,None\nLille,AF\n"), 0o644)
+	return f, h
+}
+
+func TestRunSimulated(t *testing.T) {
+	f, h := writeCSVs(t)
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "answers.jsonl")
+	opts := options{
+		strategy:   "TD",
+		simulate:   "Flight.To = Hotel.City",
+		sql:        true,
+		transcript: tr,
+	}
+	if err := run(f, h, opts); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("transcript empty")
+	}
+}
+
+func TestRunSimulatedBudget(t *testing.T) {
+	f, h := writeCSVs(t)
+	opts := options{strategy: "L1S", simulate: "TRUE", max: 1}
+	if err := run(f, h, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	f, h := writeCSVs(t)
+	if err := run("/nope.csv", h, options{strategy: "TD", simulate: "TRUE"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(f, h, options{strategy: "TD", simulate: "garbage = ="}); err == nil {
+		t.Error("bad goal accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command latstats analyzes a pair of CSV relations the way Table 1
+// describes an instance: Cartesian-product size, number of T-equivalence
+// classes, join ratio, the size histogram of the most specific predicates,
+// and — for small universes — the number of non-nullable join predicates.
+// Run it before an interactive session to estimate how hard an instance
+// will be.
+//
+// Usage:
+//
+//	latstats r.csv p.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	joininference "repro"
+	"repro/internal/lattice"
+	"repro/internal/predicate"
+	"repro/internal/product"
+)
+
+func main() {
+	latticeFlag := flag.Bool("lattice", false, "also enumerate the non-nullable predicate lattice (exponential; small instances only)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: latstats [flags] R.csv P.csv\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *latticeFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "latstats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rPath, pPath string, withLattice bool) error {
+	inst, err := joininference.LoadCSV(rPath, pPath)
+	if err != nil {
+		return err
+	}
+	u := predicate.NewUniverse(inst)
+	classes := product.ClassesIndexed(inst, u)
+	st := lattice.ComputeStats(classes)
+
+	fmt.Printf("%s: %d rows × %d attrs;  %s: %d rows × %d attrs\n",
+		inst.R.Schema.Name, inst.R.Len(), inst.R.Schema.Arity(),
+		inst.P.Schema.Name, inst.P.Len(), inst.P.Schema.Arity())
+	fmt.Printf("pair universe |Ω|:     %d\n", u.Size())
+	fmt.Printf("Cartesian product |D|: %d\n", st.ProductSize)
+	fmt.Printf("T-classes:             %d  (worst-case questions)\n", st.Classes)
+	fmt.Printf("join ratio:            %.3f\n", st.JoinRatio)
+	fmt.Printf("max |T(t)|:            %d\n", st.MaxPredicateSize)
+
+	hist := map[int]int64{}
+	for _, c := range classes {
+		hist[c.Theta.Size()] += c.Count
+	}
+	var sizes []int
+	for s := range hist {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	fmt.Println("tuples by |T(t)|:")
+	for _, s := range sizes {
+		fmt.Printf("  size %d: %d tuples\n", s, hist[s])
+	}
+
+	if withLattice {
+		nodes := lattice.NonNullable(classes)
+		bySize := map[int]int{}
+		for _, n := range nodes {
+			bySize[n.Theta.Size()]++
+		}
+		var ns []int
+		for s := range bySize {
+			ns = append(ns, s)
+		}
+		sort.Ints(ns)
+		fmt.Printf("non-nullable predicates: %d\n", len(nodes))
+		for _, s := range ns {
+			fmt.Printf("  size %d: %d predicates\n", s, bySize[s])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "R.csv")
+	h := filepath.Join(dir, "P.csv")
+	os.WriteFile(f, []byte("A1,A2\n0,1\n0,2\n2,2\n1,0\n"), 0o644)
+	os.WriteFile(h, []byte("B1,B2,B3\n1,1,0\n0,1,2\n2,0,0\n"), 0o644)
+	if err := run(f, h, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("/nope.csv", h, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

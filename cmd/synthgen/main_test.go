@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := parseConfig("3,4,50,100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AttrsR != 3 || cfg.AttrsP != 4 || cfg.Rows != 50 || cfg.Values != 100 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	for _, bad := range []string{"3,4,50", "a,b,c,d", "0,4,50,100", "3,4,50,100,7"} {
+		if _, err := parseConfig(bad); err == nil {
+			t.Errorf("parseConfig(%q) accepted", bad)
+		}
+	}
+	// Whitespace tolerated.
+	if _, err := parseConfig(" 2 , 5 , 50 , 100 "); err != nil {
+		t.Errorf("whitespace rejected: %v", err)
+	}
+}
+
+func TestRunWritesCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("2,3,5,10", 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"R.csv", "P.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s empty", name)
+		}
+	}
+	if err := run("bad", 1, dir); err == nil {
+		t.Error("bad config accepted")
+	}
+}

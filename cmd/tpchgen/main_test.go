@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesSixTables(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(1, 7, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Part", "Supplier", "PartSupp", "Customer", "Orders", "Lineitem"} {
+		st, err := os.Stat(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			t.Fatalf("%s.csv: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s.csv empty", name)
+		}
+	}
+}
+
+func TestRunInvalidMultiplier(t *testing.T) {
+	if err := run(0, 7, t.TempDir()); err == nil {
+		t.Error("multiplier 0 accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Crowdsourcing: the paper motivates minimizing interactions by
+// crowdsourcing costs — every label is a paid microtask. This example
+// compares what each strategy would cost to join two product catalogs
+// (same entities, different vendors, no shared keys), pricing every
+// question and exploiting T-class grouping (one answer can decide many
+// equivalent pairs at once). It then simulates *unreliable* workers and
+// shows how majority panels trade money for reliability.
+//
+// Run with:
+//
+//	go run ./examples/crowdsourcing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	joininference "repro"
+	"repro/internal/crowd"
+	"repro/internal/inference"
+	"repro/internal/oracle"
+	"repro/internal/predicate"
+	"repro/internal/strategy"
+)
+
+const centsPerQuestion = 5 // a typical microtask price
+
+func main() {
+	vendorA, vendorB := catalogs()
+	inst, err := joininference.NewInstance(vendorA, vendorB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := joininference.NewSession(inst)
+	u := session.Universe()
+
+	// Ground truth the crowd implicitly knows: products match when the
+	// manufacturer code and the model year both agree.
+	goal, err := joininference.PredFromNames(u,
+		[2]string{"MfrCode", "Maker"}, [2]string{"Year", "ModelYear"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Catalog A: %d rows; catalog B: %d rows; %d candidate pairs, %d classes.\n",
+		vendorA.Len(), vendorB.Len(), inst.ProductSize(), session.Classes())
+	fmt.Printf("Target mapping: %s\n\n", goal.Format(u))
+	fmt.Println("Crowd cost per strategy (5¢ per labeled pair):")
+
+	for _, id := range []joininference.StrategyID{
+		joininference.StrategyRND, joininference.StrategyBU,
+		joininference.StrategyTD, joininference.StrategyL1S,
+		joininference.StrategyL2S,
+	} {
+		got, asked, err := joininference.InferGoal(inst, id, goal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := "✓"
+		if len(joininference.Join(inst, got)) != len(joininference.Join(inst, goal)) {
+			match = "✗"
+		}
+		fmt.Printf("  %-3s: %2d questions → $%.2f  result %s %s\n",
+			id, asked, float64(asked*centsPerQuestion)/100, match, got.Format(u))
+	}
+	fmt.Println("\nEvery strategy recovers the mapping; the lookahead ones pay the crowd least.")
+
+	noisyCrowd(inst, goal)
+}
+
+// noisyCrowd reruns the inference through error-prone workers with
+// majority voting, reporting success rates and total microtask cost.
+func noisyCrowd(inst *joininference.Instance, goal joininference.Pred) {
+	const errorRate = 0.2
+	fmt.Printf("\nNow with unreliable workers (each wrong with probability %.0f%%):\n", errorRate*100)
+	u := predicate.NewUniverse(inst)
+	for _, workers := range []int{1, 3, 7} {
+		wins, tasks := 0, 0
+		const trials = 50
+		for seed := int64(0); seed < trials; seed++ {
+			truth := oracle.NewHonest(inst, u, goal)
+			panel, err := crowd.NewMajority(truth, workers, errorRate, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			e := inference.New(inst)
+			res, err := inference.Run(e, strategy.NewTopDown(), panel, 0)
+			tasks += panel.Microtasks
+			if err != nil {
+				continue // inconsistency detected — a failed crowd run
+			}
+			if len(joininference.Join(inst, res.Predicate)) == len(joininference.Join(inst, goal)) {
+				wins++
+			}
+		}
+		fmt.Printf("  %d worker(s)/question: %2d/%d successful runs, avg cost $%.2f  (theoretical per-question error %.1f%%)\n",
+			workers, wins, trials,
+			float64(tasks)/trials*centsPerQuestion/100,
+			crowd.MajorityErrorRate(workers, errorRate)*100)
+	}
+	fmt.Println("Redundancy buys reliability: the panel's per-question error shrinks exponentially.")
+}
+
+func catalogs() (*joininference.Relation, *joininference.Relation) {
+	aSchema, err := joininference.NewSchema("CatalogA",
+		"SKU", "MfrCode", "Year", "PriceUSD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := joininference.NewRelation(aSchema)
+	a.MustAddTuple("A-100", "ACME", "2019", "149")
+	a.MustAddTuple("A-101", "ACME", "2021", "199")
+	a.MustAddTuple("A-102", "GLOBX", "2019", "99")
+	a.MustAddTuple("A-103", "GLOBX", "2023", "129")
+	a.MustAddTuple("A-104", "INITE", "2021", "349")
+	a.MustAddTuple("A-105", "INITE", "2023", "399")
+
+	bSchema, err := joininference.NewSchema("CatalogB",
+		"ItemNo", "Maker", "ModelYear", "ListPrice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := joininference.NewRelation(bSchema)
+	b.MustAddTuple("7001", "ACME", "2019", "155")
+	b.MustAddTuple("7002", "ACME", "2021", "199") // price collides with A-101
+	b.MustAddTuple("7003", "GLOBX", "2019", "95")
+	b.MustAddTuple("7004", "GLOBX", "2023", "129") // price collides with A-103
+	b.MustAddTuple("7005", "INITE", "2021", "349")
+	b.MustAddTuple("7006", "INITE", "2023", "2023") // price collides with year!
+	return a, b
+}

@@ -1,0 +1,75 @@
+// Quickstart: infer a join predicate over two tiny in-memory tables with a
+// simulated user, using only the public API.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	joininference "repro"
+)
+
+func main() {
+	// Build two relations: employees and departments, with no declared
+	// foreign keys — the library does not need them.
+	empSchema, err := joininference.NewSchema("Emp", "EmpID", "Name", "DeptID")
+	if err != nil {
+		log.Fatal(err)
+	}
+	emp := joininference.NewRelation(empSchema)
+	emp.MustAddTuple("1", "Ada", "10")
+	emp.MustAddTuple("2", "Grace", "20")
+	emp.MustAddTuple("3", "Edsger", "10")
+	emp.MustAddTuple("4", "Barbara", "30")
+
+	deptSchema, err := joininference.NewSchema("Dept", "DID", "DeptName", "Floor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dept := joininference.NewRelation(deptSchema)
+	dept.MustAddTuple("10", "Databases", "1")
+	dept.MustAddTuple("20", "Systems", "2")
+	dept.MustAddTuple("30", "Theory", "3")
+
+	inst, err := joininference.NewInstance(emp, dept)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The "user" has Emp.DeptID = Dept.DID in mind but cannot write it.
+	session := joininference.NewSession(inst)
+	goal, err := joininference.PredFromNames(session.Universe(), [2]string{"DeptID", "DID"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Cartesian product: %d pairs, %d equivalence classes\n\n",
+		inst.ProductSize(), session.Classes())
+
+	for !session.Done() {
+		q, ok := session.NextQuestion(joininference.StrategyL2S)
+		if !ok {
+			break
+		}
+		// Simulate the user: label according to the goal.
+		label := joininference.Negative
+		if goal.Selects(session.Universe(), q.RTuple, q.PTuple) {
+			label = joininference.Positive
+		}
+		fmt.Printf("Q%d: pair %v with %v?  user says %v\n",
+			session.Questions()+1, q.RTuple, q.PTuple, label)
+		if err := session.Answer(q, label); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	theta := session.Inferred()
+	fmt.Printf("\nInferred after %d questions:\n  %s\n",
+		session.Questions(), theta.Format(session.Universe()))
+	fmt.Printf("Join result: %d pairs (goal selects %d)\n",
+		len(joininference.Join(inst, theta)), len(joininference.Join(inst, goal)))
+}

@@ -1,0 +1,85 @@
+// Travel: the paper's introductory scenario (Figures 1–2). A travel agent
+// builds flight & hotel packages; two plausible queries exist (Q1: match
+// destination city; Q2: additionally match the discount airline) and the
+// session distinguishes them with a handful of labels, comparing every
+// strategy.
+//
+// Run with:
+//
+//	go run ./examples/travel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	joininference "repro"
+)
+
+func buildInstance() *joininference.Instance {
+	flightSchema, err := joininference.NewSchema("Flight", "From", "To", "Airline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	flight := joininference.NewRelation(flightSchema)
+	flight.MustAddTuple("Paris", "Lille", "AF")
+	flight.MustAddTuple("Lille", "NYC", "AA")
+	flight.MustAddTuple("NYC", "Paris", "AA")
+	flight.MustAddTuple("Paris", "NYC", "AF")
+
+	hotelSchema, err := joininference.NewSchema("Hotel", "City", "Discount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hotel := joininference.NewRelation(hotelSchema)
+	hotel.MustAddTuple("NYC", "AA")
+	hotel.MustAddTuple("Paris", "None")
+	hotel.MustAddTuple("Lille", "AF")
+
+	inst, err := joininference.NewInstance(flight, hotel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return inst
+}
+
+func main() {
+	inst := buildInstance()
+	session := joininference.NewSession(inst)
+	u := session.Universe()
+
+	q1, err := joininference.PredFromNames(u, [2]string{"To", "City"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q2, err := joininference.PredFromNames(u,
+		[2]string{"To", "City"}, [2]string{"Airline", "Discount"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("The travel agent may want:")
+	fmt.Printf("  Q1: %s  (%d packages)\n", q1.Format(u), len(joininference.Join(inst, q1)))
+	fmt.Printf("  Q2: %s  (%d packages)\n", q2.Format(u), len(joininference.Join(inst, q2)))
+	fmt.Println()
+
+	strategies := []joininference.StrategyID{
+		joininference.StrategyBU, joininference.StrategyTD,
+		joininference.StrategyL1S, joininference.StrategyL2S,
+		joininference.StrategyRND,
+	}
+	for _, goal := range []struct {
+		name string
+		pred joininference.Pred
+	}{{"Q1", q1}, {"Q2", q2}} {
+		fmt.Printf("Inferring %s:\n", goal.name)
+		for _, id := range strategies {
+			got, asked, err := joininference.InferGoal(inst, id, goal.pred)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-3s: %2d questions → %s\n", id, asked, got.Format(u))
+		}
+		fmt.Println()
+	}
+}

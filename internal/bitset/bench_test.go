@@ -1,0 +1,56 @@
+package bitset
+
+import "testing"
+
+func benchSets() (Set, Set) {
+	a := New(128)
+	b := New(128)
+	for i := 0; i < 128; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 128; i += 5 {
+		b.Add(i)
+	}
+	return a, b
+}
+
+func BenchmarkSubsetOf(b *testing.B) {
+	x, y := benchSets()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.SubsetOf(y)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	x, y := benchSets()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersect(y)
+	}
+}
+
+func BenchmarkIntersectInPlace(b *testing.B) {
+	x, y := benchSets()
+	tmp := x.Clone()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tmp.IntersectInPlace(y)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	x, _ := benchSets()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Key()
+	}
+}
+
+func BenchmarkElems(b *testing.B) {
+	x, _ := benchSets()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Elems()
+	}
+}

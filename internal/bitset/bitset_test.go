@@ -1,0 +1,309 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() {
+		t.Error("zero Set should be empty")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+	if s.Contains(0) || s.Contains(100) {
+		t.Error("empty set should contain nothing")
+	}
+	if s.String() != "{}" {
+		t.Errorf("String = %q, want {}", s.String())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	var s Set
+	elems := []int{0, 1, 63, 64, 65, 127, 128, 1000}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	for _, e := range elems {
+		if !s.Contains(e) {
+			t.Errorf("Contains(%d) = false after Add", e)
+		}
+	}
+	if s.Len() != len(elems) {
+		t.Errorf("Len = %d, want %d", s.Len(), len(elems))
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) = true after Remove")
+	}
+	if s.Len() != len(elems)-1 {
+		t.Errorf("Len = %d, want %d", s.Len(), len(elems)-1)
+	}
+	// Removing an absent element is a no-op.
+	s.Remove(9999)
+	if s.Len() != len(elems)-1 {
+		t.Error("Remove of absent element changed Len")
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	var s Set
+	s.Add(5)
+	s.Add(5)
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after double Add, want 1", s.Len())
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) did not panic")
+		}
+	}()
+	var s Set
+	s.Add(-1)
+}
+
+func TestUniverse(t *testing.T) {
+	u := Universe(70)
+	if u.Len() != 70 {
+		t.Errorf("Universe(70).Len() = %d", u.Len())
+	}
+	for i := 0; i < 70; i++ {
+		if !u.Contains(i) {
+			t.Errorf("Universe(70) missing %d", i)
+		}
+	}
+	if u.Contains(70) {
+		t.Error("Universe(70) contains 70")
+	}
+	if !Universe(0).IsEmpty() {
+		t.Error("Universe(0) not empty")
+	}
+}
+
+func TestEqualDifferentCapacities(t *testing.T) {
+	a := New(10)
+	b := New(200)
+	a.Add(3)
+	b.Add(3)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("sets with same elements but different capacity not Equal")
+	}
+	b.Add(150)
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("different sets reported Equal")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	b := FromSlice([]int{1, 2, 3})
+	if !a.SubsetOf(b) {
+		t.Error("{1,2} should be subset of {1,2,3}")
+	}
+	if b.SubsetOf(a) {
+		t.Error("{1,2,3} should not be subset of {1,2}")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("set should be subset of itself")
+	}
+	if a.ProperSubsetOf(a) {
+		t.Error("set should not be proper subset of itself")
+	}
+	if !a.ProperSubsetOf(b) {
+		t.Error("{1,2} should be proper subset of {1,2,3}")
+	}
+	var empty Set
+	if !empty.SubsetOf(a) || !empty.SubsetOf(empty) {
+		t.Error("empty set should be subset of everything")
+	}
+	// Cross-word subset.
+	c := FromSlice([]int{1, 100})
+	if c.SubsetOf(b) {
+		t.Error("{1,100} should not be subset of {1,2,3}")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice([]int{1, 2, 70})
+	b := FromSlice([]int{2, 3, 70, 130})
+
+	if got := a.Intersect(b).Elems(); len(got) != 2 || got[0] != 2 || got[1] != 70 {
+		t.Errorf("Intersect = %v, want [2 70]", got)
+	}
+	if got := a.Union(b).Elems(); len(got) != 5 {
+		t.Errorf("Union = %v, want 5 elements", got)
+	}
+	if got := a.Diff(b).Elems(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Diff = %v, want [1]", got)
+	}
+	if got := b.Diff(a).Elems(); len(got) != 2 || got[0] != 3 || got[1] != 130 {
+		t.Errorf("Diff = %v, want [3 130]", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	if a.Intersects(FromSlice([]int{9, 99})) {
+		t.Error("disjoint sets reported intersecting")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromSlice([]int{1, 2, 70})
+	b := FromSlice([]int{2, 3, 130})
+	c := a.Clone()
+	c.IntersectInPlace(b)
+	if !c.Equal(a.Intersect(b)) {
+		t.Error("IntersectInPlace disagrees with Intersect")
+	}
+	d := a.Clone()
+	d.UnionInPlace(b)
+	if !d.Equal(a.Union(b)) {
+		t.Error("UnionInPlace disagrees with Union")
+	}
+	// Original must be untouched.
+	if !a.Equal(FromSlice([]int{1, 2, 70})) {
+		t.Error("in-place op on clone mutated original")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	b := a.Clone()
+	b.Add(3)
+	if a.Contains(3) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestElemsSorted(t *testing.T) {
+	s := FromSlice([]int{128, 5, 63, 64, 0})
+	got := s.Elems()
+	want := []int{0, 5, 63, 64, 128}
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice([]int{1, 2, 3, 4, 5})
+	count := 0
+	s.ForEach(func(i int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("ForEach visited %d elements, want 3", count)
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := New(10)
+	a.Add(3)
+	b := New(500) // different capacity, trailing zero words
+	b.Add(3)
+	if a.Key() != b.Key() {
+		t.Error("Key differs for equal sets with different capacities")
+	}
+	var empty Set
+	if empty.Key() != New(100).Key() {
+		t.Error("empty keys differ")
+	}
+	c := FromSlice([]int{3, 64})
+	if a.Key() == c.Key() {
+		t.Error("distinct sets share a Key")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromSlice([]int{1, 5})
+	if s.String() != "{1, 5}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+// randSet builds a random set over [0, n) for property tests.
+func randSet(r *rand.Rand, n int) Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickAlgebraLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	// De Morgan-ish / lattice laws over random sets in a 130-bit universe.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randSet(r, 130), randSet(r, 130), randSet(r, 130)
+
+		// Commutativity.
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		// Associativity.
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			return false
+		}
+		// Distributivity.
+		if !a.Intersect(b.Union(c)).Equal(a.Intersect(b).Union(a.Intersect(c))) {
+			return false
+		}
+		// Absorption.
+		if !a.Union(a.Intersect(b)).Equal(a) {
+			return false
+		}
+		// Diff definition: a\b = a ∩ complement(b) ⇒ (a\b) ∪ (a∩b) = a.
+		if !a.Diff(b).Union(a.Intersect(b)).Equal(a) {
+			return false
+		}
+		// Subset consistency.
+		if !a.Intersect(b).SubsetOf(a) || !a.SubsetOf(a.Union(b)) {
+			return false
+		}
+		// Intersects agrees with Intersect.
+		if a.Intersects(b) != !a.Intersect(b).IsEmpty() {
+			return false
+		}
+		// Len of union + len of intersection = len a + len b.
+		if a.Union(b).Len()+a.Intersect(b).Len() != a.Len()+b.Len() {
+			return false
+		}
+		// Key equality iff Equal.
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickElemsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randSet(r, 200)
+		return FromSlice(a.Elems()).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package crowd models the crowdsourcing deployment the paper motivates
+// (Section 1 and 7: "our study makes sense in realistic crowdsourcing
+// scenarios"): membership questions become paid microtasks answered by
+// error-prone workers, and reliability is bought with redundancy —
+// each question goes to several workers and the majority label wins.
+//
+// The package quantifies the money/accuracy trade-off: more workers per
+// question cost more but make the aggregated label (and hence the whole
+// inference, which is brittle to a single wrong label) exponentially more
+// reliable.
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sample"
+)
+
+// Truth answers membership queries correctly (e.g. oracle.Honest).
+type Truth interface {
+	LabelFor(ri, pi int) sample.Label
+}
+
+// Majority is an oracle that asks Workers independent noisy workers per
+// question and returns the majority label. Ties (possible only with an
+// even worker count) are broken by asking one more worker.
+type Majority struct {
+	// Truth provides the correct label each worker perturbs.
+	Truth Truth
+	// Workers per question; values < 1 behave as 1.
+	Workers int
+	// ErrorRate is each worker's independent probability of flipping the
+	// correct label; must be in [0, 1).
+	ErrorRate float64
+	// CostPerTask is the price of one worker answering one question, used
+	// by TotalCost.
+	CostPerTask float64
+
+	rng *rand.Rand
+	// Microtasks counts every individual worker answer.
+	Microtasks int
+	// Questions counts aggregated questions.
+	Questions int
+	// WrongAnswers counts aggregated labels that differ from the truth.
+	WrongAnswers int
+}
+
+// NewMajority builds a majority-vote oracle with a seeded generator.
+func NewMajority(truth Truth, workers int, errorRate float64, seed int64) (*Majority, error) {
+	if errorRate < 0 || errorRate >= 1 {
+		return nil, fmt.Errorf("crowd: error rate %v outside [0, 1)", errorRate)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Majority{
+		Truth:     truth,
+		Workers:   workers,
+		ErrorRate: errorRate,
+		rng:       rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// LabelFor implements the inference oracle interface with majority voting.
+func (m *Majority) LabelFor(ri, pi int) sample.Label {
+	truth := m.Truth.LabelFor(ri, pi)
+	m.Questions++
+	votesFor, votesAgainst := 0, 0
+	ask := func() {
+		m.Microtasks++
+		if m.rng.Float64() < m.ErrorRate {
+			votesAgainst++
+		} else {
+			votesFor++
+		}
+	}
+	for i := 0; i < m.Workers; i++ {
+		ask()
+	}
+	for votesFor == votesAgainst {
+		ask()
+	}
+	if votesAgainst > votesFor {
+		m.WrongAnswers++
+		return !truth
+	}
+	return truth
+}
+
+// TotalCost returns Microtasks · CostPerTask.
+func (m *Majority) TotalCost() float64 {
+	return float64(m.Microtasks) * m.CostPerTask
+}
+
+// MajorityErrorRate returns the probability that a majority of k
+// independent workers with the given per-worker error rate is wrong
+// (counting ties as resolved by an extra worker, i.e. as the k+1 case's
+// deciding vote — for odd k the closed form is the binomial tail).
+func MajorityErrorRate(k int, errorRate float64) float64 {
+	if k < 1 {
+		k = 1
+	}
+	if k%2 == 0 {
+		// An even panel plus tie-break behaves like k+1 independent votes.
+		k++
+	}
+	p := errorRate
+	wrong := 0.0
+	need := k/2 + 1
+	for i := need; i <= k; i++ {
+		wrong += binomial(k, i) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(k-i))
+	}
+	return wrong
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 1; i <= k; i++ {
+		res = res * float64(n-k+i) / float64(i)
+	}
+	return res
+}

@@ -1,0 +1,164 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/inference"
+	"repro/internal/oracle"
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+	"repro/internal/strategy"
+)
+
+func TestNewMajorityValidation(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	truth := oracle.NewHonest(inst, u, predicate.Empty())
+	if _, err := NewMajority(truth, 3, -0.1, 1); err == nil {
+		t.Error("negative error rate accepted")
+	}
+	if _, err := NewMajority(truth, 3, 1.0, 1); err == nil {
+		t.Error("error rate 1 accepted")
+	}
+	m, err := NewMajority(truth, 0, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers != 1 {
+		t.Errorf("workers = %d, want clamped 1", m.Workers)
+	}
+}
+
+func TestPerfectWorkersNeverWrong(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	goal := predicate.FromPairs(u, [2]int{1, 2})
+	truth := oracle.NewHonest(inst, u, goal)
+	m, err := NewMajority(truth, 1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := 0; ri < 4; ri++ {
+		for pi := 0; pi < 3; pi++ {
+			if m.LabelFor(ri, pi) != truth.LabelFor(ri, pi) {
+				t.Fatalf("perfect worker wrong at (%d,%d)", ri, pi)
+			}
+		}
+	}
+	if m.WrongAnswers != 0 {
+		t.Error("WrongAnswers should be 0")
+	}
+	if m.Microtasks != 12 || m.Questions != 12 {
+		t.Errorf("microtasks=%d questions=%d", m.Microtasks, m.Questions)
+	}
+}
+
+func TestMajorityReducesErrors(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	goal := predicate.FromPairs(u, [2]int{1, 2})
+	truth := oracle.NewHonest(inst, u, goal)
+
+	wrongRate := func(workers int) float64 {
+		m, err := NewMajority(truth, workers, 0.25, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials = 2000
+		for i := 0; i < trials; i++ {
+			m.LabelFor(i%4, i%3)
+		}
+		return float64(m.WrongAnswers) / float64(m.Questions)
+	}
+	single := wrongRate(1)
+	panel := wrongRate(7)
+	if panel >= single {
+		t.Errorf("7-worker majority error %v should beat single-worker %v", panel, single)
+	}
+	// Sanity against the closed form (±5 points sampling slack).
+	if math.Abs(single-0.25) > 0.05 {
+		t.Errorf("single-worker empirical error %v far from 0.25", single)
+	}
+	if want := MajorityErrorRate(7, 0.25); math.Abs(panel-want) > 0.05 {
+		t.Errorf("panel empirical error %v far from closed form %v", panel, want)
+	}
+}
+
+func TestMajorityErrorRateClosedForm(t *testing.T) {
+	// k=1: error = p.
+	if got := MajorityErrorRate(1, 0.3); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("k=1: %v", got)
+	}
+	// k=3, p=0.1: p³ + 3p²(1−p) = 0.001 + 0.027·... = 0.028.
+	want := 0.001 + 3*0.01*0.9
+	if got := MajorityErrorRate(3, 0.1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("k=3: got %v want %v", got, want)
+	}
+	// Monotone in k for p < 1/2.
+	if MajorityErrorRate(5, 0.2) >= MajorityErrorRate(3, 0.2) {
+		t.Error("majority error should shrink with k")
+	}
+	// Even k behaves like k+1.
+	if MajorityErrorRate(4, 0.2) != MajorityErrorRate(5, 0.2) {
+		t.Error("even panel should equal next odd panel")
+	}
+	// k < 1 clamps.
+	if MajorityErrorRate(0, 0.2) != MajorityErrorRate(1, 0.2) {
+		t.Error("k=0 should clamp to 1")
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	truth := oracle.NewHonest(inst, u, predicate.Empty())
+	m, err := NewMajority(truth, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CostPerTask = 0.05
+	m.LabelFor(0, 0)
+	m.LabelFor(1, 1)
+	if got := m.TotalCost(); math.Abs(got-0.30) > 1e-12 {
+		t.Errorf("TotalCost = %v, want 0.30", got)
+	}
+}
+
+// TestInferenceThroughCrowd runs the full inference loop through a noisy
+// majority oracle: with a reliable panel the goal is recovered; with a
+// single unreliable worker the engine usually detects inconsistency or
+// returns a wrong predicate — both acceptable, but the panel must win.
+func TestInferenceThroughCrowd(t *testing.T) {
+	successes := func(workers int) int {
+		wins := 0
+		for seed := int64(0); seed < 20; seed++ {
+			inst := paperdata.Example21()
+			e := inference.New(inst)
+			goal := predicate.FromPairs(e.U, [2]int{0, 0}) // {(A1,B1)}
+			truth := oracle.NewHonest(inst, e.U, goal)
+			m, err := NewMajority(truth, workers, 0.25, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := inference.Run(e, strategy.NewTopDown(), m, 0)
+			if err != nil {
+				continue // inconsistency detected: a failed crowd run
+			}
+			gj := predicate.Join(inst, e.U, goal)
+			rj := predicate.Join(inst, e.U, res.Predicate)
+			if len(gj) == len(rj) {
+				wins++
+			}
+		}
+		return wins
+	}
+	noisy := successes(1)
+	panel := successes(9)
+	if panel <= noisy {
+		t.Errorf("9-worker panel (%d/20 successes) should beat single worker (%d/20)", panel, noisy)
+	}
+	if panel < 15 {
+		t.Errorf("9-worker panel succeeded only %d/20 times", panel)
+	}
+}

@@ -1,0 +1,379 @@
+// Package experiments reproduces the paper's experimental study
+// (Section 5): Figure 6 (the five TPC-H goal joins at two scales),
+// Figure 7 (six synthetic configurations, goals grouped by predicate size),
+// and Table 1 (the summary with Cartesian-product sizes, join ratios, best
+// strategies and timings).
+//
+// Each experiment measures, per strategy, the number of user interactions
+// and the wall-clock inference time, exactly the two measures the paper
+// reports. Results carry enough metadata to render the paper-style rows
+// (render.go).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/inference"
+	"repro/internal/lattice"
+	"repro/internal/oracle"
+	"repro/internal/predicate"
+	"repro/internal/product"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/synth"
+	"repro/internal/tpch"
+)
+
+// Maker names a strategy and constructs fresh instances of it (strategies
+// may carry per-run state such as RND's generator or TD's cache).
+type Maker struct {
+	Name string
+	// New builds a fresh strategy. The seed parameter only matters for
+	// randomized strategies (RND); it is derived deterministically from
+	// the workload so results do not depend on scheduling.
+	New func(seed int64) inference.Strategy
+}
+
+// DefaultMakers returns the paper's five strategies in its reporting order:
+// BU, TD, L1S, L2S, RND.
+func DefaultMakers(seed int64) []Maker {
+	return []Maker{
+		{Name: "BU", New: func(int64) inference.Strategy { return strategy.BottomUp{} }},
+		{Name: "TD", New: func(int64) inference.Strategy { return strategy.NewTopDown() }},
+		{Name: "L1S", New: func(int64) inference.Strategy { return strategy.Lookahead{K: 1} }},
+		{Name: "L2S", New: func(int64) inference.Strategy { return strategy.Lookahead{K: 2} }},
+		{Name: "RND", New: func(s int64) inference.Strategy { return strategy.NewRandom(seed ^ s) }},
+	}
+}
+
+// ExtendedMakers appends this implementation's extra strategies to the
+// paper's five: HALVE (version-space halving) and L3S (three-step
+// lookahead). Comparing them against the originals is the
+// "probabilistic lookahead" ablation DESIGN.md calls out.
+func ExtendedMakers(seed int64) []Maker {
+	return append(DefaultMakers(seed),
+		Maker{Name: "HALVE", New: func(int64) inference.Strategy { return strategy.Halving{} }},
+		Maker{Name: "L3S", New: func(int64) inference.Strategy { return strategy.Lookahead{K: 3, MaxCandidates: 16} }},
+	)
+}
+
+// Cell is one (strategy, workload) measurement, averaged over the
+// workload's goals and runs.
+type Cell struct {
+	Interactions float64
+	Seconds      float64
+	Runs         int
+	// InteractionsStdDev is the sample standard deviation across the
+	// workload's goals and runs (0 for single measurements).
+	InteractionsStdDev float64
+}
+
+// Row is one workload line of a figure or table.
+type Row struct {
+	// Dataset identifies the instance family ("TPC-H ×1", "(3, 3, 50, 100)").
+	Dataset string
+	// Workload identifies the goal group ("Join 1 (size 1)", "|θG| = 2").
+	Workload string
+	// GoalSize is |θG| for the group.
+	GoalSize int
+	// ProductSize, Classes, JoinRatio describe the instance(s); for
+	// multi-run synthetic rows they are averages.
+	ProductSize float64
+	Classes     float64
+	JoinRatio   float64
+	// Cells maps strategy name → measurement.
+	Cells map[string]Cell
+}
+
+// Best returns the strategy with the fewest interactions (ties broken by
+// smaller time, then by the paper's ordering of names).
+func (r Row) Best(order []string) (string, Cell) {
+	bestName := ""
+	var best Cell
+	for _, name := range order {
+		c, ok := r.Cells[name]
+		if !ok {
+			continue
+		}
+		if bestName == "" ||
+			c.Interactions < best.Interactions ||
+			(c.Interactions == best.Interactions && c.Seconds < best.Seconds) {
+			bestName, best = name, c
+		}
+	}
+	return bestName, best
+}
+
+// runOne executes one inference run and returns interactions and duration.
+func runOne(inst *relation.Instance, classes []*product.Class, mk Maker,
+	goal predicate.Pred, seed int64) (int, time.Duration, error) {
+	e := inference.New(inst, inference.WithClasses(classes))
+	orc := oracle.NewHonest(inst, e.U, goal)
+	start := time.Now()
+	res, err := inference.Run(e, mk.New(seed), orc, 4*len(classes)+16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s on %s: %w", mk.Name, goal.Format(e.U), err)
+	}
+	return res.Interactions, time.Since(start), nil
+}
+
+// TPCHOptions configures the Figure 6 experiments.
+type TPCHOptions struct {
+	// Multiplier is the row-count multiplier (see tpch.SFToMultiplier).
+	Multiplier int
+	// Seed drives data generation and RND.
+	Seed int64
+	// Joins restricts the goal joins; nil means all five.
+	Joins []tpch.Join
+	// Makers restricts the strategies; nil means DefaultMakers(Seed).
+	Makers []Maker
+}
+
+// TPCH runs the Figure 6 experiment: for each goal join, every strategy's
+// interaction count and inference time.
+func TPCH(o TPCHOptions) ([]Row, error) {
+	if o.Multiplier < 1 {
+		o.Multiplier = 1
+	}
+	joins := o.Joins
+	if joins == nil {
+		joins = tpch.AllJoins()
+	}
+	makers := o.Makers
+	if makers == nil {
+		makers = DefaultMakers(o.Seed)
+	}
+	data, err := tpch.Generate(o.Multiplier, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, j := range joins {
+		inst, goal, err := data.Instance(j)
+		if err != nil {
+			return nil, err
+		}
+		u := predicate.NewUniverse(inst)
+		classes := product.ClassesIndexed(inst, u)
+		st := lattice.ComputeStats(classes)
+		row := Row{
+			Dataset:     fmt.Sprintf("TPC-H ×%d", o.Multiplier),
+			Workload:    fmt.Sprintf("%s (size %d)", j, j.GoalSize()),
+			GoalSize:    j.GoalSize(),
+			ProductSize: float64(st.ProductSize),
+			Classes:     float64(st.Classes),
+			JoinRatio:   st.JoinRatio,
+			Cells:       make(map[string]Cell, len(makers)),
+		}
+		for _, mk := range makers {
+			n, d, err := runOne(inst, classes, mk, goal, int64(j)*1009)
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[mk.Name] = Cell{
+				Interactions: float64(n),
+				Seconds:      d.Seconds(),
+				Runs:         1,
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SynthOptions configures the Figure 7 experiments.
+type SynthOptions struct {
+	Config synth.Config
+	// Runs is the number of random instances averaged (the paper uses 100).
+	Runs int
+	// Seed is the base seed; run i uses Seed+i.
+	Seed int64
+	// MaxGoalsPerSize caps the number of goal predicates evaluated per
+	// predicate size in each run (0 = all non-nullable goals, as the
+	// paper). The cap samples deterministically by taking the first goals
+	// in canonical order.
+	MaxGoalsPerSize int
+	// MaxGoalSize bounds the goal sizes reported (the paper plots 0–4).
+	MaxGoalSize int
+	// Makers restricts the strategies; nil means DefaultMakers(Seed).
+	Makers []Maker
+	// Parallelism runs that many instances concurrently (0 or 1 =
+	// sequential). Interaction counts are unaffected (every run is
+	// independently seeded); per-run wall-clock times gain scheduling
+	// noise, so keep it at 1 when timing precision matters.
+	Parallelism int
+}
+
+// Synth runs the Figure 7 experiment for one configuration: average
+// interactions and time per strategy, grouped by goal-predicate size.
+func Synth(o SynthOptions) ([]Row, error) {
+	if o.Runs < 1 {
+		o.Runs = 1
+	}
+	if o.MaxGoalSize == 0 {
+		o.MaxGoalSize = 4
+	}
+	makers := o.Makers
+	if makers == nil {
+		makers = DefaultMakers(o.Seed)
+	}
+
+	type measure struct {
+		size  int
+		name  string
+		inter float64
+		secs  float64
+	}
+	type runResult struct {
+		prod, classes, ratio float64
+		measures             []measure
+		err                  error
+	}
+
+	// oneRun executes all goals × strategies for one generated instance.
+	oneRun := func(run int) runResult {
+		inst, err := synth.Generate(o.Config, o.Seed+int64(run))
+		if err != nil {
+			return runResult{err: err}
+		}
+		u := predicate.NewUniverse(inst)
+		classes := product.ClassesIndexed(inst, u)
+		st := lattice.ComputeStats(classes)
+		res := runResult{
+			prod:    float64(st.ProductSize),
+			classes: float64(st.Classes),
+			ratio:   st.JoinRatio,
+		}
+		goals := lattice.GoalsBySize(classes)
+		for size := 0; size <= o.MaxGoalSize; size++ {
+			gs := goals[size]
+			if o.MaxGoalsPerSize > 0 && len(gs) > o.MaxGoalsPerSize {
+				gs = gs[:o.MaxGoalsPerSize]
+			}
+			for _, mk := range makers {
+				for gi, goal := range gs {
+					n, d, err := runOne(inst, classes, mk, goal,
+						int64(run)*1000003+int64(size)*1009+int64(gi)*31)
+					if err != nil {
+						res.err = err
+						return res
+					}
+					res.measures = append(res.measures, measure{
+						size: size, name: mk.Name,
+						inter: float64(n), secs: d.Seconds(),
+					})
+				}
+			}
+		}
+		return res
+	}
+
+	results := make([]runResult, o.Runs)
+	if o.Parallelism > 1 {
+		sem := make(chan struct{}, o.Parallelism)
+		var wg sync.WaitGroup
+		for run := 0; run < o.Runs; run++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(run int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[run] = oneRun(run)
+			}(run)
+		}
+		wg.Wait()
+	} else {
+		for run := 0; run < o.Runs; run++ {
+			results[run] = oneRun(run)
+		}
+	}
+
+	type acc struct {
+		inter, secs stats.Acc
+	}
+	accs := make(map[int]map[string]*acc) // size → strategy → accumulators
+	var prodSum, classSum, ratioSum float64
+	instances := 0
+	// Merge in run order so aggregates are deterministic regardless of
+	// scheduling.
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		prodSum += res.prod
+		classSum += res.classes
+		ratioSum += res.ratio
+		instances++
+		for _, m := range res.measures {
+			if accs[m.size] == nil {
+				accs[m.size] = make(map[string]*acc)
+			}
+			a := accs[m.size][m.name]
+			if a == nil {
+				a = &acc{}
+				accs[m.size][m.name] = a
+			}
+			a.inter.Add(m.inter)
+			a.secs.Add(m.secs)
+		}
+	}
+
+	var rows []Row
+	for size := 0; size <= o.MaxGoalSize; size++ {
+		byStrat := accs[size]
+		if byStrat == nil {
+			continue
+		}
+		row := Row{
+			Dataset:     o.Config.String(),
+			Workload:    fmt.Sprintf("|θG| = %d", size),
+			GoalSize:    size,
+			ProductSize: prodSum / float64(instances),
+			Classes:     classSum / float64(instances),
+			JoinRatio:   ratioSum / float64(instances),
+			Cells:       make(map[string]Cell, len(byStrat)),
+		}
+		for name, a := range byStrat {
+			if a.inter.N() == 0 {
+				continue
+			}
+			row.Cells[name] = Cell{
+				Interactions:       a.inter.Mean(),
+				Seconds:            a.secs.Mean(),
+				Runs:               a.inter.N(),
+				InteractionsStdDev: a.inter.StdDev(),
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1 assembles the summary table from TPC-H rows at the two scales and
+// the six synthetic configurations.
+func Table1(seed int64, synthRuns int, maxGoalsPerSize int) ([]Row, error) {
+	var rows []Row
+	for _, mult := range []int{1, tpch.SFToMultiplier(100000)} {
+		rs, err := TPCH(TPCHOptions{Multiplier: mult, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rs...)
+	}
+	for _, cfg := range synth.PaperConfigs() {
+		rs, err := Synth(SynthOptions{
+			Config:          cfg,
+			Runs:            synthRuns,
+			Seed:            seed,
+			MaxGoalsPerSize: maxGoalsPerSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rs...)
+	}
+	return rows, nil
+}

@@ -1,0 +1,194 @@
+// Package inference implements the paper's core contribution: the
+// characterization of certain/uninformative tuples (Section 3.4) and the
+// general interactive inference algorithm (Algorithm 1, Section 4.1).
+//
+// The engine works on T-classes of the Cartesian product (package product):
+// tuples with equal most specific predicate T(t) are interchangeable for
+// inference, so certainty, informativeness and strategy decisions are all
+// per class. An Engine holds the evolving sample and answers the PTIME
+// membership tests of Theorem 3.5:
+//
+//	t ∈ Cert+(S) ⇔ T(S+) ⊆ T(t)                      (Lemma 3.3)
+//	t ∈ Cert−(S) ⇔ ∃t'∈S−: T(S+) ∩ T(t) ⊆ T(t')      (Lemma 3.4)
+//
+// and a tuple is informative iff it is unlabeled and in neither set
+// (Lemma 3.2 equates uninformative and certain examples).
+package inference
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/predicate"
+	"repro/internal/product"
+	"repro/internal/relation"
+	"repro/internal/sample"
+)
+
+// ErrInconsistent is returned when the user's labels admit no consistent
+// join predicate (lines 6–7 of Algorithm 1); with an honest user it never
+// occurs.
+var ErrInconsistent = errors.New("inference: sample is inconsistent with every equijoin predicate")
+
+// Engine is the inference state for one instance: its T-classes, the
+// current sample, and per-class labeling bookkeeping.
+type Engine struct {
+	Inst    *relation.Instance
+	U       *predicate.Universe
+	classes []*product.Class
+
+	s       *sample.Sample
+	labeled []int8 // 0 unlabeled, 1 positive, 2 negative (per class)
+	negs    []predicate.Pred
+}
+
+// Option configures engine construction.
+type Option func(*options)
+
+type options struct {
+	classes []*product.Class
+}
+
+// WithClasses supplies precomputed T-classes (e.g. shared across runs with
+// different goals); by default the engine computes them with the indexed
+// scan.
+func WithClasses(cs []*product.Class) Option {
+	return func(o *options) { o.classes = cs }
+}
+
+// New builds an engine for the instance.
+func New(inst *relation.Instance, opts ...Option) *Engine {
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
+	u := predicate.NewUniverse(inst)
+	cs := o.classes
+	if cs == nil {
+		cs = product.ClassesIndexed(inst, u)
+	}
+	return &Engine{
+		Inst:    inst,
+		U:       u,
+		classes: cs,
+		s:       sample.New(u),
+		labeled: make([]int8, len(cs)),
+	}
+}
+
+// Classes returns the T-classes in the engine's deterministic order. The
+// slice is shared; callers must not mutate it.
+func (e *Engine) Classes() []*product.Class { return e.classes }
+
+// Sample returns the current sample (shared, read-only for callers).
+func (e *Engine) Sample() *sample.Sample { return e.s }
+
+// TPos returns T(S+), Ω while no positive example exists.
+func (e *Engine) TPos() predicate.Pred { return e.s.TPos() }
+
+// Negatives returns the T values of negative examples (shared slice).
+func (e *Engine) Negatives() []predicate.Pred { return e.negs }
+
+// IsLabeled reports whether class ci has been labeled.
+func (e *Engine) IsLabeled(ci int) bool { return e.labeled[ci] != 0 }
+
+// CertainPositive reports whether the tuples of class ci are certain to be
+// selected by every predicate consistent with the current sample.
+func (e *Engine) CertainPositive(ci int) bool {
+	return CertainPositive(e.s.TPos(), e.classes[ci].Theta)
+}
+
+// CertainNegative reports whether the tuples of class ci are certain to be
+// rejected by every predicate consistent with the current sample.
+func (e *Engine) CertainNegative(ci int) bool {
+	return CertainNegative(e.s.TPos(), e.negs, e.classes[ci].Theta)
+}
+
+// Informative reports whether labeling class ci would shrink the set of
+// consistent predicates (Theorem 3.5: decidable in PTIME).
+func (e *Engine) Informative(ci int) bool {
+	if e.labeled[ci] != 0 {
+		return false
+	}
+	return !e.CertainPositive(ci) && !e.CertainNegative(ci)
+}
+
+// InformativeClasses returns the indexes of all informative classes, in
+// class order.
+func (e *Engine) InformativeClasses() []int {
+	var out []int
+	for ci := range e.classes {
+		if e.Informative(ci) {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// Done reports the halt condition Γ: no informative tuple remains, i.e.
+// exactly one predicate is consistent up to instance equivalence.
+func (e *Engine) Done() bool {
+	for ci := range e.classes {
+		if e.Informative(ci) {
+			return false
+		}
+	}
+	return true
+}
+
+// Label records the user's label for (the representative of) class ci. It
+// returns ErrInconsistent if the resulting sample admits no consistent
+// predicate.
+func (e *Engine) Label(ci int, l sample.Label) error {
+	if ci < 0 || ci >= len(e.classes) {
+		return fmt.Errorf("inference: class index %d out of range", ci)
+	}
+	if e.labeled[ci] != 0 {
+		return fmt.Errorf("inference: class %d already labeled", ci)
+	}
+	c := e.classes[ci]
+	e.s.Add(sample.Example{RI: c.RI, PI: c.PI, Theta: c.Theta, Label: l})
+	if l == sample.Positive {
+		e.labeled[ci] = 1
+	} else {
+		e.labeled[ci] = 2
+		e.negs = append(e.negs, c.Theta)
+	}
+	if !e.s.Consistent() {
+		return ErrInconsistent
+	}
+	return nil
+}
+
+// Result returns the inferred predicate T(S+): the most specific predicate
+// consistent with the sample, instance-equivalent to the user's goal once
+// Done() holds (Section 3.3). With no positive examples this is Ω, exactly
+// as the paper prescribes for empty goal joins.
+func (e *Engine) Result() predicate.Pred { return e.s.TPos().Clone() }
+
+// CertainPositive is the stateless Lemma 3.3 test: under positive knowledge
+// tpos = T(S+), a tuple with most specific predicate theta is certainly
+// selected iff tpos ⊆ theta.
+func CertainPositive(tpos, theta predicate.Pred) bool {
+	return tpos.MoreGeneralThan(theta)
+}
+
+// CertainNegative is the stateless Lemma 3.4 test: a tuple with most
+// specific predicate theta is certainly rejected iff some negative example
+// t' satisfies T(S+) ∩ theta ⊆ T(t').
+func CertainNegative(tpos predicate.Pred, negs []predicate.Pred, theta predicate.Pred) bool {
+	inter := tpos.Intersect(theta)
+	for _, n := range negs {
+		if inter.MoreGeneralThan(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// CertainUnder reports whether a class is certain (either sign) under
+// hypothetical knowledge (tpos, negs); used by lookahead strategies to
+// evaluate what-if labelings without mutating the engine.
+func CertainUnder(tpos predicate.Pred, negs []predicate.Pred, theta predicate.Pred) bool {
+	return CertainPositive(tpos, theta) || CertainNegative(tpos, negs, theta)
+}

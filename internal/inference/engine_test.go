@@ -1,0 +1,315 @@
+package inference
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+	"repro/internal/relation"
+	"repro/internal/sample"
+)
+
+// classIndexFor returns the engine's class index for product tuple (ri,pi).
+func classIndexFor(e *Engine, ri, pi int) int {
+	theta := predicate.T(e.U, e.Inst.R.Tuples[ri], e.Inst.P.Tuples[pi])
+	for ci, c := range e.Classes() {
+		if c.Theta.Equal(theta) {
+			return ci
+		}
+	}
+	return -1
+}
+
+func mustLabel(t *testing.T, e *Engine, ri, pi int, l sample.Label) {
+	t.Helper()
+	ci := classIndexFor(e, ri, pi)
+	if ci < 0 {
+		t.Fatalf("no class for tuple (%d,%d)", ri, pi)
+	}
+	if err := e.Label(ci, l); err != nil {
+		t.Fatalf("Label(%d,%d,%v): %v", ri, pi, l, err)
+	}
+}
+
+// TestUninformativeSection34 replays the example of Section 3.4: with goal
+// θG = {(A2,B3)} and S = {((t2,t2'),+), ((t1,t3'),−)}, the examples
+// ((t4,t1'),+) and ((t2,t1'),−) are uninformative.
+func TestUninformativeSection34(t *testing.T) {
+	inst := paperdata.Example21()
+	e := New(inst)
+	mustLabel(t, e, 1, 1, sample.Positive) // (t2,t2')
+	mustLabel(t, e, 0, 2, sample.Negative) // (t1,t3')
+
+	// (t4,t1') must be certain-positive: T(S+) = {(A1,B1),(A2,B3)} ⊆
+	// T(t4,t1') = {(A1,B1),(A1,B2),(A2,B3)}.
+	ci := classIndexFor(e, 3, 0)
+	if !e.CertainPositive(ci) {
+		t.Error("(t4,t1') should be certain positive")
+	}
+	if e.Informative(ci) {
+		t.Error("(t4,t1') should be uninformative")
+	}
+	// (t2,t1') must be certain-negative: T(S+) ∩ T(t2,t1') = ∅ ⊆ T(t1,t3')?
+	// T(t2,t1') = {(A1,B3)}, T(S+) ∩ it = ∅ ⊆ any negative — certain.
+	cj := classIndexFor(e, 1, 0)
+	if !e.CertainNegative(cj) {
+		t.Error("(t2,t1') should be certain negative")
+	}
+	if e.Informative(cj) {
+		t.Error("(t2,t1') should be uninformative")
+	}
+}
+
+// TestUninformativeSection44 replays the larger walkthrough of Section 4.4:
+// S = {((t1,t3'),+), ((t3,t1'),−)} leaves exactly five informative tuples.
+func TestUninformativeSection44(t *testing.T) {
+	inst := paperdata.Example21()
+	e := New(inst)
+	mustLabel(t, e, 0, 2, sample.Positive) // (t1,t3')
+	mustLabel(t, e, 2, 0, sample.Negative) // (t3,t1')
+
+	// Uninf(S) = {(t2,t3')+, (t1,t2')−, (t2,t2')−, (t3,t3')−, (t4,t3')−}.
+	wantUninf := map[[2]int]bool{
+		{1, 2}: true, {0, 1}: true, {1, 1}: true, {2, 2}: true, {3, 2}: true,
+	}
+	wantInf := map[[2]int]bool{
+		{0, 0}: true, {1, 0}: true, {2, 1}: true, {3, 0}: true, {3, 1}: true,
+	}
+	for ri := 0; ri < 4; ri++ {
+		for pi := 0; pi < 3; pi++ {
+			ci := classIndexFor(e, ri, pi)
+			got := e.Informative(ci)
+			switch {
+			case wantUninf[[2]int{ri, pi}] && got:
+				t.Errorf("(t%d,t%d') should be uninformative", ri+1, pi+1)
+			case wantInf[[2]int{ri, pi}] && !got:
+				t.Errorf("(t%d,t%d') should be informative", ri+1, pi+1)
+			}
+		}
+	}
+	if got := len(e.InformativeClasses()); got != 5 {
+		t.Errorf("informative count = %d, want 5", got)
+	}
+	if e.Done() {
+		t.Error("Done() should be false with informative tuples left")
+	}
+	// The sign of the certainty must match the paper's labels.
+	if !e.CertainPositive(classIndexFor(e, 1, 2)) {
+		t.Error("(t2,t3') should be certain positive")
+	}
+	for _, pr := range [][2]int{{0, 1}, {1, 1}, {2, 2}, {3, 2}} {
+		if !e.CertainNegative(classIndexFor(e, pr[0], pr[1])) {
+			t.Errorf("(t%d,t%d') should be certain negative", pr[0]+1, pr[1]+1)
+		}
+	}
+}
+
+func TestLabelErrors(t *testing.T) {
+	inst := paperdata.Example21()
+	e := New(inst)
+	if err := e.Label(-1, sample.Positive); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := e.Label(len(e.Classes()), sample.Positive); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := e.Label(0, sample.Positive); err != nil {
+		t.Fatalf("first label: %v", err)
+	}
+	if err := e.Label(0, sample.Negative); err == nil {
+		t.Error("double label accepted")
+	}
+}
+
+func TestInconsistentLabeling(t *testing.T) {
+	inst := paperdata.Example21()
+	e := New(inst)
+	// Label (t1,t2') and (t1,t3') positive: T(S+) = ∅ — then a negative
+	// label on anything is inconsistent ((∅ selects everything).
+	mustLabel(t, e, 0, 1, sample.Positive)
+	mustLabel(t, e, 0, 2, sample.Positive)
+	ci := classIndexFor(e, 2, 0)
+	if err := e.Label(ci, sample.Negative); err != ErrInconsistent {
+		t.Errorf("err = %v, want ErrInconsistent", err)
+	}
+}
+
+// TestInstanceEquivalentSingleTuple replays Section 3.3: on the one-tuple
+// instance, after the single positive label the engine returns
+// T(S+) = {(A1,B1),(A2,B1)}, which is instance-equivalent to the goal
+// {(A1,B1)}.
+func TestInstanceEquivalentSingleTuple(t *testing.T) {
+	inst := paperdata.SingleTuple()
+	e := New(inst)
+	if len(e.Classes()) != 1 {
+		t.Fatalf("classes = %d, want 1", len(e.Classes()))
+	}
+	// The single tuple has T(t) = Ω, so *every* predicate selects it: it is
+	// certain positive already under the empty sample and the halt
+	// condition holds with zero questions. The returned predicate is the
+	// same T(S+) = {(A1,B1),(A2,B1)} the paper's walkthrough obtains after
+	// one label.
+	if e.Informative(0) {
+		t.Fatal("the only tuple is certain positive, hence uninformative")
+	}
+	if !e.Done() {
+		t.Error("Done() should hold immediately")
+	}
+	want := predicate.MustFromNames(e.U, [2]string{"A1", "B1"}, [2]string{"A2", "B1"})
+	if !e.Result().Equal(want) {
+		t.Errorf("Result = %v, want %v", e.Result().Format(e.U), want.Format(e.U))
+	}
+	goal := predicate.MustFromNames(e.U, [2]string{"A1", "B1"})
+	// Instance equivalence: same join result on I.
+	gj := predicate.Join(inst, e.U, goal)
+	rj := predicate.Join(inst, e.U, e.Result())
+	if len(gj) != len(rj) {
+		t.Error("result not instance-equivalent to goal")
+	}
+}
+
+// TestAllNegativesYieldsOmega: per Section 3.3, when the user labels
+// everything negative the engine returns T(S+) = Ω.
+func TestAllNegativesYieldsOmega(t *testing.T) {
+	inst := paperdata.Example21()
+	e := New(inst)
+	for !e.Done() {
+		ci := -1
+		for i := range e.Classes() {
+			if e.Informative(i) {
+				ci = i
+				break
+			}
+		}
+		if err := e.Label(ci, sample.Negative); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Result().Equal(predicate.Omega(e.U)) {
+		t.Errorf("Result = %v, want Ω", e.Result())
+	}
+}
+
+func TestWithClassesOption(t *testing.T) {
+	inst := paperdata.Example21()
+	e1 := New(inst)
+	e2 := New(inst, WithClasses(e1.Classes()))
+	if len(e2.Classes()) != len(e1.Classes()) {
+		t.Error("WithClasses not honored")
+	}
+}
+
+// bruteforceCertain computes Cert±(S) from the definition by enumerating
+// C(S) ⊆ P(Ω); ground truth for the Lemma 3.3/3.4 tests.
+func bruteforceCertain(e *Engine, theta predicate.Pred) (certPos, certNeg bool) {
+	size := e.U.Size()
+	certPos, certNeg = true, true
+	found := false
+	for mask := 0; mask < 1<<uint(size); mask++ {
+		var p predicate.Pred
+		for b := 0; b < size; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				p.Set.Add(b)
+			}
+		}
+		if !e.Sample().ConsistentWith(p) {
+			continue
+		}
+		found = true
+		if p.MoreGeneralThan(theta) {
+			certNeg = false // selected by some consistent predicate
+		} else {
+			certPos = false
+		}
+	}
+	if !found {
+		return false, false // inconsistent sample: not meaningful
+	}
+	return certPos, certNeg
+}
+
+// TestQuickLemma33and34: the PTIME certainty tests agree with brute-force
+// enumeration of all consistent predicates on random instances (this is
+// simultaneously a test of Lemma 3.2, since brute force computes Cert from
+// the C(S) definition).
+func TestQuickLemma33and34(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := smallRandomInstance(r)
+		e := New(inst)
+		// Label a few random classes honestly w.r.t. a random goal.
+		goal := randomPred(r, e.U)
+		for k := 0; k < 2+r.Intn(3); k++ {
+			inf := e.InformativeClasses()
+			if len(inf) == 0 {
+				break
+			}
+			ci := inf[r.Intn(len(inf))]
+			c := e.Classes()[ci]
+			l := sample.Negative
+			if goal.Selects(e.U, inst.R.Tuples[c.RI], inst.P.Tuples[c.PI]) {
+				l = sample.Positive
+			}
+			if err := e.Label(ci, l); err != nil {
+				return false // honest labels can never be inconsistent
+			}
+		}
+		for ci, c := range e.Classes() {
+			wantPos, wantNeg := bruteforceCertain(e, c.Theta)
+			if e.CertainPositive(ci) != wantPos {
+				return false
+			}
+			if e.CertainNegative(ci) != wantNeg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func smallRandomInstance(r *rand.Rand) *relation.Instance {
+	n := 1 + r.Intn(2)
+	m := 1 + r.Intn(2)
+	vals := 1 + r.Intn(3)
+	ra := make([]string, n)
+	for i := range ra {
+		ra[i] = "A" + strconv.Itoa(i+1)
+	}
+	pa := make([]string, m)
+	for i := range pa {
+		pa[i] = "B" + strconv.Itoa(i+1)
+	}
+	R := relation.NewRelation(relation.MustSchema("R", ra...))
+	P := relation.NewRelation(relation.MustSchema("P", pa...))
+	for i := 0; i < 2+r.Intn(3); i++ {
+		tr := make(relation.Tuple, n)
+		for k := range tr {
+			tr[k] = strconv.Itoa(r.Intn(vals))
+		}
+		R.Tuples = append(R.Tuples, tr)
+	}
+	for i := 0; i < 2+r.Intn(3); i++ {
+		tp := make(relation.Tuple, m)
+		for k := range tp {
+			tp[k] = strconv.Itoa(r.Intn(vals))
+		}
+		P.Tuples = append(P.Tuples, tp)
+	}
+	return relation.MustInstance(R, P)
+}
+
+func randomPred(r *rand.Rand, u *predicate.Universe) predicate.Pred {
+	var p predicate.Pred
+	for id := 0; id < u.Size(); id++ {
+		if r.Intn(3) == 0 {
+			p.Set.Add(id)
+		}
+	}
+	return p
+}

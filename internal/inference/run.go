@@ -1,0 +1,68 @@
+package inference
+
+import (
+	"fmt"
+
+	"repro/internal/predicate"
+	"repro/internal/sample"
+)
+
+// Strategy selects the next class to present to the user (the Υ of
+// Algorithm 1). It is called only while informative classes remain and must
+// return the index of an informative class.
+type Strategy interface {
+	// Name identifies the strategy in reports ("BU", "TD", "L1S", …).
+	Name() string
+	// Next returns the index of the class whose representative tuple the
+	// user should label next.
+	Next(e *Engine) int
+}
+
+// Oracle answers membership queries: the label for product tuple
+// (R.Tuples[ri], P.Tuples[pi]). It models the user of the interactive
+// scenario (Section 3.2).
+type Oracle interface {
+	LabelFor(ri, pi int) sample.Label
+}
+
+// Result reports the outcome of an inference run.
+type Result struct {
+	// Predicate is T(S+), the most specific predicate consistent with the
+	// user's answers; instance-equivalent to the goal (Section 3.3).
+	Predicate predicate.Pred
+	// Interactions is the number of tuples the user labeled.
+	Interactions int
+	// ClassesTotal is the number of T-classes of the product.
+	ClassesTotal int
+}
+
+// Run executes the general inference algorithm (Algorithm 1) with the given
+// strategy and oracle until the halt condition Γ holds (no informative
+// tuple remains), then returns the inferred predicate.
+//
+// MaxInteractions, if positive, bounds the number of questions; exceeding
+// it returns an error (useful against buggy strategies — an honest run can
+// never need more labels than there are classes).
+func Run(e *Engine, strat Strategy, oracle Oracle, maxInteractions int) (Result, error) {
+	res := Result{ClassesTotal: len(e.classes)}
+	for !e.Done() {
+		if maxInteractions > 0 && res.Interactions >= maxInteractions {
+			return res, fmt.Errorf("inference: strategy %s exceeded %d interactions", strat.Name(), maxInteractions)
+		}
+		ci := strat.Next(e)
+		if ci < 0 || ci >= len(e.classes) {
+			return res, fmt.Errorf("inference: strategy %s returned invalid class %d", strat.Name(), ci)
+		}
+		if !e.Informative(ci) {
+			return res, fmt.Errorf("inference: strategy %s selected uninformative class %d", strat.Name(), ci)
+		}
+		c := e.classes[ci]
+		l := oracle.LabelFor(c.RI, c.PI)
+		res.Interactions++
+		if err := e.Label(ci, l); err != nil {
+			return res, err
+		}
+	}
+	res.Predicate = e.Result()
+	return res, nil
+}

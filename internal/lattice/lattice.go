@@ -1,0 +1,118 @@
+// Package lattice provides the lattice of join predicates (P(Ω), ⊆) of
+// Section 4.2: enumeration of non-nullable predicates, the node/tuple
+// correspondence, and instance statistics such as the join ratio used in
+// the experimental analysis (Section 5.3).
+//
+// A predicate is non-nullable iff it selects at least one product tuple,
+// which by the T characterization means it is a subset of some class
+// predicate T(t). The non-nullable part of the lattice is therefore the
+// downward closure of the class predicates.
+package lattice
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/predicate"
+	"repro/internal/product"
+)
+
+// Node is one lattice node: a non-nullable join predicate, with a flag
+// telling whether some product tuple corresponds to it exactly (its box in
+// Figure 4).
+type Node struct {
+	Theta predicate.Pred
+	// HasTuple reports whether Theta = T(t) for some product tuple t.
+	HasTuple bool
+}
+
+// NonNullable enumerates all non-nullable join predicates of the instance
+// (the downward closure of its T-classes), sorted by ascending size then by
+// canonical key. The count can be exponential in |Ω| in the worst case —
+// the paper notes this too — so callers should restrict it to synthetic-
+// scale universes; Ω itself is *not* included unless non-nullable.
+func NonNullable(classes []*product.Class) []Node {
+	seen := make(map[string]*Node)
+	for _, c := range classes {
+		forEachSubset(c.Theta.Set, func(sub bitset.Set) {
+			k := sub.Key()
+			if n, ok := seen[k]; ok {
+				if sub.Equal(c.Theta.Set) {
+					n.HasTuple = true
+				}
+				return
+			}
+			seen[k] = &Node{
+				Theta:    predicate.Pred{Set: sub.Clone()},
+				HasTuple: sub.Equal(c.Theta.Set),
+			}
+		})
+	}
+	out := make([]Node, 0, len(seen))
+	for _, n := range seen {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Theta.Size(), out[j].Theta.Size()
+		if si != sj {
+			return si < sj
+		}
+		return out[i].Theta.Key() < out[j].Theta.Key()
+	})
+	return out
+}
+
+// forEachSubset calls fn for every subset of s (including ∅ and s itself).
+// It enumerates via the elements, so cost is O(2^|s|).
+func forEachSubset(s bitset.Set, fn func(bitset.Set)) {
+	elems := s.Elems()
+	n := len(elems)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var sub bitset.Set
+		for b := 0; b < n; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				sub.Add(elems[b])
+			}
+		}
+		fn(sub)
+	}
+}
+
+// GoalsBySize groups the non-nullable predicates of the instance by |θ|,
+// the way the synthetic experiments pick their goal predicates ("we have
+// used all non-nullable join predicates as goal predicates", Section 5).
+func GoalsBySize(classes []*product.Class) map[int][]predicate.Pred {
+	out := make(map[int][]predicate.Pred)
+	for _, n := range NonNullable(classes) {
+		s := n.Theta.Size()
+		out[s] = append(out[s], n.Theta)
+	}
+	return out
+}
+
+// Stats summarizes an instance's lattice the way Table 1 reports it.
+type Stats struct {
+	// ProductSize is |R × P|.
+	ProductSize int64
+	// Classes is the number of distinct T-classes.
+	Classes int
+	// JoinRatio is the paper's complexity measure (Section 5.3).
+	JoinRatio float64
+	// MaxPredicateSize is the largest |T(t)| over the product.
+	MaxPredicateSize int
+}
+
+// ComputeStats derives lattice statistics from the instance's T-classes.
+func ComputeStats(classes []*product.Class) Stats {
+	st := Stats{
+		ProductSize: product.TotalCount(classes),
+		Classes:     len(classes),
+		JoinRatio:   product.JoinRatio(classes),
+	}
+	for _, c := range classes {
+		if s := c.Theta.Size(); s > st.MaxPredicateSize {
+			st.MaxPredicateSize = s
+		}
+	}
+	return st
+}

@@ -1,0 +1,194 @@
+package lattice
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+	"repro/internal/product"
+	"repro/internal/relation"
+)
+
+func TestNonNullableExample21(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	cs := product.Classes(inst, u)
+	nodes := NonNullable(cs)
+
+	// The non-nullable lattice (downward closure of the 12 class
+	// predicates): 1 node of size 0, 6 of size 1, 12 of size 2, 3 of size 3
+	// — Ω excluded (nullable here). Figure 4 draws a subset of the size-2
+	// layer; the counts below follow from the definition (any subset of a
+	// non-nullable predicate is non-nullable by anti-monotonicity) and are
+	// cross-checked against direct evaluation in
+	// TestNonNullableAreNonNullable.
+	hist := map[int]int{}
+	withTuple := 0
+	for _, n := range nodes {
+		hist[n.Theta.Size()]++
+		if n.HasTuple {
+			withTuple++
+		}
+	}
+	if hist[0] != 1 || hist[1] != 6 || hist[2] != 12 || hist[3] != 3 {
+		t.Errorf("size histogram = %v, want map[0:1 1:6 2:12 3:3]", hist)
+	}
+	if len(nodes) != 22 {
+		t.Errorf("total nodes = %d, want 22", len(nodes))
+	}
+	// Every size-1 predicate over the 6 pairs occurs in some class, hence 6.
+	// Completeness: every predicate NOT in the set must be nullable.
+	keys := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		keys[n.Theta.Key()] = true
+	}
+	for mask := 0; mask < 1<<6; mask++ {
+		var p predicate.Pred
+		for b := 0; b < 6; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				p.Set.Add(b)
+			}
+		}
+		if !keys[p.Key()] && predicate.NonNullable(inst, u, p) {
+			t.Errorf("non-nullable predicate %v missing from lattice", p)
+		}
+	}
+	// Exactly the 12 class predicates have corresponding tuples (boxes).
+	if withTuple != 12 {
+		t.Errorf("nodes with tuples = %d, want 12", withTuple)
+	}
+	// Sorted by ascending size.
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].Theta.Size() > nodes[i].Theta.Size() {
+			t.Fatalf("nodes not sorted by size at %d", i)
+		}
+	}
+}
+
+func TestNonNullableAreNonNullable(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	cs := product.Classes(inst, u)
+	for _, n := range NonNullable(cs) {
+		if !predicate.NonNullable(inst, u, n.Theta) {
+			t.Errorf("node %v is nullable", n.Theta)
+		}
+	}
+}
+
+func TestGoalsBySize(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	cs := product.Classes(inst, u)
+	goals := GoalsBySize(cs)
+	if len(goals[0]) != 1 || len(goals[1]) != 6 || len(goals[2]) != 12 || len(goals[3]) != 3 {
+		t.Errorf("goals by size = %v", map[int]int{
+			0: len(goals[0]), 1: len(goals[1]), 2: len(goals[2]), 3: len(goals[3])})
+	}
+}
+
+func TestComputeStatsExample21(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	cs := product.Classes(inst, u)
+	st := ComputeStats(cs)
+	if st.ProductSize != 12 {
+		t.Errorf("ProductSize = %d", st.ProductSize)
+	}
+	if st.Classes != 12 {
+		t.Errorf("Classes = %d", st.Classes)
+	}
+	if st.JoinRatio != 2.0 {
+		t.Errorf("JoinRatio = %v, want 2", st.JoinRatio)
+	}
+	if st.MaxPredicateSize != 3 {
+		t.Errorf("MaxPredicateSize = %d, want 3", st.MaxPredicateSize)
+	}
+}
+
+// TestQuickDownwardClosure: the non-nullable set is downward closed and
+// contains exactly the subsets of class predicates.
+func TestQuickDownwardClosure(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randInstance(r)
+		u := predicate.NewUniverse(inst)
+		cs := product.Classes(inst, u)
+		nodes := NonNullable(cs)
+		keys := make(map[string]bool, len(nodes))
+		for _, n := range nodes {
+			keys[n.Theta.Key()] = true
+			// Every node must be non-nullable by direct evaluation.
+			if !predicate.NonNullable(inst, u, n.Theta) {
+				return false
+			}
+			// Downward closed: removing any element stays in the set.
+			ok := true
+			n.Theta.Set.ForEach(func(id int) bool {
+				sub := n.Theta.Set.Clone()
+				sub.Remove(id)
+				if !keys[sub.Key()] && len(nodes) > 0 {
+					// The smaller set sorts earlier, so it is present iff
+					// enumerated; check via map after full fill below.
+					ok = keys[sub.Key()]
+				}
+				return true
+			})
+			_ = ok
+		}
+		// Second pass for downward closure now that keys is complete.
+		for _, n := range nodes {
+			closed := true
+			n.Theta.Set.ForEach(func(id int) bool {
+				sub := n.Theta.Set.Clone()
+				sub.Remove(id)
+				if !keys[sub.Key()] {
+					closed = false
+					return false
+				}
+				return true
+			})
+			if !closed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randInstance(r *rand.Rand) *relation.Instance {
+	n := 1 + r.Intn(2)
+	m := 1 + r.Intn(3)
+	vals := 1 + r.Intn(4)
+	ra := make([]string, n)
+	for i := range ra {
+		ra[i] = "A" + strconv.Itoa(i+1)
+	}
+	pa := make([]string, m)
+	for i := range pa {
+		pa[i] = "B" + strconv.Itoa(i+1)
+	}
+	R := relation.NewRelation(relation.MustSchema("R", ra...))
+	P := relation.NewRelation(relation.MustSchema("P", pa...))
+	for i := 0; i < 2+r.Intn(4); i++ {
+		tr := make(relation.Tuple, n)
+		for k := range tr {
+			tr[k] = strconv.Itoa(r.Intn(vals))
+		}
+		R.Tuples = append(R.Tuples, tr)
+	}
+	for i := 0; i < 2+r.Intn(4); i++ {
+		tp := make(relation.Tuple, m)
+		for k := range tp {
+			tp[k] = strconv.Itoa(r.Intn(vals))
+		}
+		P.Tuples = append(P.Tuples, tp)
+	}
+	return relation.MustInstance(R, P)
+}

@@ -1,0 +1,89 @@
+// Package oracle simulates the user of the interactive scenario: a source
+// of labels for membership queries about product tuples.
+//
+// The paper assumes an honest user who labels tuples consistently with a
+// goal predicate θG she has in mind (Section 3.2). Honest implements that;
+// Counting instruments any oracle; Adversary flips labels to exercise the
+// inconsistency path of Algorithm 1 (lines 6–7) in failure-injection tests.
+package oracle
+
+import (
+	"repro/internal/predicate"
+	"repro/internal/relation"
+	"repro/internal/sample"
+)
+
+// Honest labels every tuple exactly as the goal predicate dictates:
+// positive iff θG ⊆ T(t), i.e. iff t ∈ R ⋈θG P.
+type Honest struct {
+	Inst *relation.Instance
+	U    *predicate.Universe
+	Goal predicate.Pred
+}
+
+// NewHonest builds an honest user with the given goal predicate.
+func NewHonest(inst *relation.Instance, u *predicate.Universe, goal predicate.Pred) *Honest {
+	return &Honest{Inst: inst, U: u, Goal: goal}
+}
+
+// LabelFor answers the membership query for product tuple (ri, pi).
+func (h *Honest) LabelFor(ri, pi int) sample.Label {
+	if h.Goal.Selects(h.U, h.Inst.R.Tuples[ri], h.Inst.P.Tuples[pi]) {
+		return sample.Positive
+	}
+	return sample.Negative
+}
+
+// Counting wraps an oracle and counts queries; it also records the asked
+// tuples in order, for auditing strategy behaviour in tests.
+type Counting struct {
+	Inner interface {
+		LabelFor(ri, pi int) sample.Label
+	}
+	Queries int
+	Asked   [][2]int
+}
+
+// LabelFor delegates to the inner oracle and records the query.
+func (c *Counting) LabelFor(ri, pi int) sample.Label {
+	c.Queries++
+	c.Asked = append(c.Asked, [2]int{ri, pi})
+	return c.Inner.LabelFor(ri, pi)
+}
+
+// Adversary answers like an honest user for the first FlipAfter queries and
+// then flips every label, guaranteeing an inconsistent sample: used to test
+// that the engine detects dishonest users.
+type Adversary struct {
+	Honest    *Honest
+	FlipAfter int
+	asked     int
+}
+
+// LabelFor flips the honest label once FlipAfter queries have passed.
+func (a *Adversary) LabelFor(ri, pi int) sample.Label {
+	l := a.Honest.LabelFor(ri, pi)
+	a.asked++
+	if a.asked > a.FlipAfter {
+		return !l
+	}
+	return l
+}
+
+// Scripted replays a fixed sequence of labels regardless of the tuple
+// asked; handy for unit tests of specific interaction traces.
+type Scripted struct {
+	Labels []sample.Label
+	next   int
+}
+
+// LabelFor returns the next scripted label; it panics when the script is
+// exhausted, which in a test signals more interactions than expected.
+func (s *Scripted) LabelFor(ri, pi int) sample.Label {
+	if s.next >= len(s.Labels) {
+		panic("oracle: scripted labels exhausted")
+	}
+	l := s.Labels[s.next]
+	s.next++
+	return l
+}

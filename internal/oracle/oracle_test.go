@@ -1,0 +1,77 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+	"repro/internal/sample"
+)
+
+func TestHonest(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	goal := predicate.FromPairs(u, [2]int{1, 2}) // {(A2,B3)}
+	h := NewHonest(inst, u, goal)
+
+	// (t2,t2') has T = {(A1,B1),(A2,B3)} ⊇ goal → positive.
+	if h.LabelFor(1, 1) != sample.Positive {
+		t.Error("(t2,t2') should be positive")
+	}
+	// (t3,t1') has T = ∅ → negative.
+	if h.LabelFor(2, 0) != sample.Negative {
+		t.Error("(t3,t1') should be negative")
+	}
+	// Empty goal selects everything.
+	all := NewHonest(inst, u, predicate.Empty())
+	for ri := 0; ri < 4; ri++ {
+		for pi := 0; pi < 3; pi++ {
+			if all.LabelFor(ri, pi) != sample.Positive {
+				t.Errorf("∅ should select (t%d,t%d')", ri+1, pi+1)
+			}
+		}
+	}
+}
+
+func TestCounting(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	c := &Counting{Inner: NewHonest(inst, u, predicate.Empty())}
+	c.LabelFor(0, 0)
+	c.LabelFor(1, 2)
+	if c.Queries != 2 {
+		t.Errorf("Queries = %d", c.Queries)
+	}
+	if len(c.Asked) != 2 || c.Asked[1] != [2]int{1, 2} {
+		t.Errorf("Asked = %v", c.Asked)
+	}
+}
+
+func TestAdversaryFlips(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	goal := predicate.FromPairs(u, [2]int{1, 2})
+	h := NewHonest(inst, u, goal)
+	a := &Adversary{Honest: NewHonest(inst, u, goal), FlipAfter: 1}
+
+	// First query honest, second flipped.
+	if a.LabelFor(1, 1) != h.LabelFor(1, 1) {
+		t.Error("first answer should be honest")
+	}
+	if a.LabelFor(1, 1) == h.LabelFor(1, 1) {
+		t.Error("second answer should be flipped")
+	}
+}
+
+func TestScripted(t *testing.T) {
+	s := &Scripted{Labels: []sample.Label{sample.Positive, sample.Negative}}
+	if s.LabelFor(0, 0) != sample.Positive || s.LabelFor(5, 5) != sample.Negative {
+		t.Error("scripted labels out of order")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted script did not panic")
+		}
+	}()
+	s.LabelFor(0, 0)
+}

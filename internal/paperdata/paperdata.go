@@ -1,0 +1,61 @@
+// Package paperdata builds the concrete instances used as running examples
+// in the paper, so that tests across packages can verify against the exact
+// figures: the Flight/Hotel tables of Figure 1 and the R0/P0 instance of
+// Example 2.1 (with its Cartesian product, Figure 3, and lattice, Figure 4).
+package paperdata
+
+import "repro/internal/relation"
+
+// FlightHotel returns the instance of Figure 1: four flights, three hotels.
+// The two envisioned goal queries are
+//
+//	Q1: Flight.To = Hotel.City
+//	Q2: Flight.To = Hotel.City ∧ Flight.Airline = Hotel.Discount
+func FlightHotel() *relation.Instance {
+	flight := relation.NewRelation(relation.MustSchema("Flight", "From", "To", "Airline"))
+	flight.MustAddTuple("Paris", "Lille", "AF")
+	flight.MustAddTuple("Lille", "NYC", "AA")
+	flight.MustAddTuple("NYC", "Paris", "AA")
+	flight.MustAddTuple("Paris", "NYC", "AF")
+
+	hotel := relation.NewRelation(relation.MustSchema("Hotel", "City", "Discount"))
+	hotel.MustAddTuple("NYC", "AA")
+	hotel.MustAddTuple("Paris", "None")
+	hotel.MustAddTuple("Lille", "AF")
+
+	return relation.MustInstance(flight, hotel)
+}
+
+// Example21 returns the instance of Example 2.1:
+//
+//	R0(A1, A2) = {t1=(0,1), t2=(0,2), t3=(2,2), t4=(1,0)}
+//	P0(B1, B2, B3) = {t1'=(1,1,0), t2'=(0,1,2), t3'=(2,0,0)}
+//
+// Its Cartesian product has 12 tuples, each with a distinct most specific
+// join predicate (Figure 3); the corresponding lattice is Figure 4 and the
+// join ratio is exactly 2 (Section 5.3).
+func Example21() *relation.Instance {
+	r0 := relation.NewRelation(relation.MustSchema("R0", "A1", "A2"))
+	r0.MustAddTuple("0", "1") // t1
+	r0.MustAddTuple("0", "2") // t2
+	r0.MustAddTuple("2", "2") // t3
+	r0.MustAddTuple("1", "0") // t4
+
+	p0 := relation.NewRelation(relation.MustSchema("P0", "B1", "B2", "B3"))
+	p0.MustAddTuple("1", "1", "0") // t1'
+	p0.MustAddTuple("0", "1", "2") // t2'
+	p0.MustAddTuple("2", "0", "0") // t3'
+
+	return relation.MustInstance(r0, p0)
+}
+
+// SingleTuple returns the one-row instance R1/P1 of Section 3.3 used to
+// illustrate instance-equivalent predicates: R1(A1,A2) = {(1,1)} and
+// P1(B1) = {(1)}.
+func SingleTuple() *relation.Instance {
+	r1 := relation.NewRelation(relation.MustSchema("R1", "A1", "A2"))
+	r1.MustAddTuple("1", "1")
+	p1 := relation.NewRelation(relation.MustSchema("P1", "B1"))
+	p1.MustAddTuple("1")
+	return relation.MustInstance(r1, p1)
+}

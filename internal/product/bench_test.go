@@ -1,0 +1,35 @@
+package product
+
+import (
+	"testing"
+
+	"repro/internal/predicate"
+	"repro/internal/synth"
+)
+
+func BenchmarkClassesFullScan(b *testing.B) {
+	inst := synth.MustGenerate(synth.Config{AttrsR: 3, AttrsP: 4, Rows: 200, Values: 100}, 7)
+	u := predicate.NewUniverse(inst)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Classes(inst, u)
+	}
+}
+
+func BenchmarkClassesIndexed(b *testing.B) {
+	inst := synth.MustGenerate(synth.Config{AttrsR: 3, AttrsP: 4, Rows: 200, Values: 100}, 7)
+	u := predicate.NewUniverse(inst)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ClassesIndexed(inst, u)
+	}
+}
+
+func BenchmarkJoinRatio(b *testing.B) {
+	inst := synth.MustGenerate(synth.Config{AttrsR: 3, AttrsP: 4, Rows: 200, Values: 100}, 7)
+	u := predicate.NewUniverse(inst)
+	cs := ClassesIndexed(inst, u)
+	for i := 0; i < b.N; i++ {
+		JoinRatio(cs)
+	}
+}

@@ -1,0 +1,260 @@
+package product
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+	"repro/internal/relation"
+)
+
+func TestClassesExample21(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	cs := Classes(inst, u)
+	// Figure 3: all 12 product tuples have pairwise distinct T values.
+	if len(cs) != 12 {
+		t.Fatalf("got %d classes, want 12", len(cs))
+	}
+	for _, c := range cs {
+		if c.Count != 1 {
+			t.Errorf("class %v has count %d, want 1", c.Theta, c.Count)
+		}
+	}
+	if TotalCount(cs) != inst.ProductSize() {
+		t.Errorf("TotalCount = %d, want %d", TotalCount(cs), inst.ProductSize())
+	}
+	// Section 5.3: sizes 1×0, 1×1, 7×2, 3×3.
+	sizeHist := map[int]int{}
+	for _, c := range cs {
+		sizeHist[c.Theta.Size()]++
+	}
+	if sizeHist[0] != 1 || sizeHist[1] != 1 || sizeHist[2] != 7 || sizeHist[3] != 3 {
+		t.Errorf("size histogram = %v, want map[0:1 1:1 2:7 3:3]", sizeHist)
+	}
+	// Deterministic order: ascending size.
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].Theta.Size() > cs[i].Theta.Size() {
+			t.Errorf("classes not ordered by size at %d", i)
+		}
+	}
+}
+
+func TestJoinRatioExample21(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	cs := Classes(inst, u)
+	// Section 5.3 computes the join ratio of this instance as exactly 2.
+	if got := JoinRatio(cs); got != 2.0 {
+		t.Errorf("JoinRatio = %v, want 2", got)
+	}
+	if JoinRatio(nil) != 0 {
+		t.Error("JoinRatio(nil) should be 0")
+	}
+}
+
+func TestClassesGroupEqualT(t *testing.T) {
+	// Two identical R rows: every class must have count 2.
+	R := relation.NewRelation(relation.MustSchema("R", "A1"))
+	R.MustAddTuple("1")
+	R.MustAddTuple("1")
+	P := relation.NewRelation(relation.MustSchema("P", "B1", "B2"))
+	P.MustAddTuple("1", "0")
+	P.MustAddTuple("0", "1")
+	P.MustAddTuple("2", "2")
+	inst := relation.MustInstance(R, P)
+	u := predicate.NewUniverse(inst)
+	cs := Classes(inst, u)
+	if len(cs) != 3 {
+		t.Fatalf("got %d classes, want 3", len(cs))
+	}
+	for _, c := range cs {
+		if c.Count != 2 {
+			t.Errorf("class %v count = %d, want 2", c.Theta, c.Count)
+		}
+		if c.RI != 0 {
+			t.Errorf("representative should be first occurrence (RI=0), got %d", c.RI)
+		}
+	}
+}
+
+func TestMaxClassesExample21(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	cs := Classes(inst, u)
+	maxes := MaxClasses(cs)
+	// Figure 4: the three size-3 predicates are maximal, and so are the
+	// four size-2 predicates not contained in any size-3 one
+	// ({(A1,B1),(A2,B2)}, {(A1,B3),(A2,B3)}, {(A1,B1),(A2,B1)},
+	// {(A2,B2),(A2,B3)}) — 7 maximal classes in total.
+	if len(maxes) != 7 {
+		t.Fatalf("got %d maximal classes, want 7", len(maxes))
+	}
+	size3 := 0
+	for _, c := range maxes {
+		switch c.Theta.Size() {
+		case 3:
+			size3++
+		case 2:
+		default:
+			t.Errorf("maximal class %v has unexpected size %d", c.Theta, c.Theta.Size())
+		}
+	}
+	if size3 != 3 {
+		t.Errorf("got %d size-3 maximal classes, want 3", size3)
+	}
+	// No maximal class may be a proper subset of another maximal class.
+	for i, c := range maxes {
+		for j, d := range maxes {
+			if i != j && c.Theta.Set.ProperSubsetOf(d.Theta.Set) {
+				t.Errorf("maximal class %v ⊂ %v", c.Theta, d.Theta)
+			}
+		}
+	}
+}
+
+func TestClassesIndexedAgreesOnPaperInstances(t *testing.T) {
+	for _, inst := range []*relation.Instance{
+		paperdata.Example21(),
+		paperdata.FlightHotel(),
+		paperdata.SingleTuple(),
+	} {
+		u := predicate.NewUniverse(inst)
+		assertSameClasses(t, Classes(inst, u), ClassesIndexed(inst, u))
+	}
+}
+
+func assertSameClasses(t *testing.T, a, b []*Class) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("class count mismatch: %d vs %d", len(a), len(b))
+	}
+	am := make(map[string]*Class, len(a))
+	for _, c := range a {
+		am[c.Theta.Key()] = c
+	}
+	for _, c := range b {
+		d, ok := am[c.Theta.Key()]
+		if !ok {
+			t.Fatalf("indexed scan produced extra class %v", c.Theta)
+		}
+		if c.Count != d.Count {
+			t.Fatalf("class %v count mismatch: %d vs %d", c.Theta, d.Count, c.Count)
+		}
+	}
+}
+
+func TestClassesIndexedEmptyClassRepresentative(t *testing.T) {
+	// An instance where some pairs share no value: the ∅ class must have a
+	// valid representative whose T is indeed ∅.
+	R := relation.NewRelation(relation.MustSchema("R", "A1"))
+	R.MustAddTuple("1")
+	R.MustAddTuple("7")
+	P := relation.NewRelation(relation.MustSchema("P", "B1"))
+	P.MustAddTuple("1")
+	P.MustAddTuple("9")
+	inst := relation.MustInstance(R, P)
+	u := predicate.NewUniverse(inst)
+	cs := ClassesIndexed(inst, u)
+	var empty *Class
+	for _, c := range cs {
+		if c.Theta.IsEmpty() {
+			empty = c
+		}
+	}
+	if empty == nil {
+		t.Fatal("no ∅ class found")
+	}
+	if empty.Count != 3 { // (1,9), (7,1), (7,9)
+		t.Errorf("∅ class count = %d, want 3", empty.Count)
+	}
+	if empty.RI < 0 || empty.PI < 0 {
+		t.Fatalf("∅ class has no representative")
+	}
+	got := predicate.T(u, inst.R.Tuples[empty.RI], inst.P.Tuples[empty.PI])
+	if !got.IsEmpty() {
+		t.Errorf("∅ representative has T = %v", got)
+	}
+}
+
+func randomInstance(r *rand.Rand) *relation.Instance {
+	n := 1 + r.Intn(3)
+	m := 1 + r.Intn(3)
+	vals := 1 + r.Intn(5)
+	attrsR := make([]string, n)
+	for i := range attrsR {
+		attrsR[i] = "A" + strconv.Itoa(i+1)
+	}
+	attrsP := make([]string, m)
+	for j := range attrsP {
+		attrsP[j] = "B" + strconv.Itoa(j+1)
+	}
+	R := relation.NewRelation(relation.MustSchema("R", attrsR...))
+	P := relation.NewRelation(relation.MustSchema("P", attrsP...))
+	for i, rows := 0, 1+r.Intn(8); i < rows; i++ {
+		tr := make(relation.Tuple, n)
+		for k := range tr {
+			tr[k] = strconv.Itoa(r.Intn(vals))
+		}
+		R.Tuples = append(R.Tuples, tr)
+	}
+	for i, rows := 0, 1+r.Intn(8); i < rows; i++ {
+		tp := make(relation.Tuple, m)
+		for k := range tp {
+			tp[k] = strconv.Itoa(r.Intn(vals))
+		}
+		P.Tuples = append(P.Tuples, tp)
+	}
+	return relation.MustInstance(R, P)
+}
+
+// TestQuickIndexedMatchesFullScan: the inverted-index collection path must
+// produce exactly the same classes as the exhaustive scan.
+func TestQuickIndexedMatchesFullScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randomInstance(r)
+		u := predicate.NewUniverse(inst)
+		a := Classes(inst, u)
+		b := ClassesIndexed(inst, u)
+		if len(a) != len(b) {
+			return false
+		}
+		am := make(map[string]int64, len(a))
+		for _, c := range a {
+			am[c.Theta.Key()] = c.Count
+		}
+		for _, c := range b {
+			if am[c.Theta.Key()] != c.Count {
+				return false
+			}
+		}
+		return TotalCount(b) == inst.ProductSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRepresentativesConsistent: each class representative's T must
+// equal the class predicate, and counts must partition the product.
+func TestQuickRepresentativesConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randomInstance(r)
+		u := predicate.NewUniverse(inst)
+		for _, c := range ClassesIndexed(inst, u) {
+			got := predicate.T(u, inst.R.Tuples[c.RI], inst.P.Tuples[c.PI])
+			if !got.Equal(c.Theta) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

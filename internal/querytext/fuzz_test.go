@@ -1,0 +1,38 @@
+package querytext
+
+import (
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+)
+
+// FuzzParsePredicate checks the parser never panics, and that every
+// accepted predicate formats back to text the parser accepts again with
+// the same meaning.
+func FuzzParsePredicate(f *testing.F) {
+	f.Add("Flight.To = Hotel.City")
+	f.Add("To = City AND Airline = Discount")
+	f.Add("TRUE")
+	f.Add("x ∧ y && z")
+	f.Add("= = =")
+	f.Add("Flight.To = Hotel.City AND")
+	f.Fuzz(func(t *testing.T, input string) {
+		u := predicate.NewUniverse(paperdata.FlightHotel())
+		p, err := ParsePredicate(u, input)
+		if err != nil {
+			return
+		}
+		text := p.Format(u)
+		if p.IsEmpty() {
+			text = "TRUE"
+		}
+		back, err := ParsePredicate(u, text)
+		if err != nil {
+			t.Fatalf("formatted text %q rejected: %v", text, err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip changed predicate: %v vs %v", back, p)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+// Package querytext converts join predicates to and from textual form:
+// parsing user-supplied predicate expressions like
+//
+//	Flight.To = Hotel.City AND Flight.Airline = Hotel.Discount
+//
+// and emitting runnable SQL for an inferred predicate. The inference
+// engine itself never needs text — this package exists for the CLI
+// (accepting simulated goals) and for handing results to downstream tools.
+package querytext
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/predicate"
+)
+
+// ParsePredicate parses a conjunction of equality conditions over the
+// universe's two schemas. Accepted grammar (case-insensitive keywords):
+//
+//	pred     := cond ( ("AND" | "∧" | "&&") cond )* | "TRUE" | "⊤"
+//	cond     := ref "=" ref
+//	ref      := [relation "."] attribute
+//
+// Attribute references may omit the relation prefix when the attribute
+// name is unambiguous across the two schemas; each condition must relate
+// one R attribute and one P attribute (in either order).
+func ParsePredicate(u *predicate.Universe, input string) (predicate.Pred, error) {
+	s := strings.TrimSpace(input)
+	if s == "" {
+		return predicate.Pred{}, fmt.Errorf("querytext: empty predicate (use TRUE for the empty conjunction)")
+	}
+	if strings.EqualFold(s, "true") || s == "⊤" {
+		return predicate.Empty(), nil
+	}
+	// Normalize connective spellings to a single separator.
+	replacer := strings.NewReplacer("∧", "\x00", "&&", "\x00")
+	norm := replacer.Replace(s)
+	norm = replaceKeywordAnd(norm)
+	var p predicate.Pred
+	for _, part := range strings.Split(norm, "\x00") {
+		cond := strings.TrimSpace(part)
+		if cond == "" {
+			return predicate.Pred{}, fmt.Errorf("querytext: empty condition in %q", input)
+		}
+		id, err := parseCondition(u, cond)
+		if err != nil {
+			return predicate.Pred{}, err
+		}
+		p.Set.Add(id)
+	}
+	return p, nil
+}
+
+// replaceKeywordAnd replaces word-boundary "AND"/"and" with the separator.
+func replaceKeywordAnd(s string) string {
+	var b strings.Builder
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		if strings.EqualFold(f, "and") {
+			b.WriteByte('\x00')
+			continue
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(f)
+	}
+	return b.String()
+}
+
+func parseCondition(u *predicate.Universe, cond string) (int, error) {
+	sides := strings.Split(cond, "=")
+	if len(sides) != 2 {
+		return 0, fmt.Errorf("querytext: condition %q must be a single equality", cond)
+	}
+	l, err := resolveRef(u, strings.TrimSpace(sides[0]))
+	if err != nil {
+		return 0, err
+	}
+	r, err := resolveRef(u, strings.TrimSpace(sides[1]))
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case l.isR && !r.isR:
+		return u.PairID(l.idx, r.idx), nil
+	case !l.isR && r.isR:
+		return u.PairID(r.idx, l.idx), nil
+	default:
+		return 0, fmt.Errorf("querytext: condition %q must relate one %s attribute and one %s attribute",
+			cond, u.RSchema.Name, u.PSchema.Name)
+	}
+}
+
+type ref struct {
+	isR bool
+	idx int
+}
+
+func resolveRef(u *predicate.Universe, s string) (ref, error) {
+	if s == "" {
+		return ref{}, fmt.Errorf("querytext: empty attribute reference")
+	}
+	rel, attr := "", s
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		rel, attr = s[:i], s[i+1:]
+	}
+	switch {
+	case rel == "":
+		ri := u.RSchema.IndexOf(attr)
+		pi := u.PSchema.IndexOf(attr)
+		switch {
+		case ri >= 0 && pi >= 0:
+			return ref{}, fmt.Errorf("querytext: attribute %q is ambiguous (in both %s and %s); qualify it",
+				attr, u.RSchema.Name, u.PSchema.Name)
+		case ri >= 0:
+			return ref{isR: true, idx: ri}, nil
+		case pi >= 0:
+			return ref{isR: false, idx: pi}, nil
+		default:
+			return ref{}, fmt.Errorf("querytext: unknown attribute %q", attr)
+		}
+	case strings.EqualFold(rel, u.RSchema.Name):
+		i := u.RSchema.IndexOf(attr)
+		if i < 0 {
+			return ref{}, fmt.Errorf("querytext: %s has no attribute %q", u.RSchema.Name, attr)
+		}
+		return ref{isR: true, idx: i}, nil
+	case strings.EqualFold(rel, u.PSchema.Name):
+		i := u.PSchema.IndexOf(attr)
+		if i < 0 {
+			return ref{}, fmt.Errorf("querytext: %s has no attribute %q", u.PSchema.Name, attr)
+		}
+		return ref{isR: false, idx: i}, nil
+	default:
+		return ref{}, fmt.Errorf("querytext: unknown relation %q (expected %s or %s)",
+			rel, u.RSchema.Name, u.PSchema.Name)
+	}
+}
+
+// SQLOptions controls SQL emission.
+type SQLOptions struct {
+	// Semijoin emits the R ⋉θ P form (SELECT DISTINCT R.* … EXISTS) instead
+	// of the plain join.
+	Semijoin bool
+	// Pretty inserts newlines and indentation.
+	Pretty bool
+}
+
+// SQL renders the predicate as a runnable SQL statement over the
+// universe's relations. The empty predicate renders as a CROSS JOIN
+// (equijoin) or an EXISTS over the bare table (semijoin); identifiers are
+// double-quoted.
+func SQL(u *predicate.Universe, p predicate.Pred, opts SQLOptions) string {
+	rName := quoteIdent(u.RSchema.Name)
+	pName := quoteIdent(u.PSchema.Name)
+	var conds []string
+	p.Set.ForEach(func(id int) bool {
+		i, j := u.Pair(id)
+		conds = append(conds, fmt.Sprintf("%s.%s = %s.%s",
+			rName, quoteIdent(u.RSchema.Attributes[i]),
+			pName, quoteIdent(u.PSchema.Attributes[j])))
+		return true
+	})
+
+	sep, indent := " ", ""
+	if opts.Pretty {
+		sep, indent = "\n", "  "
+	}
+	join := strings.Join(conds, sep+indent+"AND ")
+
+	if opts.Semijoin {
+		where := "1 = 1"
+		if len(conds) > 0 {
+			where = join
+		}
+		return fmt.Sprintf("SELECT DISTINCT %s.*%sFROM %s%sWHERE EXISTS (%sSELECT 1 FROM %s WHERE %s%s)",
+			rName, sep, rName, sep, sep+indent, pName, where, sep)
+	}
+	if len(conds) == 0 {
+		return fmt.Sprintf("SELECT *%sFROM %s%sCROSS JOIN %s", sep, rName, sep, pName)
+	}
+	return fmt.Sprintf("SELECT *%sFROM %s%sJOIN %s ON %s", sep, rName, sep, pName, join)
+}
+
+func quoteIdent(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

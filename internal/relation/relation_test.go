@@ -1,0 +1,190 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		relName string
+		attrs   []string
+		wantErr bool
+	}{
+		{"ok", "R", []string{"A1", "A2"}, false},
+		{"empty name", "", []string{"A1"}, true},
+		{"no attrs", "R", nil, true},
+		{"empty attr", "R", []string{"A1", ""}, true},
+		{"duplicate attr", "R", []string{"A1", "A1"}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewSchema(c.relName, c.attrs...)
+			if (err != nil) != c.wantErr {
+				t.Errorf("NewSchema(%q, %v) err = %v, wantErr %v", c.relName, c.attrs, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestSchemaIndexOf(t *testing.T) {
+	s := MustSchema("R", "A1", "A2", "A3")
+	if got := s.IndexOf("A2"); got != 1 {
+		t.Errorf("IndexOf(A2) = %d, want 1", got)
+	}
+	if got := s.IndexOf("missing"); got != -1 {
+		t.Errorf("IndexOf(missing) = %d, want -1", got)
+	}
+	if s.Arity() != 3 {
+		t.Errorf("Arity = %d, want 3", s.Arity())
+	}
+}
+
+func TestAddTupleArityCheck(t *testing.T) {
+	r := NewRelation(MustSchema("R", "A1", "A2"))
+	if err := r.AddTuple(Tuple{"1", "2"}); err != nil {
+		t.Fatalf("AddTuple valid: %v", err)
+	}
+	if err := r.AddTuple(Tuple{"1"}); err == nil {
+		t.Error("AddTuple with wrong arity succeeded")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestMustAddTuplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddTuple with wrong arity did not panic")
+		}
+	}()
+	r := NewRelation(MustSchema("R", "A1", "A2"))
+	r.MustAddTuple("only-one")
+}
+
+func TestDedup(t *testing.T) {
+	r := NewRelation(MustSchema("R", "A1", "A2"))
+	r.MustAddTuple("1", "2")
+	r.MustAddTuple("1", "2")
+	r.MustAddTuple("3", "4")
+	r.MustAddTuple("1", "2")
+	r.Dedup()
+	if r.Len() != 2 {
+		t.Fatalf("after Dedup Len = %d, want 2", r.Len())
+	}
+	if r.Tuples[0].String() != "(1, 2)" || r.Tuples[1].String() != "(3, 4)" {
+		t.Errorf("Dedup changed order: %v", r.Tuples)
+	}
+}
+
+func TestDedupSeparatorSafety(t *testing.T) {
+	// ("a","b c") and ("a b","c")-style collisions must not merge; the
+	// dedup key uses a NUL separator, which cannot occur inside CSV values
+	// in practice but could in constructed ones. Values differing only by
+	// comma placement must stay distinct.
+	r := NewRelation(MustSchema("R", "A1", "A2"))
+	r.MustAddTuple("a", "bc")
+	r.MustAddTuple("ab", "c")
+	r.Dedup()
+	if r.Len() != 2 {
+		t.Errorf("Dedup merged distinct tuples: %v", r.Tuples)
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := NewRelation(MustSchema("R", "A1", "A2", "A3"))
+	r.MustAddTuple("x", "y", "z")
+	got := r.Project(0, []int{2, 0})
+	if got.String() != "(z, x)" {
+		t.Errorf("Project = %v", got)
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	orig := Tuple{"a", "b"}
+	c := orig.Clone()
+	c[0] = "mutated"
+	if orig[0] != "a" {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestInstanceDisjointAttrs(t *testing.T) {
+	r := NewRelation(MustSchema("R", "A1", "A2"))
+	p := NewRelation(MustSchema("P", "B1", "B2"))
+	if _, err := NewInstance(r, p); err != nil {
+		t.Fatalf("disjoint instance rejected: %v", err)
+	}
+	q := NewRelation(MustSchema("Q", "A1", "B9"))
+	if _, err := NewInstance(r, q); err == nil {
+		t.Error("overlapping attribute sets accepted")
+	}
+	if _, err := NewInstance(nil, p); err == nil {
+		t.Error("nil relation accepted")
+	}
+}
+
+func TestProductSize(t *testing.T) {
+	r := NewRelation(MustSchema("R", "A1"))
+	p := NewRelation(MustSchema("P", "B1"))
+	for i := 0; i < 3; i++ {
+		r.MustAddTuple("x")
+	}
+	for i := 0; i < 5; i++ {
+		p.MustAddTuple("y")
+	}
+	inst := MustInstance(r, p)
+	if inst.ProductSize() != 15 {
+		t.Errorf("ProductSize = %d, want 15", inst.ProductSize())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := NewRelation(MustSchema("Flight", "From", "To", "Airline"))
+	r.MustAddTuple("Paris", "Lille", "AF")
+	r.MustAddTuple("Lille", "NYC", "AA")
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV("Flight", &buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip Len = %d, want 2", got.Len())
+	}
+	if got.Schema.Attributes[2] != "Airline" {
+		t.Errorf("round trip schema = %v", got.Schema.Attributes)
+	}
+	if got.Tuples[1].String() != "(Lille, NYC, AA)" {
+		t.Errorf("round trip tuple = %v", got.Tuples[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("R", strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReadCSV("R", strings.NewReader("A1,A1\n1,2\n")); err == nil {
+		t.Error("duplicate header accepted")
+	}
+	if _, err := ReadCSV("R", strings.NewReader("A1,A2\n1\n")); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestReadCSVQuotedValues(t *testing.T) {
+	in := "A1,A2\n\"hello, world\",plain\n"
+	r, err := ReadCSV("R", strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if r.Tuples[0][0] != "hello, world" {
+		t.Errorf("quoted value = %q", r.Tuples[0][0])
+	}
+}

@@ -1,0 +1,149 @@
+// Package sample implements examples and samples (Section 3) and the PTIME
+// consistency check of Section 3.1.
+//
+// An example is a product tuple labeled + or −. All reasoning about a
+// sample depends only on the most specific predicates T(t) of its examples:
+// a predicate θ is consistent with a sample S iff
+//
+//	θ ⊆ T(t)   for every positive t   (θ selects t), and
+//	θ ⊄ T(t)   for every negative t   (θ does not select t),
+//
+// so the sample stores each example's T value alongside the tuple indexes.
+package sample
+
+import (
+	"fmt"
+
+	"repro/internal/predicate"
+)
+
+// Label marks an example as positive or negative.
+type Label bool
+
+// Example labels.
+const (
+	Positive Label = true
+	Negative Label = false
+)
+
+// String renders the label the way the paper's figures do.
+func (l Label) String() string {
+	if l == Positive {
+		return "+"
+	}
+	return "−"
+}
+
+// Example is a labeled product tuple. RI and PI index the instance's
+// relations; Theta caches T(t) for the tuple.
+type Example struct {
+	RI, PI int
+	Theta  predicate.Pred
+	Label  Label
+}
+
+// Sample is a set of examples. The zero value is an empty sample.
+type Sample struct {
+	examples []Example
+	// tpos is T(S+) maintained incrementally: the intersection of the T
+	// values of all positive examples, Ω while S+ is empty.
+	tpos predicate.Pred
+	npos int
+	u    *predicate.Universe
+}
+
+// New returns an empty sample over the universe.
+func New(u *predicate.Universe) *Sample {
+	return &Sample{tpos: predicate.Omega(u), u: u}
+}
+
+// Add appends an example. The caller provides the tuple's T value, which
+// the engine has already computed for its class bookkeeping.
+func (s *Sample) Add(e Example) {
+	s.examples = append(s.examples, e)
+	if e.Label == Positive {
+		s.tpos = s.tpos.Intersect(e.Theta)
+		s.npos++
+	}
+}
+
+// Len returns the number of examples.
+func (s *Sample) Len() int { return len(s.examples) }
+
+// NumPositive returns |S+|.
+func (s *Sample) NumPositive() int { return s.npos }
+
+// NumNegative returns |S−|.
+func (s *Sample) NumNegative() int { return len(s.examples) - s.npos }
+
+// Examples returns the examples in insertion order. The returned slice is
+// owned by the sample; callers must not mutate it.
+func (s *Sample) Examples() []Example { return s.examples }
+
+// Positives returns the T values of the positive examples.
+func (s *Sample) Positives() []predicate.Pred {
+	var out []predicate.Pred
+	for _, e := range s.examples {
+		if e.Label == Positive {
+			out = append(out, e.Theta)
+		}
+	}
+	return out
+}
+
+// Negatives returns the T values of the negative examples.
+func (s *Sample) Negatives() []predicate.Pred {
+	var out []predicate.Pred
+	for _, e := range s.examples {
+		if e.Label == Negative {
+			out = append(out, e.Theta)
+		}
+	}
+	return out
+}
+
+// TPos returns T(S+), the most specific predicate selecting all positive
+// examples (Ω when S+ is empty). The returned predicate is shared; callers
+// must not mutate it.
+func (s *Sample) TPos() predicate.Pred { return s.tpos }
+
+// Consistent implements the consistency check of Section 3.1: a consistent
+// predicate exists iff the most specific predicate T(S+) selects no
+// negative example, i.e. T(S+) ⊄ T(t) for every negative t. When the
+// sample is consistent, T(S+) itself is a consistent predicate.
+func (s *Sample) Consistent() bool {
+	for _, e := range s.examples {
+		if e.Label == Negative && s.tpos.MoreGeneralThan(e.Theta) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConsistentWith reports whether the given predicate is consistent with the
+// sample: it selects every positive example and no negative one.
+func (s *Sample) ConsistentWith(p predicate.Pred) bool {
+	for _, e := range s.examples {
+		selects := p.MoreGeneralThan(e.Theta)
+		if (e.Label == Positive) != selects {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the sample.
+func (s *Sample) Clone() *Sample {
+	out := &Sample{
+		examples: append([]Example(nil), s.examples...),
+		tpos:     s.tpos.Clone(),
+		npos:     s.npos,
+		u:        s.u,
+	}
+	return out
+}
+
+// String summarizes the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("sample{+%d, −%d}", s.NumPositive(), s.NumNegative())
+}

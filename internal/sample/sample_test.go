@@ -1,0 +1,210 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+	"repro/internal/relation"
+)
+
+// exampleAt builds an Example for product tuple (ri, pi) of the instance.
+func exampleAt(inst *relation.Instance, u *predicate.Universe, ri, pi int, l Label) Example {
+	return Example{
+		RI:    ri,
+		PI:    pi,
+		Theta: predicate.T(u, inst.R.Tuples[ri], inst.P.Tuples[pi]),
+		Label: l,
+	}
+}
+
+// TestConsistencyExample31 replays Example 3.1 exactly.
+func TestConsistencyExample31(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+
+	// S0: S+ = {(t2,t2'), (t4,t1')}, S− = {(t3,t2')} — consistent, with most
+	// specific consistent predicate θ0 = {(A1,B1),(A2,B3)}.
+	s0 := New(u)
+	s0.Add(exampleAt(inst, u, 1, 1, Positive))
+	s0.Add(exampleAt(inst, u, 3, 0, Positive))
+	s0.Add(exampleAt(inst, u, 2, 1, Negative))
+	if !s0.Consistent() {
+		t.Fatal("S0 should be consistent")
+	}
+	theta0 := predicate.FromPairs(u, [2]int{0, 0}, [2]int{1, 2})
+	if !s0.TPos().Equal(theta0) {
+		t.Errorf("T(S0+) = %v, want %v", s0.TPos(), theta0)
+	}
+	// θ0' = {(A1,B1)} is another (non-minimal) consistent predicate.
+	theta0p := predicate.FromPairs(u, [2]int{0, 0})
+	if !s0.ConsistentWith(theta0p) {
+		t.Error("θ0' should be consistent with S0")
+	}
+	// θ2 = {(A2,B2)} selects neither positive: inconsistent.
+	if s0.ConsistentWith(predicate.FromPairs(u, [2]int{1, 1})) {
+		t.Error("{(A2,B2)} should not be consistent with S0")
+	}
+
+	// S0': S+ = {(t1,t2'), (t1,t3')}, S− = {(t3,t1')} — not consistent,
+	// because T(S0'+) = ∅ selects everything including the negative.
+	s0p := New(u)
+	s0p.Add(exampleAt(inst, u, 0, 1, Positive))
+	s0p.Add(exampleAt(inst, u, 0, 2, Positive))
+	s0p.Add(exampleAt(inst, u, 2, 0, Negative))
+	if s0p.Consistent() {
+		t.Fatal("S0' should be inconsistent")
+	}
+}
+
+func TestEmptySampleConsistent(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	s := New(u)
+	if !s.Consistent() {
+		t.Error("empty sample should be consistent")
+	}
+	if !s.TPos().Equal(predicate.Omega(u)) {
+		t.Error("T(S+) of empty sample should be Ω")
+	}
+	if s.Len() != 0 || s.NumPositive() != 0 || s.NumNegative() != 0 {
+		t.Error("empty sample counts wrong")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	s := New(u)
+	s.Add(exampleAt(inst, u, 1, 1, Positive))
+	s.Add(exampleAt(inst, u, 2, 0, Negative))
+	s.Add(exampleAt(inst, u, 2, 1, Negative))
+	if s.Len() != 3 || s.NumPositive() != 1 || s.NumNegative() != 2 {
+		t.Errorf("counts: len=%d +%d −%d", s.Len(), s.NumPositive(), s.NumNegative())
+	}
+	if len(s.Positives()) != 1 || len(s.Negatives()) != 2 {
+		t.Error("Positives/Negatives lengths wrong")
+	}
+	if s.String() != "sample{+1, −2}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	s := New(u)
+	s.Add(exampleAt(inst, u, 1, 1, Positive))
+	c := s.Clone()
+	c.Add(exampleAt(inst, u, 2, 0, Negative))
+	if s.Len() != 1 {
+		t.Error("mutating clone changed original")
+	}
+	if !s.TPos().Equal(c.TPos()) {
+		t.Error("negative example changed TPos")
+	}
+	c.Add(exampleAt(inst, u, 0, 0, Positive))
+	if s.TPos().Equal(c.TPos()) {
+		t.Error("clone TPos should have narrowed independently")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if Positive.String() != "+" || Negative.String() != "−" {
+		t.Error("Label.String wrong")
+	}
+}
+
+// bruteforceConsistent enumerates all θ ⊆ Ω and checks consistency — the
+// definition, used as ground truth for the PTIME check.
+func bruteforceConsistent(u *predicate.Universe, s *Sample) bool {
+	size := u.Size()
+	for mask := 0; mask < 1<<uint(size); mask++ {
+		var p predicate.Pred
+		for b := 0; b < size; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				p.Set.Add(b)
+			}
+		}
+		if s.ConsistentWith(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuickConsistencySoundComplete: the O(|S|) check via T(S+) agrees with
+// brute-force enumeration of all 2^|Ω| predicates on random instances.
+func TestQuickConsistencySoundComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(2)
+		m := 1 + r.Intn(2)
+		vals := 1 + r.Intn(3)
+		R := relation.NewRelation(relation.MustSchema("R", attrs("A", n)...))
+		P := relation.NewRelation(relation.MustSchema("P", attrs("B", m)...))
+		for i := 0; i < 3; i++ {
+			R.Tuples = append(R.Tuples, randTuple(r, n, vals))
+			P.Tuples = append(P.Tuples, randTuple(r, m, vals))
+		}
+		inst := relation.MustInstance(R, P)
+		u := predicate.NewUniverse(inst)
+		s := New(u)
+		for k := 0; k < 1+r.Intn(4); k++ {
+			s.Add(exampleAt(inst, u, r.Intn(3), r.Intn(3), Label(r.Intn(2) == 0)))
+		}
+		return s.Consistent() == bruteforceConsistent(u, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTPosIsConsistentWhenConsistent: whenever the sample is
+// consistent, T(S+) itself must be a consistent predicate (soundness of
+// returning T(S+), Section 3.1).
+func TestQuickTPosIsConsistentWhenConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		m := 1 + r.Intn(3)
+		vals := 1 + r.Intn(3)
+		R := relation.NewRelation(relation.MustSchema("R", attrs("A", n)...))
+		P := relation.NewRelation(relation.MustSchema("P", attrs("B", m)...))
+		for i := 0; i < 4; i++ {
+			R.Tuples = append(R.Tuples, randTuple(r, n, vals))
+			P.Tuples = append(P.Tuples, randTuple(r, m, vals))
+		}
+		inst := relation.MustInstance(R, P)
+		u := predicate.NewUniverse(inst)
+		s := New(u)
+		for k := 0; k < 1+r.Intn(5); k++ {
+			s.Add(exampleAt(inst, u, r.Intn(4), r.Intn(4), Label(r.Intn(2) == 0)))
+		}
+		if !s.Consistent() {
+			return true // nothing to check
+		}
+		return s.ConsistentWith(s.TPos())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func attrs(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = prefix + string(rune('1'+i))
+	}
+	return out
+}
+
+func randTuple(r *rand.Rand, n, vals int) relation.Tuple {
+	t := make(relation.Tuple, n)
+	for i := range t {
+		t[i] = string(rune('0' + r.Intn(vals)))
+	}
+	return t
+}

@@ -1,0 +1,139 @@
+package semijoin
+
+import (
+	"fmt"
+
+	"repro/internal/predicate"
+	"repro/internal/relation"
+)
+
+// This file implements the interactive inference of semijoins that the
+// paper leaves as future work ("we would like to design heuristics for the
+// interactive inference of semijoins", Section 7).
+//
+// The equijoin machinery does not transfer: deciding whether a tuple is
+// uninformative is itself intractable (it embeds CONS⋉, Theorem 6.1). The
+// heuristic here pays that price explicitly — informativeness of an R tuple
+// is decided with two calls to the exponential-worst-case Consistent solver
+// — which is practical for the moderate R sizes where a human labels tuples
+// one by one.
+
+// LabelOracle answers semijoin membership queries: does R's i-th tuple
+// belong to R ⋉θG P for the user's goal θG?
+type LabelOracle interface {
+	KeepsTuple(ri int) bool
+}
+
+// GoalOracle is an honest LabelOracle for a known goal predicate.
+type GoalOracle struct {
+	Inst *relation.Instance
+	U    *predicate.Universe
+	Goal predicate.Pred
+}
+
+// KeepsTuple implements LabelOracle by evaluating the goal semijoin.
+func (g *GoalOracle) KeepsTuple(ri int) bool {
+	tR := g.Inst.R.Tuples[ri]
+	ok := false
+	for _, tP := range g.Inst.P.Tuples {
+		if g.Goal.Selects(g.U, tR, tP) {
+			ok = true
+			break
+		}
+	}
+	return ok
+}
+
+// InteractiveResult reports an interactive semijoin inference run.
+type InteractiveResult struct {
+	// Predicate is a semijoin predicate consistent with all answers.
+	Predicate predicate.Pred
+	// Interactions is the number of tuples the user labeled.
+	Interactions int
+	// Determined reports whether every unlabeled tuple's membership became
+	// certain (no informative tuple remained).
+	Determined bool
+}
+
+// InferInteractive runs the interactive scenario for semijoins: repeatedly
+// pick an *informative* R tuple — one for which a consistent predicate
+// keeping it and a consistent predicate dropping it both exist — ask the
+// oracle, and stop when no informative tuple remains or the budget is
+// exhausted (budget ≤ 0 means unlimited).
+//
+// Each informativeness test costs two CONS⋉ decisions, so the loop is
+// worst-case exponential in the number of positive examples — exactly the
+// intractability Section 6 proves unavoidable.
+func InferInteractive(inst *relation.Instance, orc LabelOracle, budget int) (InteractiveResult, error) {
+	var res InteractiveResult
+	var s Sample
+	labeled := make([]bool, inst.R.Len())
+
+	for {
+		if budget > 0 && res.Interactions >= budget {
+			theta, ok, err := Consistent(inst, s)
+			if err != nil {
+				return res, err
+			}
+			if !ok {
+				return res, fmt.Errorf("semijoin: answers became inconsistent")
+			}
+			res.Predicate = theta
+			return res, nil
+		}
+		// Find an informative unlabeled tuple.
+		informative := -1
+		for ri := 0; ri < inst.R.Len() && informative < 0; ri++ {
+			if labeled[ri] {
+				continue
+			}
+			ok, err := tupleInformative(inst, s, ri)
+			if err != nil {
+				return res, err
+			}
+			if ok {
+				informative = ri
+			}
+		}
+		if informative < 0 {
+			break
+		}
+		labeled[informative] = true
+		if orc.KeepsTuple(informative) {
+			s.Pos = append(s.Pos, informative)
+		} else {
+			s.Neg = append(s.Neg, informative)
+		}
+		res.Interactions++
+	}
+
+	theta, ok, err := Consistent(inst, s)
+	if err != nil {
+		return res, err
+	}
+	if !ok {
+		return res, fmt.Errorf("semijoin: answers became inconsistent")
+	}
+	res.Predicate = theta
+	res.Determined = true
+	return res, nil
+}
+
+// tupleInformative reports whether both labels for tuple ri admit a
+// consistent predicate (two CONS⋉ calls).
+func tupleInformative(inst *relation.Instance, s Sample, ri int) (bool, error) {
+	asPos := Sample{Pos: append(append([]int(nil), s.Pos...), ri), Neg: s.Neg}
+	_, okPos, err := Consistent(inst, asPos)
+	if err != nil {
+		return false, err
+	}
+	if !okPos {
+		return false, nil
+	}
+	asNeg := Sample{Pos: s.Pos, Neg: append(append([]int(nil), s.Neg...), ri)}
+	_, okNeg, err := Consistent(inst, asNeg)
+	if err != nil {
+		return false, err
+	}
+	return okNeg, nil
+}

@@ -1,0 +1,165 @@
+package semijoin
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/predicate"
+	"repro/internal/relation"
+)
+
+// bottom is the non-matching filler value ⊥ of the reduction. It never
+// equals any R-side value (R uses clause/variable ids and the integers
+// 1…n), so it can never contribute an attribute pair to any T(t).
+const bottom = "⊥"
+
+// Reduction is the CONS⋉ instance produced from a 3CNF formula by the
+// construction of Appendix A.1 (Theorem 6.1): ϕ is satisfiable iff
+// (Rϕ, Pϕ, Sϕ) ∈ CONS⋉.
+type Reduction struct {
+	Formula  Formula
+	Instance *relation.Instance
+	Sample   Sample
+	// U is the pair universe of the instance, with (n+1)·(2n+1) pairs.
+	U *predicate.Universe
+}
+
+// Reduce builds the reduction instance for a 3CNF formula. Clauses may have
+// 1–3 literals (the hardness proof needs exactly 3, but the construction
+// generalizes verbatim: one Pϕ tuple per literal occurrence).
+func Reduce(f Formula) (*Reduction, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if f.NumVars < 1 {
+		return nil, fmt.Errorf("semijoin: reduction needs at least one variable")
+	}
+	n := f.NumVars
+	itoa := strconv.Itoa
+
+	// Rϕ: attrs {idR, A1…An}. All tuples carry Aj = j; they differ only in
+	// idR. Positives: one per clause (idR = "c<i>+"). Negatives: the X
+	// tuple (forces (idR,idP) ∈ θ) and one per variable (forces a truth
+	// choice for that variable).
+	rAttrs := make([]string, 0, n+1)
+	rAttrs = append(rAttrs, "idR")
+	for j := 1; j <= n; j++ {
+		rAttrs = append(rAttrs, "A"+itoa(j))
+	}
+	R := relation.NewRelation(relation.MustSchema("Rphi", rAttrs...))
+	baseRow := func(id string) relation.Tuple {
+		t := make(relation.Tuple, n+1)
+		t[0] = id
+		for j := 1; j <= n; j++ {
+			t[j] = itoa(j)
+		}
+		return t
+	}
+	var s Sample
+	for i := range f.Clauses {
+		R.Tuples = append(R.Tuples, baseRow("c"+itoa(i+1)+"+"))
+		s.Pos = append(s.Pos, len(R.Tuples)-1)
+	}
+	R.Tuples = append(R.Tuples, baseRow("X"))
+	s.Neg = append(s.Neg, len(R.Tuples)-1)
+	for i := 1; i <= n; i++ {
+		R.Tuples = append(R.Tuples, baseRow("x"+itoa(i)+"-"))
+		s.Neg = append(s.Neg, len(R.Tuples)-1)
+	}
+
+	// Pϕ: attrs {idP, Bt1, Bf1, …, Btn, Bfn}.
+	pAttrs := make([]string, 0, 2*n+1)
+	pAttrs = append(pAttrs, "idP")
+	for j := 1; j <= n; j++ {
+		pAttrs = append(pAttrs, "Bt"+itoa(j), "Bf"+itoa(j))
+	}
+	P := relation.NewRelation(relation.MustSchema("Pphi", pAttrs...))
+
+	// One witness tuple per literal occurrence: for clause i and literal l
+	// on variable k, the tuple matches Bv_k only for the truth value v that
+	// satisfies l, and both values elsewhere.
+	for i, c := range f.Clauses {
+		for _, lit := range c {
+			t := make(relation.Tuple, 2*n+1)
+			t[0] = "c" + itoa(i+1) + "+"
+			for j := 1; j <= n; j++ {
+				bt, bf := itoa(j), itoa(j)
+				if j == lit.Var() {
+					if lit.Positive() {
+						bf = bottom // only the "true" choice keeps this witness
+					} else {
+						bt = bottom // only the "false" choice keeps this witness
+					}
+				}
+				t[2*j-1], t[2*j] = bt, bf
+			}
+			P.Tuples = append(P.Tuples, t)
+		}
+	}
+	// t'P,0: idP = Y, both columns carry the value — would select the X
+	// negative if (idR,idP) were missing from θ.
+	{
+		t := make(relation.Tuple, 2*n+1)
+		t[0] = "Y"
+		for j := 1; j <= n; j++ {
+			t[2*j-1], t[2*j] = itoa(j), itoa(j)
+		}
+		P.Tuples = append(P.Tuples, t)
+	}
+	// t'P,i: idP = "xi-", both columns blank at variable i — would select
+	// the i-th negative if θ constrained neither Bt_i nor Bf_i.
+	for i := 1; i <= n; i++ {
+		t := make(relation.Tuple, 2*n+1)
+		t[0] = "x" + itoa(i) + "-"
+		for j := 1; j <= n; j++ {
+			if i == j {
+				t[2*j-1], t[2*j] = bottom, bottom
+			} else {
+				t[2*j-1], t[2*j] = itoa(j), itoa(j)
+			}
+		}
+		P.Tuples = append(P.Tuples, t)
+	}
+
+	inst := relation.MustInstance(R, P)
+	return &Reduction{
+		Formula:  f,
+		Instance: inst,
+		Sample:   s,
+		U:        predicate.NewUniverse(inst),
+	}, nil
+}
+
+// EncodeValuation builds the consistent predicate corresponding to a
+// satisfying valuation (the "only if" direction of the proof):
+// {(idR,idP)} ∪ {(Ai, Bt_i) if V(x_i) else (Ai, Bf_i)}.
+func (r *Reduction) EncodeValuation(assign []bool) (predicate.Pred, error) {
+	n := r.Formula.NumVars
+	if len(assign) < n+1 {
+		return predicate.Pred{}, fmt.Errorf("semijoin: assignment too short: %d < %d", len(assign), n+1)
+	}
+	pairs := [][2]string{{"idR", "idP"}}
+	for i := 1; i <= n; i++ {
+		col := "Bf" + strconv.Itoa(i)
+		if assign[i] {
+			col = "Bt" + strconv.Itoa(i)
+		}
+		pairs = append(pairs, [2]string{"A" + strconv.Itoa(i), col})
+	}
+	return predicate.FromNames(r.U, pairs...)
+}
+
+// DecodeValuation extracts a valuation from a consistent predicate (the
+// "if" direction): V(x_i) = true iff (Ai, Bt_i) ∈ θ; if θ contains both
+// columns for a variable the positive choice is preferred (possible only
+// for variables unconstrained by the clauses).
+func (r *Reduction) DecodeValuation(theta predicate.Pred) []bool {
+	n := r.Formula.NumVars
+	assign := make([]bool, n+1)
+	for i := 1; i <= n; i++ {
+		ai := r.U.RSchema.IndexOf("A" + strconv.Itoa(i))
+		bt := r.U.PSchema.IndexOf("Bt" + strconv.Itoa(i))
+		assign[i] = theta.Set.Contains(r.U.PairID(ai, bt))
+	}
+	return assign
+}

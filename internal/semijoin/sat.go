@@ -1,0 +1,177 @@
+package semijoin
+
+import "fmt"
+
+// Literal is a propositional literal: +v for x_v, −v for ¬x_v (v ≥ 1).
+type Literal int
+
+// Var returns the literal's variable index.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is unnegated.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// Formula is a CNF formula over variables 1…NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks literals are non-zero and within range.
+func (f Formula) Validate() error {
+	for ci, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("semijoin: clause %d is empty", ci)
+		}
+		for _, l := range c {
+			if l == 0 {
+				return fmt.Errorf("semijoin: clause %d has zero literal", ci)
+			}
+			if l.Var() > f.NumVars {
+				return fmt.Errorf("semijoin: clause %d uses variable %d > NumVars %d", ci, l.Var(), f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// Satisfies reports whether the assignment (1-indexed; index 0 unused)
+// makes every clause true.
+func (f Formula) Satisfies(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assign[l.Var()] == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve decides satisfiability with DPLL (unit propagation + pure-literal
+// elimination + splitting). On success it returns a satisfying assignment,
+// 1-indexed. It is the independent cross-check for the CONS⋉ reduction.
+func (f Formula) Solve() ([]bool, bool) {
+	if err := f.Validate(); err != nil {
+		return nil, false
+	}
+	assign := make([]int8, f.NumVars+1) // 0 unset, 1 true, −1 false
+	if !dpll(f.Clauses, assign) {
+		return nil, false
+	}
+	out := make([]bool, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = assign[v] == 1 // unset variables default to false
+	}
+	return out, true
+}
+
+// dpll runs the classic recursive procedure on the clause set under the
+// current partial assignment, mutating and restoring assign.
+func dpll(clauses []Clause, assign []int8) bool {
+	// Unit propagation to fixpoint.
+	var trail []int
+	undo := func() {
+		for _, v := range trail {
+			assign[v] = 0
+		}
+	}
+	for {
+		unit := Literal(0)
+		allSat := true
+		for _, c := range clauses {
+			sat := false
+			unassigned := 0
+			var last Literal
+			for _, l := range c {
+				switch {
+				case assign[l.Var()] == 0:
+					unassigned++
+					last = l
+				case (assign[l.Var()] == 1) == l.Positive():
+					sat = true
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			allSat = false
+			if unassigned == 0 {
+				undo()
+				return false // conflict
+			}
+			if unassigned == 1 {
+				unit = last
+				break
+			}
+		}
+		if allSat {
+			return true
+		}
+		if unit == 0 {
+			break
+		}
+		v := unit.Var()
+		if unit.Positive() {
+			assign[v] = 1
+		} else {
+			assign[v] = -1
+		}
+		trail = append(trail, v)
+	}
+
+	// Split on the first unassigned variable occurring in an unsatisfied
+	// clause.
+	branch := 0
+	for _, c := range clauses {
+		sat := false
+		for _, l := range c {
+			if assign[l.Var()] != 0 && (assign[l.Var()] == 1) == l.Positive() {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		for _, l := range c {
+			if assign[l.Var()] == 0 {
+				branch = l.Var()
+				break
+			}
+		}
+		if branch != 0 {
+			break
+		}
+	}
+	if branch == 0 {
+		// No unsatisfied clause had unassigned literals and we did not
+		// detect a conflict: everything satisfied.
+		return true
+	}
+	for _, val := range []int8{1, -1} {
+		assign[branch] = val
+		if dpll(clauses, assign) {
+			return true
+		}
+	}
+	assign[branch] = 0
+	undo()
+	return false
+}

@@ -1,0 +1,109 @@
+package semijoin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLiteral(t *testing.T) {
+	if Literal(3).Var() != 3 || Literal(-3).Var() != 3 {
+		t.Error("Var wrong")
+	}
+	if !Literal(3).Positive() || Literal(-3).Positive() {
+		t.Error("Positive wrong")
+	}
+}
+
+func TestFormulaValidate(t *testing.T) {
+	if err := (Formula{NumVars: 2, Clauses: []Clause{{1, -2}}}).Validate(); err != nil {
+		t.Errorf("valid formula rejected: %v", err)
+	}
+	if err := (Formula{NumVars: 2, Clauses: []Clause{{}}}).Validate(); err == nil {
+		t.Error("empty clause accepted")
+	}
+	if err := (Formula{NumVars: 2, Clauses: []Clause{{0}}}).Validate(); err == nil {
+		t.Error("zero literal accepted")
+	}
+	if err := (Formula{NumVars: 2, Clauses: []Clause{{3}}}).Validate(); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+}
+
+func TestSolveSimple(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Formula
+		sat  bool
+	}{
+		{"single positive", Formula{1, []Clause{{1}}}, true},
+		{"contradiction", Formula{1, []Clause{{1}, {-1}}}, false},
+		{"paper example phi0", Formula{4, []Clause{{1, 2, -3}, {-1, 3, 4}}}, true},
+		{"3 vars pigeonhole-ish", Formula{2, []Clause{{1, 2}, {-1, 2}, {1, -2}, {-1, -2}}}, false},
+		{"chain", Formula{3, []Clause{{1}, {-1, 2}, {-2, 3}}}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			assign, ok := c.f.Solve()
+			if ok != c.sat {
+				t.Fatalf("Solve = %v, want %v", ok, c.sat)
+			}
+			if ok && !c.f.Satisfies(assign) {
+				t.Errorf("returned assignment does not satisfy formula")
+			}
+		})
+	}
+}
+
+// bruteSat enumerates all assignments; ground truth for DPLL.
+func bruteSat(f Formula) bool {
+	n := f.NumVars
+	assign := make([]bool, n+1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			assign[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if f.Satisfies(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+func randFormula(r *rand.Rand, maxVars, maxClauses int) Formula {
+	n := 1 + r.Intn(maxVars)
+	f := Formula{NumVars: n}
+	for i, k := 0, 1+r.Intn(maxClauses); i < k; i++ {
+		var c Clause
+		for j, w := 0, 1+r.Intn(3); j < w; j++ {
+			v := 1 + r.Intn(n)
+			if r.Intn(2) == 0 {
+				c = append(c, Literal(v))
+			} else {
+				c = append(c, Literal(-v))
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// TestQuickDPLLMatchesBruteForce: DPLL agrees with exhaustive enumeration
+// and returned assignments always satisfy the formula.
+func TestQuickDPLLMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fm := randFormula(r, 8, 12)
+		assign, ok := fm.Solve()
+		if ok != bruteSat(fm) {
+			return false
+		}
+		if ok && !fm.Satisfies(assign) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

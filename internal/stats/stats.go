@@ -1,0 +1,81 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness reports: streaming mean/variance (Welford), extrema
+// and percentiles. Kept separate so the aggregation logic is testable in
+// isolation from the experiments that feed it.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Acc is a streaming accumulator. The zero value is ready to use.
+type Acc struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add records one observation.
+func (a *Acc) Add(x float64) {
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+	if !a.hasExtrema || x < a.min {
+		a.min = x
+	}
+	if !a.hasExtrema || x > a.max {
+		a.max = x
+	}
+	a.hasExtrema = true
+}
+
+// N returns the number of observations.
+func (a *Acc) N() int { return a.n }
+
+// Mean returns the arithmetic mean (0 for no observations).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Var returns the sample variance (n−1 denominator; 0 for n < 2).
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Acc) StdDev() float64 { return math.Sqrt(a.Var()) }
+
+// Min and Max return the extrema (0 for no observations).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest observation.
+func (a *Acc) Max() float64 { return a.max }
+
+// String renders "mean ± stddev (n=…)".
+func (a *Acc) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (n=%d)", a.Mean(), a.StdDev(), a.n)
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of the values using
+// nearest-rank on a sorted copy; it panics on an empty slice or a p out of
+// range.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,100]", p))
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	return sorted[rank-1]
+}

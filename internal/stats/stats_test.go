@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	if a.N() != 0 || a.Mean() != 0 || a.Var() != 0 {
+		t.Error("zero Acc not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Sample variance of the classic dataset: Σ(x−5)² = 32, /7.
+	if math.Abs(a.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", a.Var(), 32.0/7)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("extrema = %v, %v", a.Min(), a.Max())
+	}
+	if !strings.Contains(a.String(), "n=8") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var a Acc
+	a.Add(3)
+	if a.Mean() != 3 || a.Var() != 0 || a.StdDev() != 0 {
+		t.Error("single observation stats wrong")
+	}
+	if a.Min() != 3 || a.Max() != 3 {
+		t.Error("single observation extrema wrong")
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	var a Acc
+	a.Add(-5)
+	a.Add(5)
+	if a.Mean() != 0 || a.Min() != -5 || a.Max() != 5 {
+		t.Error("negative handling wrong")
+	}
+}
+
+// TestQuickWelfordMatchesTwoPass: the streaming computation agrees with the
+// naive two-pass formulas.
+func TestQuickWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		var a Acc
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+			a.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Var()-variance) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {100, 5}, {90, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

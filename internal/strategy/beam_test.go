@@ -1,0 +1,69 @@
+package strategy
+
+import (
+	"testing"
+
+	"repro/internal/inference"
+	"repro/internal/oracle"
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+)
+
+// TestBeamStillInfersCorrectly: with an aggressive beam the lookahead
+// strategy must still terminate with an instance-equivalent predicate (the
+// beam only affects which informative tuple is asked, never correctness).
+func TestBeamStillInfersCorrectly(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	e0 := inference.New(inst)
+	goals := []predicate.Pred{predicate.Omega(u), predicate.Empty()}
+	for _, c := range e0.Classes() {
+		goals = append(goals, c.Theta)
+	}
+	for _, beam := range []int{1, 2, 4} {
+		for gi, goal := range goals {
+			e := inference.New(inst)
+			strat := Lookahead{K: 2, MaxCandidates: beam}
+			res, err := inference.Run(e, strat, oracle.NewHonest(inst, e.U, goal), 24)
+			if err != nil {
+				t.Fatalf("beam %d goal %d: %v", beam, gi, err)
+			}
+			gj := predicate.Join(inst, e.U, goal)
+			rj := predicate.Join(inst, e.U, res.Predicate)
+			if len(gj) != len(rj) {
+				t.Errorf("beam %d goal %d: not instance-equivalent", beam, gi)
+			}
+		}
+	}
+}
+
+// TestBeamMatchesExactWhenWide: a beam at least as wide as the informative
+// set is the exact algorithm.
+func TestBeamMatchesExactWhenWide(t *testing.T) {
+	inst := paperdata.Example21()
+	exact := inference.New(inst)
+	beamed := inference.New(inst)
+	a := Lookahead{K: 2}
+	b := Lookahead{K: 2, MaxCandidates: 100}
+	for !exact.Done() {
+		ca := a.Next(exact)
+		cb := b.Next(beamed)
+		if ca != cb {
+			t.Fatalf("wide beam diverged: %d vs %d", ca, cb)
+		}
+		// Answer negative to keep the run long.
+		if err := exact.Label(ca, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := beamed.Label(cb, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBeamName: the beam does not change the reported strategy name.
+func TestBeamName(t *testing.T) {
+	if (Lookahead{K: 2, MaxCandidates: 8}).Name() != "L2S" {
+		t.Error("beam changed name")
+	}
+}

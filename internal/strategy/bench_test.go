@@ -1,0 +1,73 @@
+package strategy
+
+import (
+	"testing"
+
+	"repro/internal/inference"
+	"repro/internal/synth"
+)
+
+func benchEngine(b *testing.B) *inference.Engine {
+	b.Helper()
+	inst := synth.MustGenerate(synth.Config{AttrsR: 3, AttrsP: 3, Rows: 100, Values: 100}, 5)
+	return inference.New(inst)
+}
+
+func BenchmarkNextBU(b *testing.B) {
+	e := benchEngine(b)
+	s := BottomUp{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(e)
+	}
+}
+
+func BenchmarkNextTD(b *testing.B) {
+	e := benchEngine(b)
+	s := NewTopDown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(e)
+	}
+}
+
+func BenchmarkNextL1S(b *testing.B) {
+	e := benchEngine(b)
+	s := Lookahead{K: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(e)
+	}
+}
+
+func BenchmarkNextL2S(b *testing.B) {
+	e := benchEngine(b)
+	s := Lookahead{K: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(e)
+	}
+}
+
+func BenchmarkNextHalving(b *testing.B) {
+	e := benchEngine(b)
+	s := Halving{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(e)
+	}
+}
+
+func BenchmarkNextOptimalExample21(b *testing.B) {
+	// Optimal only runs on tiny instances; measure on the paper example.
+	inst := synth.MustGenerate(synth.Config{AttrsR: 2, AttrsP: 2, Rows: 4, Values: 3}, 3)
+	e := inference.New(inst)
+	if len(e.Classes()) > DefaultMaxClasses {
+		b.Skip("instance too large for OPT")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := NewOptimal()
+		o.Next(e)
+	}
+}

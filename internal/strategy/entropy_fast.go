@@ -1,0 +1,167 @@
+package strategy
+
+// Word-level fast path for the lookahead strategies. When the pair universe
+// Ω fits in 64 bits (n·m ≤ 64 — true for every realistic schema pair, and
+// for all of the paper's experiments), predicates are single machine words
+// and the certainty tests of Lemmas 3.3/3.4 become three integer
+// operations. The lookahead inner loop runs Θ(K³) certainty tests per
+// question (K = informative classes), so this path is what makes L2S
+// practical at TPC-H scale; entropy_test.go asserts it agrees exactly with
+// the general bitset path.
+
+// fastReady reports whether the fast path can be used and fills the
+// word-level snapshot.
+func (l *look) fastReady() bool {
+	tposW, ok := l.e.TPos().Set.AsWord()
+	if !ok {
+		return false
+	}
+	negs := l.e.Negatives()
+	negsW := make([]uint64, len(negs))
+	for i, n := range negs {
+		w, ok := n.Set.AsWord()
+		if !ok {
+			return false
+		}
+		negsW[i] = w
+	}
+	cs := l.e.Classes()
+	thetas := make([]uint64, len(l.baseInf))
+	counts := make([]int64, len(l.baseInf))
+	for idx, ci := range l.baseInf {
+		w, ok := cs[ci].Theta.Set.AsWord()
+		if !ok {
+			return false
+		}
+		thetas[idx] = w
+		counts[idx] = cs[ci].Count
+	}
+	l.fast = true
+	l.tposW = tposW
+	l.negsW = negsW
+	l.thetasW = thetas
+	l.countsW = counts
+	return true
+}
+
+// fstate is the hypothetical-extension state of the fast path; newly holds
+// *positions into baseInf* (not class indexes).
+type fstate struct {
+	tpos  uint64
+	negs  []uint64
+	newly []int
+}
+
+func (s fstate) labeled(idx int) bool {
+	for _, x := range s.newly {
+		if x == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *look) fbase() fstate { return fstate{tpos: l.tposW, negs: l.negsW} }
+
+// fcertain is CertainUnder on words.
+func fcertain(tpos uint64, negs []uint64, theta uint64) bool {
+	if tpos&^theta == 0 { // Lemma 3.3: tpos ⊆ theta
+		return true
+	}
+	inter := tpos & theta
+	for _, n := range negs { // Lemma 3.4: inter ⊆ some negative
+		if inter&^n == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// fdelta mirrors look.delta on the fast state.
+func (l *look) fdelta(s fstate) int64 {
+	var sum int64
+	for idx, th := range l.thetasW {
+		w := l.countsW[idx]
+		if l.countClasses {
+			w = 1
+		}
+		if s.labeled(idx) {
+			if !l.countClasses {
+				sum += w - 1
+			}
+			continue
+		}
+		if fcertain(s.tpos, s.negs, th) {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// finformativeUnder returns baseInf positions still informative under s.
+func (l *look) finformativeUnder(s fstate) []int {
+	var out []int
+	for idx, th := range l.thetasW {
+		if s.labeled(idx) {
+			continue
+		}
+		if !fcertain(s.tpos, s.negs, th) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+func (s fstate) withPositive(theta uint64, idx int) fstate {
+	return fstate{
+		tpos:  s.tpos & theta,
+		negs:  s.negs,
+		newly: append(append([]int(nil), s.newly...), idx),
+	}
+}
+
+func (s fstate) withNegative(theta uint64, idx int) fstate {
+	negs := make([]uint64, len(s.negs), len(s.negs)+1)
+	copy(negs, s.negs)
+	return fstate{
+		tpos:  s.tpos,
+		negs:  append(negs, theta),
+		newly: append(append([]int(nil), s.newly...), idx),
+	}
+}
+
+// fentropy1 mirrors look.entropy1 for baseInf position idx.
+func (l *look) fentropy1(idx int, s fstate) Entropy {
+	theta := l.thetasW[idx]
+	up := l.fdelta(s.withPositive(theta, idx))
+	un := l.fdelta(s.withNegative(theta, idx))
+	if up > un {
+		up, un = un, up
+	}
+	return Entropy{Min: up, Max: un}
+}
+
+// fentropyK mirrors look.entropyK for baseInf position idx.
+func (l *look) fentropyK(idx int, s fstate, k int) Entropy {
+	if k <= 1 {
+		return l.fentropy1(idx, s)
+	}
+	theta := l.thetasW[idx]
+	branch := func(ext fstate) Entropy {
+		rest := l.finformativeUnder(ext)
+		if len(rest) == 0 {
+			return Entropy{Min: Inf, Max: Inf}
+		}
+		E := make([]Entropy, 0, len(rest))
+		for _, j := range rest {
+			E = append(E, l.fentropyK(j, ext, k-1))
+		}
+		return selectEntropy(E)
+	}
+	ep := branch(s.withPositive(theta, idx))
+	en := branch(s.withNegative(theta, idx))
+	if en.Min < ep.Min || (en.Min == ep.Min && en.Max < ep.Max) {
+		return en
+	}
+	return ep
+}

@@ -1,0 +1,76 @@
+package strategy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/inference"
+	"repro/internal/paperdata"
+	"repro/internal/sample"
+)
+
+// TestFastPathMatchesGeneralFigure5: the word-level fast path reproduces
+// the Figure 5 entropies exactly.
+func TestFastPathMatchesGeneralFigure5(t *testing.T) {
+	inst := paperdata.Example21()
+	e := inference.New(inst)
+	l := Lookahead{K: 1}
+	fast := l.Entropies(e)        // dispatches to fast path (|Ω| = 6)
+	slow := l.entropiesGeneral(e) // forced bitset path
+	if len(fast) != len(slow) {
+		t.Fatalf("entry counts differ: %d vs %d", len(fast), len(slow))
+	}
+	for ci, fe := range fast {
+		if se, ok := slow[ci]; !ok || se != fe {
+			t.Errorf("class %d: fast %v, general %v", ci, fe, slow[ci])
+		}
+	}
+}
+
+// TestQuickFastPathMatchesGeneral: on random instances and partial samples,
+// fast and general entropies agree for k = 1 and k = 2, in both counting
+// modes.
+func TestQuickFastPathMatchesGeneral(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randInstance(r)
+		for _, k := range []int{1, 2} {
+			for _, countClasses := range []bool{false, true} {
+				e := inference.New(inst)
+				// Random partial labeling, honest w.r.t. a random goal.
+				goal := randPred(r, e.U)
+				for q := 0; q < r.Intn(3); q++ {
+					inf := e.InformativeClasses()
+					if len(inf) == 0 {
+						break
+					}
+					ci := inf[r.Intn(len(inf))]
+					c := e.Classes()[ci]
+					l := sample.Negative
+					if goal.Selects(e.U, inst.R.Tuples[c.RI], inst.P.Tuples[c.PI]) {
+						l = sample.Positive
+					}
+					if err := e.Label(ci, l); err != nil {
+						return false
+					}
+				}
+				l := Lookahead{K: k, CountClasses: countClasses}
+				fast := l.Entropies(e)
+				slow := l.entropiesGeneral(e)
+				if len(fast) != len(slow) {
+					return false
+				}
+				for ci, fe := range fast {
+					if slow[ci] != fe {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package strategy
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/inference"
+	"repro/internal/oracle"
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+)
+
+// bruteCountConsistent enumerates all θ ⊆ Ω; ground truth for the
+// inclusion–exclusion counter.
+func bruteCountConsistent(size int, tpos predicate.Pred, negs []predicate.Pred) *big.Int {
+	count := 0
+	for mask := 0; mask < 1<<uint(size); mask++ {
+		var p predicate.Pred
+		for b := 0; b < size; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				p.Set.Add(b)
+			}
+		}
+		if !p.Set.SubsetOf(tpos.Set) {
+			continue
+		}
+		bad := false
+		for _, n := range negs {
+			if p.Set.SubsetOf(n.Set) {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			count++
+		}
+	}
+	return big.NewInt(int64(count))
+}
+
+func TestCountConsistentEmptySample(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	got := CountConsistent(predicate.Omega(u), nil)
+	if got.Cmp(big.NewInt(64)) != 0 { // 2^6
+		t.Errorf("count = %v, want 64", got)
+	}
+}
+
+func TestCountConsistentWithNegatives(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	tpos := predicate.Omega(u)
+	// One negative with T = ∅: only θ = ∅ is excluded → 63.
+	got := CountConsistent(tpos, []predicate.Pred{predicate.Empty()})
+	if got.Cmp(big.NewInt(63)) != 0 {
+		t.Errorf("count = %v, want 63", got)
+	}
+}
+
+// TestQuickCountConsistentMatchesBruteForce validates the
+// inclusion–exclusion against enumeration on random states.
+func TestQuickCountConsistentMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := 1 + r.Intn(10)
+		randP := func() predicate.Pred {
+			var p predicate.Pred
+			for b := 0; b < size; b++ {
+				if r.Intn(2) == 0 {
+					p.Set.Add(b)
+				}
+			}
+			return p
+		}
+		tpos := randP()
+		var negs []predicate.Pred
+		for k := 0; k < r.Intn(5); k++ {
+			negs = append(negs, randP())
+		}
+		got := CountConsistent(tpos, negs)
+		if got == nil {
+			return true // fallback case, permitted
+		}
+		return got.Cmp(bruteCountConsistent(size, tpos, negs)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHalvingSplitInvariant: for any informative tuple, the predicates
+// selecting it plus the predicates rejecting it partition C(S).
+func TestHalvingSplitInvariant(t *testing.T) {
+	inst := paperdata.Example21()
+	e := inference.New(inst)
+	tpos := e.TPos()
+	total := CountConsistent(tpos, nil)
+	for _, ci := range e.InformativeClasses() {
+		theta := e.Classes()[ci].Theta
+		pos := CountConsistent(tpos.Intersect(theta), nil)
+		neg := CountConsistent(tpos, []predicate.Pred{theta})
+		sum := new(big.Int).Add(pos, neg)
+		if sum.Cmp(total) != 0 {
+			t.Errorf("class %d: %v + %v ≠ %v", ci, pos, neg, total)
+		}
+	}
+}
+
+// TestHalvingInfersAllGoals: HALVE terminates with instance-equivalent
+// predicates on every goal of Example 2.1.
+func TestHalvingInfersAllGoals(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	e0 := inference.New(inst)
+	goals := []predicate.Pred{predicate.Omega(u)}
+	for _, c := range e0.Classes() {
+		goals = append(goals, c.Theta)
+	}
+	worst := 0
+	for gi, goal := range goals {
+		e := inference.New(inst)
+		res, err := inference.Run(e, Halving{}, oracle.NewHonest(inst, e.U, goal), 24)
+		if err != nil {
+			t.Fatalf("goal %d: %v", gi, err)
+		}
+		gj := predicate.Join(inst, e.U, goal)
+		rj := predicate.Join(inst, e.U, res.Predicate)
+		if len(gj) != len(rj) {
+			t.Errorf("goal %d: not instance-equivalent", gi)
+		}
+		if res.Interactions > worst {
+			worst = res.Interactions
+		}
+	}
+	// Version-space halving should stay near the information-theoretic
+	// bound: |C(∅)| = 64 consistent predicates collapse to instance
+	// equivalence within far fewer questions than the 12 classes.
+	if worst > 9 {
+		t.Errorf("HALVE worst case = %d interactions, expected ≤ 9", worst)
+	}
+}
+
+func TestHalvingName(t *testing.T) {
+	if (Halving{}).Name() != "HALVE" {
+		t.Error("name")
+	}
+}
+
+// TestHalvingFallback: a custom fallback is used when counting declines
+// (forced here by a stub returning nil is impossible without >20 distinct
+// maximal negatives, so instead verify the default fallback path never
+// triggers on the paper instance — the strategy itself must pick a class).
+func TestHalvingAlwaysPicksInformative(t *testing.T) {
+	inst := paperdata.Example21()
+	e := inference.New(inst)
+	for !e.Done() {
+		ci := (Halving{}).Next(e)
+		if ci < 0 || !e.Informative(ci) {
+			t.Fatalf("HALVE picked invalid class %d", ci)
+		}
+		if err := e.Label(ci, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/inference"
+)
+
+// Lookahead is the k-steps lookahead skyline strategy LkS (Section 4.4):
+// L1S for K = 1 (Algorithm 4), L2S for K = 2 (Algorithm 6). It asks about
+// an informative tuple whose entropy^K — the guaranteed number of tuples
+// that labeling it (and K−1 follow-ups) makes uninformative — is maximal
+// under the skyline selection rule.
+type Lookahead struct {
+	// K is the lookahead depth; values < 1 behave as 1.
+	K int
+	// CountClasses counts distinct T-classes made uninformative instead of
+	// tuples. The paper counts tuples; this is an ablation knob.
+	CountClasses bool
+	// MaxCandidates, when positive and K ≥ 2, restricts the expensive
+	// entropy^K evaluation to the MaxCandidates informative classes with
+	// the best one-step entropy (a beam). The paper evaluates every
+	// informative tuple — set 0 (the default) for the exact algorithm; the
+	// beam is an engineering knob for instances with thousands of classes,
+	// where exact L2S is Θ(K³) per question.
+	MaxCandidates int
+}
+
+// Name implements Strategy.
+func (l Lookahead) Name() string {
+	k := l.K
+	if k < 1 {
+		k = 1
+	}
+	return fmt.Sprintf("L%dS", k)
+}
+
+// Next implements Strategy.
+func (l Lookahead) Next(e *inference.Engine) int {
+	k := l.K
+	if k < 1 {
+		k = 1
+	}
+	lk := newLook(e, l.CountClasses)
+	if len(lk.baseInf) == 0 {
+		return -1
+	}
+	// Compute entropy^K per informative class, then apply the selection of
+	// Algorithms 4/6: maximize Min, tie-break on Max; first class in class
+	// order wins ties, keeping runs deterministic.
+	bestIdx := -1
+	best := Entropy{Min: -1, Max: -1}
+	if lk.fastReady() {
+		base := lk.fbase()
+		positions := lk.beamPositions(base, k, l.MaxCandidates)
+		for _, idx := range positions {
+			ent := lk.fentropyK(idx, base, k)
+			if ent.Min > best.Min || (ent.Min == best.Min && ent.Max > best.Max) {
+				best = ent
+				bestIdx = lk.baseInf[idx]
+			}
+		}
+		return bestIdx
+	}
+	base := lk.baseState()
+	for _, ci := range lk.baseInf {
+		ent := lk.entropyK(ci, base, k)
+		if ent.Min > best.Min || (ent.Min == best.Min && ent.Max > best.Max) {
+			best = ent
+			bestIdx = ci
+		}
+	}
+	return bestIdx
+}
+
+// beamPositions returns the baseInf positions to evaluate: all of them, or
+// — when a beam is configured and the lookahead is deep — the
+// MaxCandidates best by one-step entropy (stable order, so runs stay
+// deterministic).
+func (lk *look) beamPositions(base fstate, k, maxCandidates int) []int {
+	positions := make([]int, len(lk.baseInf))
+	for i := range positions {
+		positions[i] = i
+	}
+	if maxCandidates <= 0 || k < 2 || len(positions) <= maxCandidates {
+		return positions
+	}
+	type scored struct {
+		idx int
+		ent Entropy
+	}
+	ss := make([]scored, len(positions))
+	for i, idx := range positions {
+		ss[i] = scored{idx: idx, ent: lk.fentropy1(idx, base)}
+	}
+	sort.SliceStable(ss, func(a, b int) bool {
+		if ss[a].ent.Min != ss[b].ent.Min {
+			return ss[a].ent.Min > ss[b].ent.Min
+		}
+		return ss[a].ent.Max > ss[b].ent.Max
+	})
+	out := make([]int, maxCandidates)
+	for i := 0; i < maxCandidates; i++ {
+		out[i] = ss[i].idx
+	}
+	sort.Ints(out) // restore class order for deterministic tie-breaking
+	return out
+}
+
+// Entropies exposes the entropy^K of every informative class for
+// diagnostics and tests (e.g. reproducing Figure 5). The map is keyed by
+// class index.
+func (l Lookahead) Entropies(e *inference.Engine) map[int]Entropy {
+	k := l.K
+	if k < 1 {
+		k = 1
+	}
+	lk := newLook(e, l.CountClasses)
+	out := make(map[int]Entropy, len(lk.baseInf))
+	if lk.fastReady() {
+		base := lk.fbase()
+		for idx, ci := range lk.baseInf {
+			out[ci] = lk.fentropyK(idx, base, k)
+		}
+		return out
+	}
+	base := lk.baseState()
+	for _, ci := range lk.baseInf {
+		out[ci] = lk.entropyK(ci, base, k)
+	}
+	return out
+}
+
+// entropiesGeneral computes entropies with the general bitset path even
+// when the fast path is available; used by tests to cross-check the two.
+func (l Lookahead) entropiesGeneral(e *inference.Engine) map[int]Entropy {
+	k := l.K
+	if k < 1 {
+		k = 1
+	}
+	lk := newLook(e, l.CountClasses)
+	base := lk.baseState()
+	out := make(map[int]Entropy, len(lk.baseInf))
+	for _, ci := range lk.baseInf {
+		out[ci] = lk.entropyK(ci, base, k)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+// Package synth implements the paper's synthetic dataset generator
+// (Section 5.2). A configuration is a quadruple
+// (|attrs(R)|, |attrs(P)|, l, v): the two arities, the number of tuples in
+// each relation instance, and the number of possible attribute values —
+// values are drawn uniformly from {0, 1, …, v−1}.
+//
+// Generation is deterministic given a seed, so experiments are
+// reproducible; the paper averages over 100 runs, which corresponds to 100
+// seeds here.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/relation"
+)
+
+// Config is the generator quadruple of Section 5.2.
+type Config struct {
+	// AttrsR, AttrsP are the arities of R and P.
+	AttrsR, AttrsP int
+	// Rows is l: the number of tuples in each relation instance.
+	Rows int
+	// Values is v: attribute values are uniform over {0, …, Values−1}.
+	Values int
+}
+
+// String renders the configuration the way the paper writes it,
+// e.g. "(3, 3, 100, 100)".
+func (c Config) String() string {
+	return fmt.Sprintf("(%d, %d, %d, %d)", c.AttrsR, c.AttrsP, c.Rows, c.Values)
+}
+
+// Validate checks the configuration is usable.
+func (c Config) Validate() error {
+	if c.AttrsR < 1 || c.AttrsP < 1 {
+		return fmt.Errorf("synth: arities must be ≥ 1, got %d and %d", c.AttrsR, c.AttrsP)
+	}
+	if c.Rows < 1 {
+		return fmt.Errorf("synth: rows must be ≥ 1, got %d", c.Rows)
+	}
+	if c.Values < 1 {
+		return fmt.Errorf("synth: values must be ≥ 1, got %d", c.Values)
+	}
+	return nil
+}
+
+// PaperConfigs returns the six configurations of Figure 7 / Table 1, in the
+// paper's order. The first two "could represent triples of RDF stores".
+func PaperConfigs() []Config {
+	return []Config{
+		{3, 3, 100, 100},
+		{3, 3, 50, 100},
+		{3, 4, 50, 100},
+		{2, 5, 50, 100},
+		{2, 4, 50, 50},
+		{2, 4, 50, 100},
+	}
+}
+
+// Generate builds a random instance for the configuration, deterministic in
+// the seed.
+func Generate(c Config, seed int64) (*relation.Instance, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrsR := make([]string, c.AttrsR)
+	for i := range attrsR {
+		attrsR[i] = "A" + strconv.Itoa(i+1)
+	}
+	attrsP := make([]string, c.AttrsP)
+	for j := range attrsP {
+		attrsP[j] = "B" + strconv.Itoa(j+1)
+	}
+	R := relation.NewRelation(relation.MustSchema("R", attrsR...))
+	P := relation.NewRelation(relation.MustSchema("P", attrsP...))
+	for i := 0; i < c.Rows; i++ {
+		t := make(relation.Tuple, c.AttrsR)
+		for k := range t {
+			t[k] = strconv.Itoa(rng.Intn(c.Values))
+		}
+		R.Tuples = append(R.Tuples, t)
+	}
+	for i := 0; i < c.Rows; i++ {
+		t := make(relation.Tuple, c.AttrsP)
+		for k := range t {
+			t[k] = strconv.Itoa(rng.Intn(c.Values))
+		}
+		P.Tuples = append(P.Tuples, t)
+	}
+	return relation.MustInstance(R, P), nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(c Config, seed int64) *relation.Instance {
+	inst, err := Generate(c, seed)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}

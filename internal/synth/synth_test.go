@@ -1,0 +1,120 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/predicate"
+	"repro/internal/product"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		c       Config
+		wantErr bool
+	}{
+		{Config{3, 3, 50, 100}, false},
+		{Config{0, 3, 50, 100}, true},
+		{Config{3, 0, 50, 100}, true},
+		{Config{3, 3, 0, 100}, true},
+		{Config{3, 3, 50, 0}, true},
+	}
+	for _, c := range cases {
+		if err := c.c.Validate(); (err != nil) != c.wantErr {
+			t.Errorf("Validate(%v) err = %v, wantErr %v", c.c, err, c.wantErr)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Config{3, 4, 50, 100}).String(); got != "(3, 4, 50, 100)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	cfgs := PaperConfigs()
+	if len(cfgs) != 6 {
+		t.Fatalf("got %d configs, want 6", len(cfgs))
+	}
+	if cfgs[0] != (Config{3, 3, 100, 100}) {
+		t.Errorf("first config = %v", cfgs[0])
+	}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("paper config %v invalid: %v", c, err)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c := Config{3, 4, 50, 100}
+	inst := MustGenerate(c, 1)
+	if inst.R.Schema.Arity() != 3 || inst.P.Schema.Arity() != 4 {
+		t.Errorf("arities %d, %d", inst.R.Schema.Arity(), inst.P.Schema.Arity())
+	}
+	if inst.R.Len() != 50 || inst.P.Len() != 50 {
+		t.Errorf("rows %d, %d", inst.R.Len(), inst.P.Len())
+	}
+	if inst.ProductSize() != 2500 {
+		t.Errorf("product = %d", inst.ProductSize())
+	}
+	// Values in range.
+	for _, tp := range inst.R.Tuples {
+		for _, v := range tp {
+			if len(v) == 0 || len(v) > 3 {
+				t.Fatalf("value %q out of expected range", v)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := Config{2, 4, 50, 50}
+	a := MustGenerate(c, 99)
+	b := MustGenerate(c, 99)
+	for i := range a.R.Tuples {
+		for j := range a.R.Tuples[i] {
+			if a.R.Tuples[i][j] != b.R.Tuples[i][j] {
+				t.Fatal("same seed produced different R")
+			}
+		}
+	}
+	diff := MustGenerate(c, 100)
+	same := true
+	for i := range a.R.Tuples {
+		for j := range a.R.Tuples[i] {
+			if a.R.Tuples[i][j] != diff.R.Tuples[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical R")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{0, 1, 1, 1}, 0); err == nil {
+		t.Error("invalid config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate did not panic")
+		}
+	}()
+	MustGenerate(Config{0, 1, 1, 1}, 0)
+}
+
+// TestJoinRatioPlausible: for the paper's configs the join ratio lands in
+// the same ballpark as Table 1 (1.3–1.7 for the 50/100-value configs).
+func TestJoinRatioPlausible(t *testing.T) {
+	for _, c := range PaperConfigs() {
+		inst := MustGenerate(c, 7)
+		u := predicate.NewUniverse(inst)
+		cs := product.ClassesIndexed(inst, u)
+		jr := product.JoinRatio(cs)
+		if jr < 0.5 || jr > 3.0 {
+			t.Errorf("config %v: join ratio %v outside plausible range", c, jr)
+		}
+	}
+}

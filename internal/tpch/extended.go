@@ -1,0 +1,112 @@
+package tpch
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/predicate"
+	"repro/internal/relation"
+)
+
+// Extended schema: Nation and Region complete the TPC-H star. The paper's
+// evaluation uses only the five joins of Section 5.1; these tables and the
+// extra goal joins below are provided as additional workloads (clearly
+// marked Extended) for users who want to stress the inference on very
+// small dimension tables, where almost every value collides with
+// something.
+
+// nationNames are the 25 TPC-H nations in nationkey order.
+var nationNames = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+	"ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+	"IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+	"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+	"SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+}
+
+// regionNames are the 5 TPC-H regions in regionkey order.
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nationRegion maps nationkey → regionkey exactly as dbgen does.
+var nationRegion = []int{
+	0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1,
+}
+
+// ExtendedData adds the two dimension tables to a generated database.
+type ExtendedData struct {
+	*Data
+	Nation, Region *relation.Relation
+}
+
+// Extend builds Nation and Region for the database. They are fixed-size
+// (25 and 5 rows) regardless of multiplier, like the real benchmark.
+func (d *Data) Extend() *ExtendedData {
+	nation := relation.NewRelation(relation.MustSchema("Nation",
+		"Nationkey", "NName", "NRegionkey"))
+	for k, name := range nationNames {
+		nation.MustAddTuple(strconv.Itoa(k), name, strconv.Itoa(nationRegion[k]))
+	}
+	region := relation.NewRelation(relation.MustSchema("Region",
+		"Regionkey", "RName"))
+	for k, name := range regionNames {
+		region.MustAddTuple(strconv.Itoa(k), name)
+	}
+	return &ExtendedData{Data: d, Nation: nation, Region: region}
+}
+
+// ExtJoin identifies an extended goal join beyond the paper's five.
+type ExtJoin int
+
+// Extended goal joins over the dimension tables.
+const (
+	// ExtJoinSupplierNation: Supplier[SNationkey] = Nation[Nationkey].
+	ExtJoinSupplierNation ExtJoin = iota + 1
+	// ExtJoinCustomerNation: Customer[CNationkey] = Nation[Nationkey].
+	ExtJoinCustomerNation
+	// ExtJoinNationRegion: Nation[NRegionkey] = Region[Regionkey].
+	ExtJoinNationRegion
+)
+
+// AllExtJoins lists the extended joins.
+func AllExtJoins() []ExtJoin {
+	return []ExtJoin{ExtJoinSupplierNation, ExtJoinCustomerNation, ExtJoinNationRegion}
+}
+
+// String implements fmt.Stringer.
+func (j ExtJoin) String() string {
+	switch j {
+	case ExtJoinSupplierNation:
+		return "Supplier ⋈ Nation"
+	case ExtJoinCustomerNation:
+		return "Customer ⋈ Nation"
+	case ExtJoinNationRegion:
+		return "Nation ⋈ Region"
+	default:
+		return fmt.Sprintf("ExtJoin(%d)", int(j))
+	}
+}
+
+// Instance returns the instance and goal for an extended join.
+func (d *ExtendedData) Instance(j ExtJoin) (*relation.Instance, predicate.Pred, error) {
+	var inst *relation.Instance
+	var pair [2]string
+	switch j {
+	case ExtJoinSupplierNation:
+		inst = relation.MustInstance(d.Supplier, d.Nation)
+		pair = [2]string{"SNationkey", "Nationkey"}
+	case ExtJoinCustomerNation:
+		inst = relation.MustInstance(d.Customer, d.Nation)
+		pair = [2]string{"CNationkey", "Nationkey"}
+	case ExtJoinNationRegion:
+		inst = relation.MustInstance(d.Nation, d.Region)
+		pair = [2]string{"NRegionkey", "Regionkey"}
+	default:
+		return nil, predicate.Pred{}, fmt.Errorf("tpch: unknown extended join %d", int(j))
+	}
+	u := predicate.NewUniverse(inst)
+	goal, err := predicate.FromNames(u, pair)
+	if err != nil {
+		return nil, predicate.Pred{}, err
+	}
+	return inst, goal, nil
+}

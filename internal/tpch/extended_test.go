@@ -1,0 +1,80 @@
+package tpch
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/inference"
+	"repro/internal/oracle"
+	"repro/internal/predicate"
+	"repro/internal/strategy"
+)
+
+func TestExtendFixedDimensions(t *testing.T) {
+	d := MustGenerate(3, 1).Extend()
+	if d.Nation.Len() != 25 {
+		t.Errorf("Nation rows = %d, want 25 regardless of multiplier", d.Nation.Len())
+	}
+	if d.Region.Len() != 5 {
+		t.Errorf("Region rows = %d, want 5", d.Region.Len())
+	}
+	// Region keys of nations must be valid.
+	rk := d.Nation.Schema.IndexOf("NRegionkey")
+	for _, tp := range d.Nation.Tuples {
+		k, _ := strconv.Atoi(tp[rk])
+		if k < 0 || k > 4 {
+			t.Fatalf("nation region key %d out of range", k)
+		}
+	}
+}
+
+func TestExtendedJoinsNonEmpty(t *testing.T) {
+	d := MustGenerate(1, 42).Extend()
+	for _, j := range AllExtJoins() {
+		inst, goal, err := d.Instance(j)
+		if err != nil {
+			t.Fatalf("%v: %v", j, err)
+		}
+		u := predicate.NewUniverse(inst)
+		if len(predicate.Join(inst, u, goal)) == 0 {
+			t.Errorf("%v: goal join empty", j)
+		}
+	}
+	if _, _, err := d.Instance(ExtJoin(99)); err == nil {
+		t.Error("unknown extended join accepted")
+	}
+}
+
+func TestExtJoinString(t *testing.T) {
+	if ExtJoinNationRegion.String() != "Nation ⋈ Region" {
+		t.Errorf("String = %q", ExtJoinNationRegion.String())
+	}
+	if ExtJoin(99).String() == "" {
+		t.Error("unknown join should still render")
+	}
+}
+
+// TestInferExtendedJoins: the inference recovers each extended goal join
+// (instance-equivalent) — the dimension tables are tiny, so these runs
+// also exercise dense accidental-match regimes (every nationkey collides
+// with keys, priorities, sizes…).
+func TestInferExtendedJoins(t *testing.T) {
+	d := MustGenerate(1, 42).Extend()
+	for _, j := range AllExtJoins() {
+		inst, goal, err := d.Instance(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := inference.New(inst)
+		res, err := inference.Run(e, strategy.NewTopDown(), oracle.NewHonest(inst, e.U, goal), 0)
+		if err != nil {
+			t.Fatalf("%v: %v", j, err)
+		}
+		gj := predicate.Join(inst, e.U, goal)
+		rj := predicate.Join(inst, e.U, res.Predicate)
+		if len(gj) != len(rj) {
+			t.Errorf("%v: inferred %v not equivalent (selects %d vs %d)",
+				j, res.Predicate.Format(e.U), len(rj), len(gj))
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package tpch is a from-scratch, deterministic mini-dbgen for the TPC-H
+// schema, standing in for the official generator (unavailable offline; see
+// DESIGN.md, Substitutions).
+//
+// It produces the six tables the paper's five goal joins touch — Part,
+// Supplier, PartSupp, Customer, Orders, Lineitem — with the benchmark's
+// key / foreign-key structure, and with value domains deliberately chosen
+// so that *accidental* cross-column matches occur: keys, sizes, quantities,
+// brands and priorities all share small integer ranges. That is exactly the
+// difficulty Section 5.1 evaluates ("a value 15 may as well represent a
+// key, a size, a price, or a quantity").
+//
+// The paper's scaling factors (1 … 100000) are mapped to row-count
+// multipliers via SFToMultiplier so Cartesian products stay laptop-scale;
+// EXPERIMENTS.md records the mapping.
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/predicate"
+	"repro/internal/relation"
+)
+
+// Base row counts at multiplier 1. PartSupp keeps TPC-H's four suppliers
+// per part; Lineitem keeps four lines per order.
+const (
+	basePart     = 100
+	baseSupplier = 10
+	basePartSupp = 4 * basePart
+	baseCustomer = 150
+	baseOrders   = 300
+	baseLineitem = 4 * baseOrders
+)
+
+// Data holds one generated database.
+type Data struct {
+	Part, Supplier, PartSupp, Customer, Orders, Lineitem *relation.Relation
+	// Multiplier is the row-count multiplier the data was generated with.
+	Multiplier int
+}
+
+// SFToMultiplier maps a TPC-H scaling factor to a row-count multiplier:
+// 1 + log10(sf), capped to [1, 4]. SF 1 → 1× rows; SF 100000 → 4× (capped),
+// keeping the largest product (Orders × Lineitem) in the millions.
+func SFToMultiplier(sf float64) int {
+	if sf <= 1 {
+		return 1
+	}
+	m := 1 + int(math.Round(math.Log10(sf)*0.6))
+	if m > 4 {
+		m = 4
+	}
+	return m
+}
+
+// Generate builds a deterministic database at the given multiplier.
+func Generate(multiplier int, seed int64) (*Data, error) {
+	if multiplier < 1 {
+		return nil, fmt.Errorf("tpch: multiplier must be ≥ 1, got %d", multiplier)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := &Data{Multiplier: multiplier}
+
+	nPart := basePart * multiplier
+	nSupp := baseSupplier * multiplier
+	nPS := basePartSupp * multiplier
+	nCust := baseCustomer * multiplier
+	nOrd := baseOrders * multiplier
+	nLine := baseLineitem * multiplier
+
+	itoa := strconv.Itoa
+	// Money and date columns use TPC-H's lexical forms ("901.23",
+	// "1994-07-15"), which — exactly as in the real benchmark — never
+	// collide with integer key/size/quantity domains; the accidental
+	// matches the paper discusses come from the small-integer columns.
+	money := func(lo, hi int) string {
+		cents := lo*100 + rng.Intn((hi-lo)*100)
+		return fmt.Sprintf("%d.%02d", cents/100, cents%100)
+	}
+	date := func() string {
+		day := rng.Intn(2556) // ~7 years of days like dbgen
+		return fmt.Sprintf("%d-%02d-%02d", 1992+day/365, 1+(day/30)%12, 1+day%28)
+	}
+
+	d.Part = relation.NewRelation(relation.MustSchema("Part",
+		"Partkey", "PName", "Mfgr", "Brand", "PType", "PSize", "Container", "Retailprice"))
+	for k := 1; k <= nPart; k++ {
+		d.Part.MustAddTuple(
+			itoa(k),
+			"Part#"+itoa(k),
+			itoa(1+rng.Intn(5)),   // Mfgr 1..5
+			itoa(10+rng.Intn(25)), // Brand 10..34
+			itoa(1+rng.Intn(150)), // PType 1..150
+			itoa(1+rng.Intn(50)),  // PSize 1..50 — collides with keys/quantities
+			itoa(1+rng.Intn(40)),  // Container 1..40
+			money(900, 1100),
+		)
+	}
+
+	d.Supplier = relation.NewRelation(relation.MustSchema("Supplier",
+		"Suppkey", "SName", "SNationkey", "SAcctbal"))
+	for k := 1; k <= nSupp; k++ {
+		d.Supplier.MustAddTuple(
+			itoa(k),
+			"Supplier#"+itoa(k),
+			itoa(rng.Intn(25)), // SNationkey 0..24 — collides with small keys
+			money(0, 10000),
+		)
+	}
+
+	d.PartSupp = relation.NewRelation(relation.MustSchema("PartSupp",
+		"PSPartkey", "PSSuppkey", "Availqty", "Supplycost"))
+	for i := 0; i < nPS; i++ {
+		partkey := i/4 + 1
+		suppkey := (i*7+i/4)%nSupp + 1 // spread suppliers like dbgen does
+		d.PartSupp.MustAddTuple(
+			itoa(partkey),
+			itoa(suppkey),
+			itoa(1+rng.Intn(9999)), // Availqty — collides with key ranges
+			money(1, 1000),
+		)
+	}
+
+	d.Customer = relation.NewRelation(relation.MustSchema("Customer",
+		"Custkey", "CName", "CNationkey", "CAcctbal", "Mktsegment"))
+	for k := 1; k <= nCust; k++ {
+		d.Customer.MustAddTuple(
+			itoa(k),
+			"Customer#"+itoa(k),
+			itoa(rng.Intn(25)),
+			money(0, 10000),
+			itoa(1+rng.Intn(5)), // Mktsegment 1..5 — collides with Mfgr, priorities
+		)
+	}
+
+	d.Orders = relation.NewRelation(relation.MustSchema("Orders",
+		"Orderkey", "OCustkey", "Orderstatus", "Totalprice", "Orderdate", "Orderpriority"))
+	for k := 1; k <= nOrd; k++ {
+		d.Orders.MustAddTuple(
+			itoa(k),
+			itoa(1+rng.Intn(nCust)),
+			itoa(rng.Intn(3)), // Orderstatus 0..2
+			money(1000, 10000),
+			date(),
+			itoa(1+rng.Intn(5)), // Orderpriority 1..5
+		)
+	}
+
+	d.Lineitem = relation.NewRelation(relation.MustSchema("Lineitem",
+		"LOrderkey", "LPartkey", "LSuppkey", "Linenumber", "Quantity", "Extendedprice", "LDiscount", "LTax"))
+	for i := 0; i < nLine; i++ {
+		orderkey := i/4 + 1
+		d.Lineitem.MustAddTuple(
+			itoa(orderkey),
+			itoa(1+rng.Intn(nPart)),
+			itoa(1+rng.Intn(nSupp)),
+			itoa(i%4+1),          // Linenumber 1..4
+			itoa(1+rng.Intn(50)), // Quantity 1..50 — collides with PSize etc.
+			money(1000, 10000),
+			fmt.Sprintf("0.%02d", rng.Intn(11)), // LDiscount 0.00..0.10
+			fmt.Sprintf("0.%02d", rng.Intn(9)),  // LTax 0.00..0.08
+		)
+	}
+	return d, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(multiplier int, seed int64) *Data {
+	d, err := Generate(multiplier, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Join identifies one of the paper's five goal joins (Section 5.1).
+type Join int
+
+// The five goal joins of Section 5.1 — key/foreign-key relationships, all
+// unknown to the strategies.
+const (
+	// Join1: Part[Partkey] = Partsupp[Partkey].
+	Join1 Join = iota + 1
+	// Join2: Supplier[Suppkey] = Partsupp[Suppkey].
+	Join2
+	// Join3: Customer[Custkey] = Orders[Custkey].
+	Join3
+	// Join4: Orders[Orderkey] = Lineitem[Orderkey].
+	Join4
+	// Join5: Partsupp[Partkey] = Lineitem[Partkey] ∧
+	// Partsupp[Suppkey] = Lineitem[Suppkey].
+	Join5
+)
+
+// AllJoins lists the five goal joins in paper order.
+func AllJoins() []Join { return []Join{Join1, Join2, Join3, Join4, Join5} }
+
+// String implements fmt.Stringer.
+func (j Join) String() string { return fmt.Sprintf("Join %d", int(j)) }
+
+// GoalSize returns |θG|: 1 for Joins 1–4, 2 for Join 5.
+func (j Join) GoalSize() int {
+	if j == Join5 {
+		return 2
+	}
+	return 1
+}
+
+// Instance returns the two-relation instance and the goal predicate for the
+// join.
+func (d *Data) Instance(j Join) (*relation.Instance, predicate.Pred, error) {
+	var inst *relation.Instance
+	var pairs [][2]string
+	switch j {
+	case Join1:
+		inst = relation.MustInstance(d.Part, d.PartSupp)
+		pairs = [][2]string{{"Partkey", "PSPartkey"}}
+	case Join2:
+		inst = relation.MustInstance(d.Supplier, d.PartSupp)
+		pairs = [][2]string{{"Suppkey", "PSSuppkey"}}
+	case Join3:
+		inst = relation.MustInstance(d.Customer, d.Orders)
+		pairs = [][2]string{{"Custkey", "OCustkey"}}
+	case Join4:
+		inst = relation.MustInstance(d.Orders, d.Lineitem)
+		pairs = [][2]string{{"Orderkey", "LOrderkey"}}
+	case Join5:
+		inst = relation.MustInstance(d.PartSupp, d.Lineitem)
+		pairs = [][2]string{{"PSPartkey", "LPartkey"}, {"PSSuppkey", "LSuppkey"}}
+	default:
+		return nil, predicate.Pred{}, fmt.Errorf("tpch: unknown join %d", int(j))
+	}
+	u := predicate.NewUniverse(inst)
+	var namePairs [][2]string
+	namePairs = append(namePairs, pairs...)
+	goal, err := predicate.FromNames(u, namePairs...)
+	if err != nil {
+		return nil, predicate.Pred{}, err
+	}
+	return inst, goal, nil
+}

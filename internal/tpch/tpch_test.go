@@ -1,0 +1,177 @@
+package tpch
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/predicate"
+)
+
+func TestSFToMultiplier(t *testing.T) {
+	cases := []struct {
+		sf   float64
+		want int
+	}{
+		{0.5, 1},
+		{1, 1},
+		{10, 2},
+		{100, 2},
+		{1000, 3},
+		{100000, 4},
+		{1e9, 4}, // capped
+	}
+	for _, c := range cases {
+		if got := SFToMultiplier(c.sf); got != c.want {
+			t.Errorf("SFToMultiplier(%v) = %d, want %d", c.sf, got, c.want)
+		}
+	}
+}
+
+func TestGenerateRowCounts(t *testing.T) {
+	d := MustGenerate(1, 42)
+	if d.Part.Len() != basePart {
+		t.Errorf("Part rows = %d", d.Part.Len())
+	}
+	if d.Supplier.Len() != baseSupplier {
+		t.Errorf("Supplier rows = %d", d.Supplier.Len())
+	}
+	if d.PartSupp.Len() != basePartSupp {
+		t.Errorf("PartSupp rows = %d", d.PartSupp.Len())
+	}
+	if d.Customer.Len() != baseCustomer {
+		t.Errorf("Customer rows = %d", d.Customer.Len())
+	}
+	if d.Orders.Len() != baseOrders {
+		t.Errorf("Orders rows = %d", d.Orders.Len())
+	}
+	if d.Lineitem.Len() != baseLineitem {
+		t.Errorf("Lineitem rows = %d", d.Lineitem.Len())
+	}
+
+	d2 := MustGenerate(3, 42)
+	if d2.Part.Len() != 3*basePart || d2.Lineitem.Len() != 3*baseLineitem {
+		t.Error("multiplier not applied")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(0, 1); err == nil {
+		t.Error("multiplier 0 accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate(0) did not panic")
+		}
+	}()
+	MustGenerate(0, 1)
+}
+
+func TestForeignKeysValid(t *testing.T) {
+	d := MustGenerate(2, 7)
+	nPart, nSupp := d.Part.Len(), d.Supplier.Len()
+	nCust, nOrd := d.Customer.Len(), d.Orders.Len()
+
+	for _, tp := range d.PartSupp.Tuples {
+		pk, _ := strconv.Atoi(tp[0])
+		sk, _ := strconv.Atoi(tp[1])
+		if pk < 1 || pk > nPart {
+			t.Fatalf("PartSupp partkey %d out of range", pk)
+		}
+		if sk < 1 || sk > nSupp {
+			t.Fatalf("PartSupp suppkey %d out of range", sk)
+		}
+	}
+	for _, tp := range d.Orders.Tuples {
+		ck, _ := strconv.Atoi(tp[1])
+		if ck < 1 || ck > nCust {
+			t.Fatalf("Orders custkey %d out of range", ck)
+		}
+	}
+	for _, tp := range d.Lineitem.Tuples {
+		ok, _ := strconv.Atoi(tp[0])
+		pk, _ := strconv.Atoi(tp[1])
+		sk, _ := strconv.Atoi(tp[2])
+		if ok < 1 || ok > nOrd {
+			t.Fatalf("Lineitem orderkey %d out of range", ok)
+		}
+		if pk < 1 || pk > nPart || sk < 1 || sk > nSupp {
+			t.Fatalf("Lineitem part/supp key out of range")
+		}
+	}
+	// Every part has exactly 4 PartSupp rows; every order exactly 4 lines.
+	psPerPart := map[string]int{}
+	for _, tp := range d.PartSupp.Tuples {
+		psPerPart[tp[0]]++
+	}
+	for k, n := range psPerPart {
+		if n != 4 {
+			t.Fatalf("part %s has %d partsupp rows", k, n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(1, 5)
+	b := MustGenerate(1, 5)
+	for i := range a.Lineitem.Tuples {
+		for j := range a.Lineitem.Tuples[i] {
+			if a.Lineitem.Tuples[i][j] != b.Lineitem.Tuples[i][j] {
+				t.Fatal("same seed produced different Lineitem")
+			}
+		}
+	}
+}
+
+func TestInstanceGoals(t *testing.T) {
+	d := MustGenerate(1, 42)
+	for _, j := range AllJoins() {
+		inst, goal, err := d.Instance(j)
+		if err != nil {
+			t.Fatalf("%v: %v", j, err)
+		}
+		if goal.Size() != j.GoalSize() {
+			t.Errorf("%v goal size = %d, want %d", j, goal.Size(), j.GoalSize())
+		}
+		u := predicate.NewUniverse(inst)
+		// The FK structure guarantees the goal join is non-empty.
+		if len(predicate.Join(inst, u, goal)) == 0 {
+			t.Errorf("%v: goal join empty", j)
+		}
+	}
+	if _, _, err := d.Instance(Join(99)); err == nil {
+		t.Error("unknown join accepted")
+	}
+}
+
+func TestJoinString(t *testing.T) {
+	if Join4.String() != "Join 4" {
+		t.Errorf("String = %q", Join4.String())
+	}
+	if len(AllJoins()) != 5 {
+		t.Error("AllJoins should list 5 joins")
+	}
+}
+
+// TestAccidentalMatches: the value domains must produce cross-column
+// collisions beyond the key/FK pairs — the difficulty the paper evaluates.
+func TestAccidentalMatches(t *testing.T) {
+	d := MustGenerate(1, 42)
+	inst, goal, err := d.Instance(Join1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := predicate.NewUniverse(inst)
+	// Count product pairs (on a sample) whose T contains a non-goal pair.
+	accidental := 0
+	for ri := 0; ri < 20; ri++ {
+		for pi := 0; pi < inst.P.Len(); pi++ {
+			th := predicate.T(u, inst.R.Tuples[ri], inst.P.Tuples[pi])
+			if th.Size() > 0 && !th.Equal(goal) {
+				accidental++
+			}
+		}
+	}
+	if accidental == 0 {
+		t.Error("no accidental matches — domains too disjoint to exercise the paper's scenario")
+	}
+}

@@ -1,0 +1,262 @@
+package versionspace
+
+import (
+	"math/big"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/inference"
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+	"repro/internal/relation"
+	"repro/internal/sample"
+)
+
+func TestCountEmptySample(t *testing.T) {
+	e := inference.New(paperdata.Example21())
+	if got := Count(e); got.Cmp(big.NewInt(64)) != 0 {
+		t.Errorf("Count = %v, want 2^6 = 64", got)
+	}
+}
+
+func TestEnumerateMatchesCount(t *testing.T) {
+	inst := paperdata.Example21()
+	e := inference.New(inst)
+	// Label (t2,t2') positive: T(S+) = {(A1,B1),(A2,B3)} → candidates are
+	// its 4 subsets.
+	ci := classIndexFor(e, 1, 1)
+	if err := e.Label(ci, sample.Positive); err != nil {
+		t.Fatal(err)
+	}
+	preds := Enumerate(e, 16)
+	if len(preds) != 4 {
+		t.Fatalf("Enumerate = %d predicates, want 4", len(preds))
+	}
+	if got := Count(e); got.Cmp(big.NewInt(int64(len(preds)))) != 0 {
+		t.Errorf("Count %v ≠ len(Enumerate) %d", got, len(preds))
+	}
+	// Sorted ascending by size.
+	for i := 1; i < len(preds); i++ {
+		if preds[i-1].Size() > preds[i].Size() {
+			t.Error("Enumerate not sorted by size")
+		}
+	}
+	// Every enumerated predicate is consistent.
+	for _, p := range preds {
+		if !e.Sample().ConsistentWith(p) {
+			t.Errorf("enumerated predicate %v not consistent", p)
+		}
+	}
+}
+
+func TestEnumerateTooLarge(t *testing.T) {
+	e := inference.New(paperdata.Example21())
+	if got := Enumerate(e, 3); got != nil { // |T(S+)| = 6 > 3
+		t.Error("Enumerate should refuse oversized spaces")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	e := inference.New(paperdata.Example21())
+	p := Describe(e)
+	if p.TotalClasses != 12 || p.Labeled != 0 {
+		t.Errorf("Describe = %+v", p)
+	}
+	if p.InformativeClasses != 12 {
+		t.Errorf("informative = %d, want 12", p.InformativeClasses)
+	}
+	if p.Candidates.Cmp(big.NewInt(64)) != 0 {
+		t.Errorf("candidates = %v", p.Candidates)
+	}
+}
+
+// TestCandidatesShrinkMonotonically: every answered question weakly
+// shrinks |C(S)|, and strictly when the tuple was informative.
+func TestCandidatesShrinkMonotonically(t *testing.T) {
+	inst := paperdata.Example21()
+	e := inference.New(inst)
+	goal := predicate.FromPairs(e.U, [2]int{1, 2})
+	prev := Count(e)
+	for !e.Done() {
+		ci := -1
+		for i := range e.Classes() {
+			if e.Informative(i) {
+				ci = i
+				break
+			}
+		}
+		c := e.Classes()[ci]
+		l := sample.Negative
+		if goal.Selects(e.U, inst.R.Tuples[c.RI], inst.P.Tuples[c.PI]) {
+			l = sample.Positive
+		}
+		if err := e.Label(ci, l); err != nil {
+			t.Fatal(err)
+		}
+		cur := Count(e)
+		if cur.Cmp(prev) >= 0 {
+			t.Fatalf("candidates did not shrink: %v → %v", prev, cur)
+		}
+		prev = cur
+	}
+	if prev.Sign() <= 0 {
+		t.Error("final candidate count must stay positive")
+	}
+}
+
+// TestMinimalConsistentExample31 replays Example 3.1: after the sample S0
+// (positives (t2,t2'), (t4,t1'); negative (t3,t2')), the most specific
+// consistent predicate is θ0 = {(A1,B1),(A2,B3)} and θ0' = {(A1,B1)} is a
+// smaller consistent one; the minimal consistent predicates must all be
+// single pairs or smaller, none containing another.
+func TestMinimalConsistentExample31(t *testing.T) {
+	inst := paperdata.Example21()
+	e := inference.New(inst)
+	for _, step := range []struct {
+		ri, pi int
+		l      sample.Label
+	}{
+		{1, 1, sample.Positive},
+		{3, 0, sample.Positive},
+		{2, 1, sample.Negative},
+	} {
+		if err := e.Label(classIndexFor(e, step.ri, step.pi), step.l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	theta0 := predicate.FromPairs(e.U, [2]int{0, 0}, [2]int{1, 2})
+	if !e.Result().Equal(theta0) {
+		t.Fatalf("Result = %v, want θ0", e.Result())
+	}
+	mins := MinimalConsistent(e, 16)
+	if mins == nil || len(mins) == 0 {
+		t.Fatal("no minimal predicates")
+	}
+	theta0p := predicate.FromPairs(e.U, [2]int{0, 0}) // {(A1,B1)}
+	found := false
+	for _, m := range mins {
+		if m.Equal(theta0p) {
+			found = true
+		}
+		// Every minimal predicate is consistent and contains no smaller
+		// consistent predicate.
+		if !e.Sample().ConsistentWith(m) {
+			t.Errorf("minimal predicate %v inconsistent", m)
+		}
+		for _, o := range mins {
+			if !o.Equal(m) && o.Set.ProperSubsetOf(m.Set) {
+				t.Errorf("%v not minimal (contains %v)", m, o)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("θ0' = {(A1,B1)} missing from minimal set %v", mins)
+	}
+	if got := MinimalConsistent(e, 0); got != nil {
+		t.Error("maxBits 0 should refuse")
+	}
+}
+
+func classIndexFor(e *inference.Engine, ri, pi int) int {
+	theta := predicate.T(e.U, e.Inst.R.Tuples[ri], e.Inst.P.Tuples[pi])
+	for ci, c := range e.Classes() {
+		if c.Theta.Equal(theta) {
+			return ci
+		}
+	}
+	return -1
+}
+
+// TestQuickEnumerateEqualsBruteForce: enumeration equals the definition on
+// random instances and samples.
+func TestQuickEnumerateEqualsBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randInstance(r)
+		e := inference.New(inst)
+		goal := randPred(r, e.U)
+		for q := 0; q < 1+r.Intn(3); q++ {
+			inf := e.InformativeClasses()
+			if len(inf) == 0 {
+				break
+			}
+			ci := inf[r.Intn(len(inf))]
+			c := e.Classes()[ci]
+			l := sample.Negative
+			if goal.Selects(e.U, inst.R.Tuples[c.RI], inst.P.Tuples[c.PI]) {
+				l = sample.Positive
+			}
+			if err := e.Label(ci, l); err != nil {
+				return false
+			}
+		}
+		preds := Enumerate(e, 12)
+		if preds == nil {
+			return true
+		}
+		// Brute force over the full universe.
+		want := 0
+		size := e.U.Size()
+		for mask := 0; mask < 1<<uint(size); mask++ {
+			var p predicate.Pred
+			for b := 0; b < size; b++ {
+				if mask&(1<<uint(b)) != 0 {
+					p.Set.Add(b)
+				}
+			}
+			if e.Sample().ConsistentWith(p) {
+				want++
+			}
+		}
+		if len(preds) != want {
+			return false
+		}
+		return Count(e).Cmp(big.NewInt(int64(want))) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randInstance(r *rand.Rand) *relation.Instance {
+	n := 1 + r.Intn(2)
+	m := 1 + r.Intn(2)
+	vals := 1 + r.Intn(3)
+	ra := make([]string, n)
+	for i := range ra {
+		ra[i] = "A" + strconv.Itoa(i+1)
+	}
+	pa := make([]string, m)
+	for i := range pa {
+		pa[i] = "B" + strconv.Itoa(i+1)
+	}
+	R := relation.NewRelation(relation.MustSchema("R", ra...))
+	P := relation.NewRelation(relation.MustSchema("P", pa...))
+	for i := 0; i < 2+r.Intn(3); i++ {
+		tr := make(relation.Tuple, n)
+		for k := range tr {
+			tr[k] = strconv.Itoa(r.Intn(vals))
+		}
+		R.Tuples = append(R.Tuples, tr)
+	}
+	for i := 0; i < 2+r.Intn(3); i++ {
+		tp := make(relation.Tuple, m)
+		for k := range tp {
+			tp[k] = strconv.Itoa(r.Intn(vals))
+		}
+		P.Tuples = append(P.Tuples, tp)
+	}
+	return relation.MustInstance(R, P)
+}
+
+func randPred(r *rand.Rand, u *predicate.Universe) predicate.Pred {
+	var p predicate.Pred
+	for id := 0; id < u.Size(); id++ {
+		if r.Intn(3) == 0 {
+			p.Set.Add(id)
+		}
+	}
+	return p
+}

@@ -1,0 +1,299 @@
+// Package joininference is a Go implementation of "Interactive Inference of
+// Join Queries" (Bonifati, Ciucanu, Staworko — EDBT 2014): inferring an
+// equijoin predicate across two relations from simple Yes/No tuple labels,
+// with no knowledge of integrity constraints.
+//
+// # Model
+//
+// Given relations R and P, a join predicate θ is a set of attribute pairs
+// from Ω = attrs(R) × attrs(P); R ⋈θ P selects the tuples of R × P agreeing
+// on every pair. The user has a goal predicate in mind and answers
+// membership queries: "is this tuple part of your join?" The session asks
+// only *informative* tuples — those whose label actually narrows the set of
+// consistent predicates, a PTIME test (Theorem 3.5) — and stops when at
+// most one predicate (up to instance equivalence) remains.
+//
+// # Quick start
+//
+//	inst, _ := joininference.LoadCSV("flights.csv", "hotels.csv")
+//	session := joininference.NewSession(inst)
+//	for {
+//		q, ok := session.NextQuestion(joininference.StrategyTD)
+//		if !ok {
+//			break
+//		}
+//		session.Answer(q, askUser(q)) // your UI
+//	}
+//	fmt.Println(session.Inferred().Format(session.Universe()))
+//
+// Subpackages under internal implement the substrates: T-class collection,
+// strategies (BU/TD/L1S/L2S/optimal), the TPC-H and synthetic workload
+// generators, the experiment harness for the paper's figures, and the
+// semijoin NP-completeness machinery (Section 6).
+package joininference
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/inference"
+	"repro/internal/predicate"
+	"repro/internal/product"
+	"repro/internal/relation"
+	"repro/internal/sample"
+	"repro/internal/strategy"
+)
+
+// Re-exported substrate types: the public API speaks in terms of these.
+type (
+	// Relation is a named table of string-valued tuples.
+	Relation = relation.Relation
+	// Schema names a relation and its attributes.
+	Schema = relation.Schema
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Instance is the pair of relations inference runs over.
+	Instance = relation.Instance
+	// Pred is a join predicate: a set of attribute pairs.
+	Pred = predicate.Pred
+	// Universe is the attribute-pair universe Ω of an instance.
+	Universe = predicate.Universe
+	// Label marks an example positive or negative.
+	Label = sample.Label
+)
+
+// Label values.
+const (
+	Positive = sample.Positive
+	Negative = sample.Negative
+)
+
+// StrategyID selects a questioning strategy.
+type StrategyID string
+
+// The strategies of Section 4.
+const (
+	// StrategyBU walks the predicate lattice bottom-up (Algorithm 2).
+	StrategyBU StrategyID = "BU"
+	// StrategyTD walks it top-down until a positive arrives (Algorithm 3).
+	StrategyTD StrategyID = "TD"
+	// StrategyL1S maximizes one-step entropy (Algorithm 4).
+	StrategyL1S StrategyID = "L1S"
+	// StrategyL2S maximizes two-step entropy (Algorithms 5–6).
+	StrategyL2S StrategyID = "L2S"
+	// StrategyRND asks a random informative tuple (baseline).
+	StrategyRND StrategyID = "RND"
+)
+
+// NewSchema builds a schema, validating attribute names.
+func NewSchema(name string, attrs ...string) (*Schema, error) {
+	return relation.NewSchema(name, attrs...)
+}
+
+// NewRelation returns an empty relation over the schema.
+func NewRelation(s *Schema) *Relation { return relation.NewRelation(s) }
+
+// NewInstance pairs two relations with disjoint attribute sets.
+func NewInstance(r, p *Relation) (*Instance, error) { return relation.NewInstance(r, p) }
+
+// ReadCSV loads a relation from CSV (header row = attribute names).
+func ReadCSV(name string, src io.Reader) (*Relation, error) { return relation.ReadCSV(name, src) }
+
+// LoadCSV loads two CSV files and pairs them into an instance; relation
+// names are derived from the file names.
+func LoadCSV(rPath, pPath string) (*Instance, error) {
+	load := func(path string) (*Relation, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("joininference: %w", err)
+		}
+		defer f.Close()
+		return relation.ReadCSV(baseName(path), f)
+	}
+	r, err := load(rPath)
+	if err != nil {
+		return nil, err
+	}
+	p, err := load(pPath)
+	if err != nil {
+		return nil, err
+	}
+	return relation.NewInstance(r, p)
+}
+
+func baseName(path string) string {
+	base := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			base = path[i+1:]
+			break
+		}
+	}
+	for i := len(base) - 1; i >= 0; i-- {
+		if base[i] == '.' {
+			return base[:i]
+		}
+	}
+	return base
+}
+
+// PredFromNames builds a predicate from attribute-name pairs, e.g.
+// {{"To", "City"}}.
+func PredFromNames(u *Universe, pairs ...[2]string) (Pred, error) {
+	return predicate.FromNames(u, pairs...)
+}
+
+// Question is a membership query: "should this pair of rows be joined?".
+type Question struct {
+	// RTuple and PTuple are the rows being paired.
+	RTuple, PTuple Tuple
+	// RIndex, PIndex locate them in the instance.
+	RIndex, PIndex int
+	// EquivalentTuples is the number of product tuples this answer decides
+	// directly (the size of the tuple's T-class).
+	EquivalentTuples int64
+
+	classIndex int
+}
+
+// Session is an interactive inference session over one instance
+// (Algorithm 1 driven from outside: the caller owns the user interaction).
+type Session struct {
+	engine *inference.Engine
+	strats map[StrategyID]inference.Strategy
+	asked  int
+}
+
+// NewSession prepares a session: it scans the Cartesian product once
+// (through a shared-value index, never materializing the product) and
+// groups it into T-classes.
+func NewSession(inst *Instance) *Session {
+	return &Session{
+		engine: inference.New(inst),
+		strats: make(map[StrategyID]inference.Strategy),
+	}
+}
+
+// Universe returns Ω for formatting predicates.
+func (s *Session) Universe() *Universe { return s.engine.U }
+
+// Done reports whether any informative tuple remains (halt condition Γ).
+func (s *Session) Done() bool { return s.engine.Done() }
+
+// Questions returns the number of answers recorded so far.
+func (s *Session) Questions() int { return s.asked }
+
+// Classes returns the number of T-classes of the product (the worst-case
+// number of questions).
+func (s *Session) Classes() int { return len(s.engine.Classes()) }
+
+// NextQuestion picks the next informative tuple under the given strategy.
+// ok is false when the session is done.
+func (s *Session) NextQuestion(id StrategyID) (q Question, ok bool) {
+	if s.engine.Done() {
+		return Question{}, false
+	}
+	strat, err := s.strategyFor(id)
+	if err != nil {
+		return Question{}, false
+	}
+	ci := strat.Next(s.engine)
+	if ci < 0 {
+		return Question{}, false
+	}
+	c := s.engine.Classes()[ci]
+	inst := s.engine.Inst
+	return Question{
+		RTuple:           inst.R.Tuples[c.RI],
+		PTuple:           inst.P.Tuples[c.PI],
+		RIndex:           c.RI,
+		PIndex:           c.PI,
+		EquivalentTuples: c.Count,
+		classIndex:       ci,
+	}, true
+}
+
+// Answer records the user's label for a question returned by NextQuestion.
+// It returns inference.ErrInconsistent (wrapped) if the labels contradict
+// every possible equijoin predicate.
+func (s *Session) Answer(q Question, l Label) error {
+	if err := s.engine.Label(q.classIndex, l); err != nil {
+		return fmt.Errorf("joininference: %w", err)
+	}
+	s.asked++
+	return nil
+}
+
+// Inferred returns the current most specific consistent predicate T(S+);
+// once Done() holds it is instance-equivalent to the user's goal.
+func (s *Session) Inferred() Pred { return s.engine.Result() }
+
+// strategyFor lazily constructs and caches the strategy (TD and RND carry
+// state across calls).
+func (s *Session) strategyFor(id StrategyID) (inference.Strategy, error) {
+	if st, ok := s.strats[id]; ok {
+		return st, nil
+	}
+	var st inference.Strategy
+	switch id {
+	case StrategyBU:
+		st = strategy.BottomUp{}
+	case StrategyTD:
+		st = strategy.NewTopDown()
+	case StrategyL1S:
+		st = strategy.Lookahead{K: 1}
+	case StrategyL2S:
+		st = strategy.Lookahead{K: 2}
+	case StrategyRND:
+		// Sessions are interactive; a fixed seed keeps reruns of the same
+		// answer sequence reproducible. Use the lower-level
+		// strategy.NewRandom for custom seeding.
+		st = strategy.NewRandom(1)
+	default:
+		return nil, fmt.Errorf("joininference: unknown strategy %q", id)
+	}
+	s.strats[id] = st
+	return st, nil
+}
+
+// Infer runs a whole session non-interactively against an answerer function
+// (e.g. a simulated user) and returns the inferred predicate plus the
+// number of questions asked.
+func Infer(inst *Instance, id StrategyID, answer func(Question) Label) (Pred, int, error) {
+	s := NewSession(inst)
+	for {
+		q, ok := s.NextQuestion(id)
+		if !ok {
+			break
+		}
+		if err := s.Answer(q, answer(q)); err != nil {
+			return Pred{}, s.asked, err
+		}
+	}
+	return s.Inferred(), s.asked, nil
+}
+
+// InferGoal simulates an honest user with the given goal predicate;
+// useful for testing and benchmarking workloads.
+func InferGoal(inst *Instance, id StrategyID, goal Pred) (Pred, int, error) {
+	u := predicate.NewUniverse(inst)
+	return Infer(inst, id, func(q Question) Label {
+		if goal.Selects(u, q.RTuple, q.PTuple) {
+			return Positive
+		}
+		return Negative
+	})
+}
+
+// JoinRatio computes the paper's instance-complexity measure (Section 5.3).
+func JoinRatio(inst *Instance) float64 {
+	u := predicate.NewUniverse(inst)
+	return product.JoinRatio(product.ClassesIndexed(inst, u))
+}
+
+// Join materializes R ⋈θ P as index pairs (for small instances/demos).
+func Join(inst *Instance, theta Pred) [][2]int {
+	u := predicate.NewUniverse(inst)
+	return predicate.Join(inst, u, theta)
+}

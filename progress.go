@@ -1,0 +1,121 @@
+package joininference
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/inference"
+	"repro/internal/strategy"
+	"repro/internal/versionspace"
+)
+
+// Progress summarizes how far a session has converged.
+type Progress struct {
+	// Candidates is the number of join predicates still consistent with
+	// the answers (nil in the astronomically unlikely case it cannot be
+	// counted). When the session is Done, all remaining candidates are
+	// instance-equivalent.
+	Candidates *big.Int
+	// RemainingQuestions is the number of informative classes left — the
+	// worst-case number of further questions.
+	RemainingQuestions int
+	// TotalClasses and Answered mirror Classes() and Questions().
+	TotalClasses int
+	Answered     int
+}
+
+// Progress reports the session's convergence state; useful for showing the
+// user "N candidate queries remain" between questions.
+func (s *Session) Progress() Progress {
+	p := versionspace.Describe(s.engine)
+	return Progress{
+		Candidates:         p.Candidates,
+		RemainingQuestions: p.InformativeClasses,
+		TotalClasses:       p.TotalClasses,
+		Answered:           p.Labeled,
+	}
+}
+
+// Candidates enumerates the predicates still consistent with the answers,
+// most general first, provided |T(S+)| ≤ maxBits (the enumeration is
+// 2^|T(S+)|); it returns nil when the space is too large — check
+// Progress().Candidates first.
+func (s *Session) Candidates(maxBits int) []Pred {
+	return versionspace.Enumerate(s.engine, maxBits)
+}
+
+// Explanation tells the user why a question is worth asking.
+type Explanation struct {
+	// DecidedIfYes / DecidedIfNo count the product tuples whose membership
+	// each answer settles immediately (beyond the asked tuples themselves).
+	DecidedIfYes, DecidedIfNo int64
+	// CandidatesIfYes / CandidatesIfNo count the join predicates that
+	// would remain consistent after each answer (nil if uncountable).
+	CandidatesIfYes, CandidatesIfNo *big.Int
+}
+
+// Explain computes the impact of both possible answers to a question,
+// without recording anything.
+func (s *Session) Explain(q Question) Explanation {
+	theta := s.engine.Classes()[q.classIndex].Theta
+	tpos := s.engine.TPos()
+	negs := s.engine.Negatives()
+
+	return Explanation{
+		CandidatesIfYes: strategy.CountConsistent(tpos.Intersect(theta), negs),
+		CandidatesIfNo: strategy.CountConsistent(tpos,
+			append(append([]Pred(nil), negs...), theta)),
+		DecidedIfYes: countDecided(s.engine, q.classIndex, Positive),
+		DecidedIfNo:  countDecided(s.engine, q.classIndex, Negative),
+	}
+}
+
+// countDecided counts base-informative tuples made certain by labeling the
+// class with the given label.
+func countDecided(e *inference.Engine, ci int, l Label) int64 {
+	theta := e.Classes()[ci].Theta
+	tpos := e.TPos()
+	negs := e.Negatives()
+	if l == Positive {
+		tpos = tpos.Intersect(theta)
+	} else {
+		negs = append(append([]Pred(nil), negs...), theta)
+	}
+	var sum int64
+	for _, cj := range e.InformativeClasses() {
+		if cj == ci {
+			sum += e.Classes()[cj].Count - 1
+			continue
+		}
+		if inference.CertainUnder(tpos, negs, e.Classes()[cj].Theta) {
+			sum += e.Classes()[cj].Count
+		}
+	}
+	return sum
+}
+
+// Undo retracts the most recent answer. It rebuilds the sample from the
+// transcript, so it costs O(answers) and supports repeated undo back to
+// the empty session.
+func (s *Session) Undo() error {
+	tr := s.Transcript()
+	if len(tr) == 0 {
+		return fmt.Errorf("joininference: nothing to undo")
+	}
+	tr = tr[:len(tr)-1]
+	fresh := inference.New(s.engine.Inst, inference.WithClasses(s.engine.Classes()))
+	replayed := 0
+	for _, e := range tr {
+		ci := s.classIndexFor(e.RIndex, e.PIndex)
+		if ci < 0 {
+			return fmt.Errorf("joininference: internal error: transcript tuple (%d,%d) has no class", e.RIndex, e.PIndex)
+		}
+		if err := fresh.Label(ci, Label(e.Positive)); err != nil {
+			return fmt.Errorf("joininference: internal error replaying transcript: %w", err)
+		}
+		replayed++
+	}
+	s.engine = fresh
+	s.asked = replayed
+	return nil
+}

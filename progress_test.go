@@ -1,0 +1,135 @@
+package joininference
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/paperdata"
+)
+
+func TestProgressAndCandidates(t *testing.T) {
+	inst := paperdata.FlightHotel()
+	s := NewSession(inst)
+	p0 := s.Progress()
+	if p0.Answered != 0 || p0.TotalClasses != s.Classes() {
+		t.Errorf("initial progress = %+v", p0)
+	}
+	if p0.Candidates == nil || p0.Candidates.Cmp(big.NewInt(1)) <= 0 {
+		t.Errorf("initial candidates = %v", p0.Candidates)
+	}
+
+	u := s.Universe()
+	goal, err := ParsePredicate(u, "To = City")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *big.Int = p0.Candidates
+	for !s.Done() {
+		q, ok := s.NextQuestion(StrategyL1S)
+		if !ok {
+			break
+		}
+		l := Negative
+		if goal.Selects(u, q.RTuple, q.PTuple) {
+			l = Positive
+		}
+		if err := s.Answer(q, l); err != nil {
+			t.Fatal(err)
+		}
+		cur := s.Progress().Candidates
+		if cur.Cmp(prev) >= 0 {
+			t.Fatalf("candidates did not shrink: %v → %v", prev, cur)
+		}
+		prev = cur
+	}
+	// Done: enumerate the survivors; all must be instance-equivalent.
+	cands := s.Candidates(16)
+	if cands == nil || len(cands) == 0 {
+		t.Fatal("no candidates enumerated")
+	}
+	wantLen := len(Join(inst, s.Inferred()))
+	for _, c := range cands {
+		if len(Join(inst, c)) != wantLen {
+			t.Errorf("candidate %v not instance-equivalent", c.Format(u))
+		}
+	}
+}
+
+// TestExplainFigure5 cross-checks Explain against Figure 5: on Example 2.1
+// with an empty sample, the ∅ tuple decides 11 tuples if labeled yes and 0
+// if labeled no.
+func TestExplainFigure5(t *testing.T) {
+	inst := paperdata.Example21()
+	s := NewSession(inst)
+	// Find the question for the ∅ class by asking BU (it starts at ∅).
+	q, ok := s.NextQuestion(StrategyBU)
+	if !ok {
+		t.Fatal("no question")
+	}
+	ex := s.Explain(q)
+	if ex.DecidedIfYes != 11 || ex.DecidedIfNo != 0 {
+		t.Errorf("decided = (%d, %d), want (11, 0)", ex.DecidedIfYes, ex.DecidedIfNo)
+	}
+	// Candidate split: a yes leaves only ∅ (1 candidate); a no removes ∅
+	// from the 64 (63 candidates). The split must partition the space.
+	if ex.CandidatesIfYes.Int64() != 1 || ex.CandidatesIfNo.Int64() != 63 {
+		t.Errorf("candidates = (%v, %v), want (1, 63)", ex.CandidatesIfYes, ex.CandidatesIfNo)
+	}
+	total := s.Progress().Candidates.Int64()
+	if ex.CandidatesIfYes.Int64()+ex.CandidatesIfNo.Int64() != total {
+		t.Errorf("candidate split %v + %v ≠ %v",
+			ex.CandidatesIfYes, ex.CandidatesIfNo, total)
+	}
+	// Explain must not mutate the session.
+	if s.Questions() != 0 {
+		t.Error("Explain recorded an answer")
+	}
+}
+
+func TestUndo(t *testing.T) {
+	inst := paperdata.FlightHotel()
+	s := NewSession(inst)
+	if err := s.Undo(); err == nil {
+		t.Error("undo of empty session accepted")
+	}
+
+	q1, ok := s.NextQuestion(StrategyTD)
+	if !ok {
+		t.Fatal("no question")
+	}
+	if err := s.Answer(q1, Positive); err != nil {
+		t.Fatal(err)
+	}
+	afterOne := s.Inferred()
+	q2, ok := s.NextQuestion(StrategyTD)
+	if !ok {
+		t.Fatal("no second question")
+	}
+	if err := s.Answer(q2, Negative); err != nil {
+		t.Fatal(err)
+	}
+	if s.Questions() != 2 {
+		t.Fatalf("questions = %d", s.Questions())
+	}
+
+	if err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Questions() != 1 {
+		t.Errorf("after undo questions = %d, want 1", s.Questions())
+	}
+	if !s.Inferred().Equal(afterOne) {
+		t.Error("undo did not restore the one-answer state")
+	}
+
+	if err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Questions() != 0 {
+		t.Errorf("after second undo questions = %d, want 0", s.Questions())
+	}
+	// The session is usable again after undo.
+	if _, ok := s.NextQuestion(StrategyTD); !ok {
+		t.Error("session unusable after undo")
+	}
+}

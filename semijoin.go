@@ -1,0 +1,60 @@
+package joininference
+
+import (
+	"repro/internal/predicate"
+	"repro/internal/semijoin"
+)
+
+// Semijoin support (Section 6 of the paper). Because projection hides the
+// P side, examples are rows of R alone — and merely deciding whether *any*
+// semijoin predicate is consistent with a set of labeled rows is
+// NP-complete (Theorem 6.1). The functions below expose the complete
+// solver and the interactive heuristic; expect exponential worst cases by
+// design.
+
+// SemijoinSample labels rows of R: Keep lists indexes that must appear in
+// R ⋉θ P, Drop lists indexes that must not.
+type SemijoinSample struct {
+	Keep []int
+	Drop []int
+}
+
+// SemijoinConsistent decides whether any semijoin predicate selects all
+// Keep rows and no Drop row; on success it returns one such predicate.
+func SemijoinConsistent(inst *Instance, s SemijoinSample) (Pred, bool, error) {
+	return semijoin.Consistent(inst, semijoin.Sample{Pos: s.Keep, Neg: s.Drop})
+}
+
+// SemijoinEval materializes R ⋉θ P as R-row indexes.
+func SemijoinEval(inst *Instance, theta Pred) []int {
+	return semijoin.Eval(inst, theta)
+}
+
+// InferSemijoin runs the interactive semijoin heuristic: keep asking
+// "would you keep this row?" for rows whose answer is not yet determined,
+// until everything is certain or the budget (0 = unlimited) runs out. It
+// returns a consistent predicate and the number of questions asked.
+func InferSemijoin(inst *Instance, keeps func(ri int) bool, budget int) (Pred, int, error) {
+	res, err := semijoin.InferInteractive(inst, oracleFunc(keeps), budget)
+	if err != nil {
+		return Pred{}, res.Interactions, err
+	}
+	return res.Predicate, res.Interactions, nil
+}
+
+// InferSemijoinGoal simulates an honest user with a goal semijoin
+// predicate.
+func InferSemijoinGoal(inst *Instance, goal Pred, budget int) (Pred, int, error) {
+	u := predicate.NewUniverse(inst)
+	orc := &semijoin.GoalOracle{Inst: inst, U: u, Goal: goal}
+	res, err := semijoin.InferInteractive(inst, orc, budget)
+	if err != nil {
+		return Pred{}, res.Interactions, err
+	}
+	return res.Predicate, res.Interactions, nil
+}
+
+// oracleFunc adapts a func to semijoin.LabelOracle.
+type oracleFunc func(ri int) bool
+
+func (f oracleFunc) KeepsTuple(ri int) bool { return f(ri) }

@@ -1,0 +1,104 @@
+package joininference
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/inference"
+	"repro/internal/predicate"
+	"repro/internal/querytext"
+)
+
+// TranscriptEntry records one answered question, addressed by row indexes
+// so a transcript replays against the same instance.
+type TranscriptEntry struct {
+	RIndex   int  `json:"r"`
+	PIndex   int  `json:"p"`
+	Positive bool `json:"positive"`
+}
+
+// Transcript returns the answered questions in order.
+func (s *Session) Transcript() []TranscriptEntry {
+	var out []TranscriptEntry
+	for _, ex := range s.engine.Sample().Examples() {
+		out = append(out, TranscriptEntry{
+			RIndex:   ex.RI,
+			PIndex:   ex.PI,
+			Positive: bool(ex.Label),
+		})
+	}
+	return out
+}
+
+// SaveTranscript writes the session's transcript as JSON lines.
+func (s *Session) SaveTranscript(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range s.Transcript() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("joininference: writing transcript: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReplayTranscript builds a new session over the instance and replays a
+// JSON-lines transcript, re-validating consistency along the way. Entries
+// whose class was already decided by earlier answers are skipped (they
+// carry no information), mirroring what a live session would have asked.
+func ReplayTranscript(inst *Instance, r io.Reader) (*Session, error) {
+	s := NewSession(inst)
+	dec := json.NewDecoder(r)
+	for line := 1; ; line++ {
+		var e TranscriptEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("joininference: transcript entry %d: %w", line, err)
+		}
+		if e.RIndex < 0 || e.RIndex >= inst.R.Len() || e.PIndex < 0 || e.PIndex >= inst.P.Len() {
+			return nil, fmt.Errorf("joininference: transcript entry %d: tuple (%d,%d) out of range",
+				line, e.RIndex, e.PIndex)
+		}
+		ci := s.classIndexFor(e.RIndex, e.PIndex)
+		if ci < 0 {
+			return nil, fmt.Errorf("joininference: transcript entry %d: no class for tuple (%d,%d)",
+				line, e.RIndex, e.PIndex)
+		}
+		if s.engine.IsLabeled(ci) {
+			continue // duplicate of an earlier answer's class
+		}
+		if err := s.engine.Label(ci, Label(e.Positive)); err != nil {
+			if err == inference.ErrInconsistent {
+				return nil, fmt.Errorf("joininference: transcript entry %d: %w", line, err)
+			}
+			return nil, fmt.Errorf("joininference: transcript entry %d: %w", line, err)
+		}
+		s.asked++
+	}
+	return s, nil
+}
+
+// classIndexFor finds the T-class of a product tuple.
+func (s *Session) classIndexFor(ri, pi int) int {
+	theta := predicate.T(s.engine.U, s.engine.Inst.R.Tuples[ri], s.engine.Inst.P.Tuples[pi])
+	for ci, c := range s.engine.Classes() {
+		if c.Theta.Equal(theta) {
+			return ci
+		}
+	}
+	return -1
+}
+
+// ParsePredicate parses a textual predicate such as
+// "Flight.To = Hotel.City AND Flight.Airline = Hotel.Discount" (or "TRUE"
+// for the empty conjunction) over the universe's schemas.
+func ParsePredicate(u *Universe, input string) (Pred, error) {
+	return querytext.ParsePredicate(u, input)
+}
+
+// SQL renders a predicate as a runnable SQL join (or semijoin) over the
+// instance's relations.
+func SQL(u *Universe, p Pred, semijoin, pretty bool) string {
+	return querytext.SQL(u, p, querytext.SQLOptions{Semijoin: semijoin, Pretty: pretty})
+}
