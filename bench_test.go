@@ -21,6 +21,7 @@ package joininference
 //	Thm 6.1       BenchmarkSemijoinConsistencyScaling (exponential growth)
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -347,18 +348,47 @@ func BenchmarkInformativeTest(b *testing.B) {
 }
 
 // BenchmarkSessionEndToEnd measures the public-API path on the travel
-// scenario.
+// scenario: a full Run against an honest oracle, with the product scan
+// shared across iterations.
 func BenchmarkSessionEndToEnd(b *testing.B) {
 	inst := paperdata.FlightHotel()
-	s := NewSession(inst)
-	goal, err := PredFromNames(s.Universe(), [2]string{"To", "City"})
+	classes := PrecomputeClasses(inst)
+	goal, err := PredFromNames(NewSession(inst).Universe(), [2]string{"To", "City"})
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := InferGoal(inst, StrategyTD, goal); err != nil {
+		s := NewSession(inst, WithPrecomputedClasses(classes))
+		if _, err := Run(ctx, s, HonestOracle(goal)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkNextQuestionsBatch measures the pairwise-informative batch
+// selection that backs parallel crowd dispatch.
+func BenchmarkNextQuestionsBatch(b *testing.B) {
+	data := tpch.MustGenerate(1, 42)
+	inst, _, err := data.Instance(tpch.Join2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := PrecomputeClasses(inst)
+	ctx := context.Background()
+	for _, k := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			batch := 0
+			for i := 0; i < b.N; i++ {
+				s := NewSession(inst, WithPrecomputedClasses(classes))
+				qs, err := s.NextQuestions(ctx, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				batch = len(qs)
+			}
+			b.ReportMetric(float64(batch), "questions/batch")
+		})
 	}
 }

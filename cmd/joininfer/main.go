@@ -16,6 +16,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +32,7 @@ func main() {
 	simulate := flag.String("simulate", "", "answer automatically according to this goal predicate (e.g. \"R.A = P.B\")")
 	sqlFlag := flag.Bool("sql", false, "additionally print the inferred predicate as SQL")
 	transcriptFlag := flag.String("transcript", "", "write the answered questions as JSON lines to this file")
+	seedFlag := flag.Int64("seed", 1, "seed for the RND strategy")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: joininfer [flags] R.csv P.csv\n")
 		flag.PrintDefaults()
@@ -45,6 +48,7 @@ func main() {
 		simulate:   *simulate,
 		sql:        *sqlFlag,
 		transcript: *transcriptFlag,
+		seed:       *seedFlag,
 	}
 	if err := run(flag.Arg(0), flag.Arg(1), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "joininfer:", err)
@@ -58,6 +62,7 @@ type options struct {
 	simulate   string
 	sql        bool
 	transcript string
+	seed       int64
 }
 
 func run(rPath, pPath string, opts options) error {
@@ -65,17 +70,19 @@ func run(rPath, pPath string, opts options) error {
 	if err != nil {
 		return err
 	}
-	s := joininference.NewSession(inst)
-	strat := opts.strategy
-	max := opts.max
+	s := joininference.NewSession(inst,
+		joininference.WithStrategy(opts.strategy),
+		joininference.WithBudget(opts.max),
+		joininference.WithSeed(opts.seed))
 
-	var goal joininference.Pred
+	var oracle joininference.Oracle
 	simulated := opts.simulate != ""
 	if simulated {
-		goal, err = joininference.ParsePredicate(s.Universe(), opts.simulate)
+		goal, err := joininference.ParsePredicate(s.Universe(), opts.simulate)
 		if err != nil {
 			return err
 		}
+		oracle = joininference.HonestOracle(goal)
 	}
 	fmt.Printf("Loaded %s (%d rows) and %s (%d rows): %d candidate pairs, %d equivalence classes.\n",
 		inst.R.Schema.Name, inst.R.Len(), inst.P.Schema.Name, inst.P.Len(),
@@ -84,21 +91,26 @@ func run(rPath, pPath string, opts options) error {
 		fmt.Println("Label each proposed pair: y = belongs to your join, n = does not, q = stop.")
 	}
 
+	ctx := context.Background()
 	in := bufio.NewScanner(os.Stdin)
-	for !s.Done() {
-		if max > 0 && s.Questions() >= max {
-			fmt.Printf("Question budget (%d) reached.\n", max)
+	for {
+		qs, err := s.NextQuestions(ctx, 1)
+		if errors.Is(err, joininference.ErrBudgetExhausted) {
+			fmt.Printf("Question budget (%d) reached.\n", opts.max)
 			break
 		}
-		q, ok := s.NextQuestion(strat)
-		if !ok {
+		if err != nil {
+			return err
+		}
+		if len(qs) == 0 {
 			break
 		}
+		q := qs[0]
 		var label joininference.Label
 		if simulated {
-			label = joininference.Negative
-			if goal.Selects(s.Universe(), q.RTuple, q.PTuple) {
-				label = joininference.Positive
+			label, err = oracle.Label(ctx, q)
+			if err != nil {
+				return err
 			}
 			fmt.Printf("Q%d) %v × %v → %v\n", s.Questions()+1, q.RTuple, q.PTuple, label)
 		} else {
@@ -118,7 +130,10 @@ func run(rPath, pPath string, opts options) error {
 			}
 		}
 		if err := s.Answer(q, label); err != nil {
-			return fmt.Errorf("your answers are contradictory: %w", err)
+			if errors.Is(err, joininference.ErrInconsistent) {
+				return fmt.Errorf("your answers are contradictory: %w", err)
+			}
+			return err
 		}
 	}
 

@@ -1,0 +1,27 @@
+package joininference
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/inference"
+)
+
+// Public sentinel errors. Every error returned by the package wraps one of
+// these (or an I/O / validation error), so callers dispatch with errors.Is
+// instead of string matching. ErrInconsistent additionally wraps the
+// internal inference sentinel, keeping errors.Is compatible across layers.
+var (
+	// ErrInconsistent reports that the recorded labels admit no consistent
+	// predicate (lines 6–7 of Algorithm 1); with an honest oracle it never
+	// occurs.
+	ErrInconsistent error = fmt.Errorf("joininference: %w", inference.ErrInconsistent)
+
+	// ErrBudgetExhausted reports that the session's question budget (see
+	// WithBudget) is spent while informative questions remain. The session
+	// stays usable: Inferred returns the best predicate so far.
+	ErrBudgetExhausted = errors.New("joininference: question budget exhausted")
+
+	// ErrUnknownStrategy reports a StrategyID the package does not know.
+	ErrUnknownStrategy = errors.New("joininference: unknown strategy")
+)

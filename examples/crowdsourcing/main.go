@@ -3,8 +3,12 @@
 // compares what each strategy would cost to join two product catalogs
 // (same entities, different vendors, no shared keys), pricing every
 // question and exploiting T-class grouping (one answer can decide many
-// equivalent pairs at once). It then simulates *unreliable* workers and
-// shows how majority panels trade money for reliability.
+// equivalent pairs at once). It then simulates *unreliable* workers with
+// the public CrowdOracle and shows how majority panels trade money for
+// reliability, and finally dispatches questions in parallel batches:
+// NextQuestions(ctx, k) returns pairwise-informative questions, so a whole
+// batch can be posted to the crowd at once and every answer that comes
+// back still carries information.
 //
 // Run with:
 //
@@ -12,26 +16,24 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	joininference "repro"
-	"repro/internal/crowd"
-	"repro/internal/inference"
-	"repro/internal/oracle"
-	"repro/internal/predicate"
-	"repro/internal/strategy"
 )
 
 const centsPerQuestion = 5 // a typical microtask price
 
 func main() {
+	ctx := context.Background()
 	vendorA, vendorB := catalogs()
 	inst, err := joininference.NewInstance(vendorA, vendorB)
 	if err != nil {
 		log.Fatal(err)
 	}
-	session := joininference.NewSession(inst)
+	classes := joininference.PrecomputeClasses(inst)
+	session := joininference.NewSession(inst, joininference.WithPrecomputedClasses(classes))
 	u := session.Universe()
 
 	// Ground truth the crowd implicitly knows: products match when the
@@ -52,53 +54,107 @@ func main() {
 		joininference.StrategyTD, joininference.StrategyL1S,
 		joininference.StrategyL2S,
 	} {
-		got, asked, err := joininference.InferGoal(inst, id, goal)
+		s := joininference.NewSession(inst,
+			joininference.WithStrategy(id),
+			joininference.WithPrecomputedClasses(classes))
+		res, err := joininference.Run(ctx, s, joininference.HonestOracle(goal))
 		if err != nil {
 			log.Fatal(err)
 		}
 		match := "✓"
-		if len(joininference.Join(inst, got)) != len(joininference.Join(inst, goal)) {
+		if len(joininference.Join(inst, res.Inferred)) != len(joininference.Join(inst, goal)) {
 			match = "✗"
 		}
 		fmt.Printf("  %-3s: %2d questions → $%.2f  result %s %s\n",
-			id, asked, float64(asked*centsPerQuestion)/100, match, got.Format(u))
+			id, res.Questions, float64(res.Questions*centsPerQuestion)/100,
+			match, res.Inferred.Format(u))
 	}
 	fmt.Println("\nEvery strategy recovers the mapping; the lookahead ones pay the crowd least.")
 
-	noisyCrowd(inst, goal)
+	noisyCrowd(ctx, inst, classes, goal)
+	batchDispatch(ctx, inst, classes, goal)
 }
 
 // noisyCrowd reruns the inference through error-prone workers with
 // majority voting, reporting success rates and total microtask cost.
-func noisyCrowd(inst *joininference.Instance, goal joininference.Pred) {
+func noisyCrowd(ctx context.Context, inst *joininference.Instance,
+	classes *joininference.ClassSet, goal joininference.Pred) {
 	const errorRate = 0.2
 	fmt.Printf("\nNow with unreliable workers (each wrong with probability %.0f%%):\n", errorRate*100)
-	u := predicate.NewUniverse(inst)
 	for _, workers := range []int{1, 3, 7} {
 		wins, tasks := 0, 0
 		const trials = 50
 		for seed := int64(0); seed < trials; seed++ {
-			truth := oracle.NewHonest(inst, u, goal)
-			panel, err := crowd.NewMajority(truth, workers, errorRate, seed)
+			panel, err := joininference.CrowdOracle(joininference.HonestOracle(goal),
+				workers, errorRate, centsPerQuestion, seed)
 			if err != nil {
 				log.Fatal(err)
 			}
-			e := inference.New(inst)
-			res, err := inference.Run(e, strategy.NewTopDown(), panel, 0)
-			tasks += panel.Microtasks
+			s := joininference.NewSession(inst,
+				joininference.WithStrategy(joininference.StrategyTD),
+				joininference.WithPrecomputedClasses(classes))
+			res, err := joininference.Run(ctx, s, panel)
+			tasks += panel.Microtasks()
 			if err != nil {
 				continue // inconsistency detected — a failed crowd run
 			}
-			if len(joininference.Join(inst, res.Predicate)) == len(joininference.Join(inst, goal)) {
+			if len(joininference.Join(inst, res.Inferred)) == len(joininference.Join(inst, goal)) {
 				wins++
 			}
 		}
 		fmt.Printf("  %d worker(s)/question: %2d/%d successful runs, avg cost $%.2f  (theoretical per-question error %.1f%%)\n",
 			workers, wins, trials,
 			float64(tasks)/trials*centsPerQuestion/100,
-			crowd.MajorityErrorRate(workers, errorRate)*100)
+			joininference.CrowdErrorRate(workers, errorRate)*100)
 	}
 	fmt.Println("Redundancy buys reliability: the panel's per-question error shrinks exponentially.")
+}
+
+// batchDispatch shows the parallel deployment: instead of one question per
+// round trip to the crowd platform, ask for up to 3 pairwise-informative
+// questions per round, post them all, and fold the answers back in with
+// AnswerBatch.
+func batchDispatch(ctx context.Context, inst *joininference.Instance,
+	classes *joininference.ClassSet, goal joininference.Pred) {
+	const batch = 3
+	fmt.Printf("\nParallel dispatch (%d pairwise-informative questions per crowd round):\n", batch)
+	panel, err := joininference.CrowdOracle(joininference.HonestOracle(goal), 5, 0.1, centsPerQuestion, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := joininference.NewSession(inst,
+		joininference.WithStrategy(joininference.StrategyL1S),
+		joininference.WithPrecomputedClasses(classes))
+	rounds := 0
+	for {
+		qs, err := s.NextQuestions(ctx, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(qs) == 0 {
+			break
+		}
+		rounds++
+		// One round trip: every question goes to its own worker panel in
+		// parallel.
+		labels := make([]joininference.Label, len(qs))
+		for i, q := range qs {
+			labels[i], err = panel.Label(ctx, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		applied, err := s.AnswerBatch(qs, labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  round %d: dispatched %d questions, %d informative answers\n",
+			rounds, len(qs), applied)
+	}
+	u := s.Universe()
+	fmt.Printf("Converged in %d crowd rounds (%d questions, %d microtasks, $%.2f): %s\n",
+		rounds, s.Questions(), panel.Microtasks(), panel.TotalCost()/100,
+		s.Inferred().Format(u))
 }
 
 func catalogs() (*joininference.Relation, *joininference.Relation) {

@@ -1,6 +1,6 @@
 // Joinpath: infer a multi-relation join path (the paper's Section 7
 // future-work direction) — Customer → Orders → Lineitem over the mini
-// TPC-H database, one pairwise inference per step.
+// TPC-H database, one pairwise public-API session per step.
 //
 // Run with:
 //
@@ -8,13 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/inference"
+	joininference "repro"
 	"repro/internal/joinpath"
-	"repro/internal/predicate"
-	"repro/internal/strategy"
 	"repro/internal/tpch"
 )
 
@@ -32,31 +31,51 @@ func main() {
 	// Customer.Custkey = Orders.OCustkey ⋈ Orders.Orderkey = Lineitem.LOrderkey.
 	goal := make(joinpath.Goal, path.Steps())
 	_, u0 := path.Step(0)
-	goal[0] = predicate.MustFromNames(u0, [2]string{"Custkey", "OCustkey"})
+	goal[0] = mustPred(u0, [2]string{"Custkey", "OCustkey"})
 	_, u1 := path.Step(1)
-	goal[1] = predicate.MustFromNames(u1, [2]string{"Orderkey", "LOrderkey"})
+	goal[1] = mustPred(u1, [2]string{"Orderkey", "LOrderkey"})
 
 	fmt.Println("Inferring the 3-relation join path Customer ⋈ Orders ⋈ Lineitem")
 	fmt.Println("goal:", joinpath.Format(path, goal))
 	fmt.Println()
 
-	res, err := joinpath.Infer(path,
-		func() inference.Strategy { return strategy.NewTopDown() },
-		&joinpath.GoalOracle{Path: path, Goal: goal})
-	if err != nil {
-		log.Fatal(err)
+	// One public session per step: the path decomposes into pairwise
+	// inferences, each driven by Run against an honest oracle.
+	ctx := context.Background()
+	inferred := make(joinpath.Goal, path.Steps())
+	perStep := make([]int, path.Steps())
+	total := 0
+	for i := 0; i < path.Steps(); i++ {
+		inst, _ := path.Step(i)
+		session := joininference.NewSession(inst,
+			joininference.WithStrategy(joininference.StrategyTD))
+		res, err := joininference.Run(ctx, session, joininference.HonestOracle(goal[i]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		inferred[i] = res.Inferred
+		perStep[i] = res.Questions
+		total += res.Questions
 	}
 
-	fmt.Printf("inferred: %s\n", joinpath.Format(path, res.Preds))
-	fmt.Printf("questions: %d total (%v per step)\n", res.Interactions, res.PerStep)
+	fmt.Printf("inferred: %s\n", joinpath.Format(path, inferred))
+	fmt.Printf("questions: %d total (%v per step)\n", total, perStep)
 
 	want, err := joinpath.Eval(path, goal)
 	if err != nil {
 		log.Fatal(err)
 	}
-	got, err := joinpath.Eval(path, res.Preds)
+	got, err := joinpath.Eval(path, inferred)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("path join rows: %d (goal) vs %d (inferred)\n", len(want), len(got))
+}
+
+func mustPred(u *joininference.Universe, pairs ...[2]string) joininference.Pred {
+	p, err := joininference.PredFromNames(u, pairs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
 }

@@ -1,5 +1,6 @@
 // Quickstart: infer a join predicate over two tiny in-memory tables with a
-// simulated user, using only the public API.
+// simulated user, using only the public API: a session configured with
+// functional options, driven question by question against an Oracle.
 //
 // Run with:
 //
@@ -7,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,24 +43,30 @@ func main() {
 	}
 
 	// The "user" has Emp.DeptID = Dept.DID in mind but cannot write it.
-	session := joininference.NewSession(inst)
+	session := joininference.NewSession(inst,
+		joininference.WithStrategy(joininference.StrategyL2S))
 	goal, err := joininference.PredFromNames(session.Universe(), [2]string{"DeptID", "DID"})
 	if err != nil {
 		log.Fatal(err)
 	}
+	user := joininference.HonestOracle(goal)
 
 	fmt.Printf("Cartesian product: %d pairs, %d equivalence classes\n\n",
 		inst.ProductSize(), session.Classes())
 
-	for !session.Done() {
-		q, ok := session.NextQuestion(joininference.StrategyL2S)
-		if !ok {
+	ctx := context.Background()
+	for {
+		qs, err := session.NextQuestions(ctx, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(qs) == 0 {
 			break
 		}
-		// Simulate the user: label according to the goal.
-		label := joininference.Negative
-		if goal.Selects(session.Universe(), q.RTuple, q.PTuple) {
-			label = joininference.Positive
+		q := qs[0]
+		label, err := user.Label(ctx, q)
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("Q%d: pair %v with %v?  user says %v\n",
 			session.Questions()+1, q.RTuple, q.PTuple, label)

@@ -1,7 +1,7 @@
 // TPC-H: run the paper's Section 5.1 scenario end to end — generate the
 // mini TPC-H database, then infer each of the five key/foreign-key goal
-// joins with the top-down strategy, reporting interactions, timing and the
-// instance's join ratio.
+// joins with the top-down strategy through the Run/Oracle API, reporting
+// interactions, timing and the instance's join ratio.
 //
 // Run with:
 //
@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -27,16 +28,18 @@ func main() {
 		"| Orders", data.Orders.Len(), "| Lineitem", data.Lineitem.Len())
 	fmt.Println()
 
+	ctx := context.Background()
 	for _, j := range tpch.AllJoins() {
 		inst, goal, err := data.Instance(j)
 		if err != nil {
 			log.Fatal(err)
 		}
-		session := joininference.NewSession(inst)
+		session := joininference.NewSession(inst,
+			joininference.WithStrategy(joininference.StrategyTD))
 		u := session.Universe()
 
 		start := time.Now()
-		got, asked, err := joininference.InferGoal(inst, joininference.StrategyTD, goal)
+		res, err := joininference.Run(ctx, session, joininference.HonestOracle(goal))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +49,7 @@ func main() {
 			j, inst.R.Schema.Name, inst.P.Schema.Name,
 			inst.ProductSize(), joininference.JoinRatio(inst))
 		fmt.Printf("  goal:     %s\n", goal.Format(u))
-		fmt.Printf("  inferred: %s\n", got.Format(u))
-		fmt.Printf("  %d questions in %v\n\n", asked, elapsed.Round(time.Microsecond))
+		fmt.Printf("  inferred: %s\n", res.Inferred.Format(u))
+		fmt.Printf("  %d questions in %v\n\n", res.Questions, elapsed.Round(time.Microsecond))
 	}
 }

@@ -2,7 +2,7 @@
 // builds flight & hotel packages; two plausible queries exist (Q1: match
 // destination city; Q2: additionally match the discount airline) and the
 // session distinguishes them with a handful of labels, comparing every
-// strategy.
+// strategy through the Run/Oracle API.
 //
 // Run with:
 //
@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,8 +46,9 @@ func buildInstance() *joininference.Instance {
 
 func main() {
 	inst := buildInstance()
-	session := joininference.NewSession(inst)
-	u := session.Universe()
+	// Share the product scan across all the sessions below.
+	classes := joininference.PrecomputeClasses(inst)
+	u := joininference.NewSession(inst, joininference.WithPrecomputedClasses(classes)).Universe()
 
 	q1, err := joininference.PredFromNames(u, [2]string{"To", "City"})
 	if err != nil {
@@ -63,6 +65,7 @@ func main() {
 	fmt.Printf("  Q2: %s  (%d packages)\n", q2.Format(u), len(joininference.Join(inst, q2)))
 	fmt.Println()
 
+	ctx := context.Background()
 	strategies := []joininference.StrategyID{
 		joininference.StrategyBU, joininference.StrategyTD,
 		joininference.StrategyL1S, joininference.StrategyL2S,
@@ -74,11 +77,14 @@ func main() {
 	}{{"Q1", q1}, {"Q2", q2}} {
 		fmt.Printf("Inferring %s:\n", goal.name)
 		for _, id := range strategies {
-			got, asked, err := joininference.InferGoal(inst, id, goal.pred)
+			session := joininference.NewSession(inst,
+				joininference.WithStrategy(id),
+				joininference.WithPrecomputedClasses(classes))
+			res, err := joininference.Run(ctx, session, joininference.HonestOracle(goal.pred))
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("  %-3s: %2d questions → %s\n", id, asked, got.Format(u))
+			fmt.Printf("  %-3s: %2d questions → %s\n", id, res.Questions, res.Inferred.Format(u))
 		}
 		fmt.Println()
 	}

@@ -1,6 +1,7 @@
 package inference
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/predicate"
@@ -16,6 +17,16 @@ type Strategy interface {
 	// Next returns the index of the class whose representative tuple the
 	// user should label next.
 	Next(e *Engine) int
+}
+
+// ContextStrategy is a Strategy whose selection can be cancelled mid-way —
+// implemented by the lookahead strategies, whose per-question cost is
+// Θ(K³) certainty tests and worth interrupting on large instances.
+type ContextStrategy interface {
+	Strategy
+	// NextCtx behaves like Next but aborts with the context's error as soon
+	// as cancellation is observed.
+	NextCtx(ctx context.Context, e *Engine) (int, error)
 }
 
 // Oracle answers membership queries: the label for product tuple

@@ -87,7 +87,7 @@ func InferInteractive(inst *relation.Instance, orc LabelOracle, budget int) (Int
 			if labeled[ri] {
 				continue
 			}
-			ok, err := tupleInformative(inst, s, ri)
+			ok, err := Informative(inst, s, ri)
 			if err != nil {
 				return res, err
 			}
@@ -119,9 +119,10 @@ func InferInteractive(inst *relation.Instance, orc LabelOracle, budget int) (Int
 	return res, nil
 }
 
-// tupleInformative reports whether both labels for tuple ri admit a
-// consistent predicate (two CONS⋉ calls).
-func tupleInformative(inst *relation.Instance, s Sample, ri int) (bool, error) {
+// Informative reports whether both labels for tuple ri admit a consistent
+// predicate extending the sample (two CONS⋉ calls) — i.e. whether asking
+// the user about ri would narrow the candidate space.
+func Informative(inst *relation.Instance, s Sample, ri int) (bool, error) {
 	asPos := Sample{Pos: append(append([]int(nil), s.Pos...), ri), Neg: s.Neg}
 	_, okPos, err := Consistent(inst, asPos)
 	if err != nil {

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -38,13 +39,22 @@ func (l Lookahead) Name() string {
 
 // Next implements Strategy.
 func (l Lookahead) Next(e *inference.Engine) int {
+	ci, _ := l.NextCtx(context.Background(), e)
+	return ci
+}
+
+// NextCtx implements inference.ContextStrategy: identical selection to
+// Next, but cancellation is observed between candidate evaluations — each
+// one costs Θ(K²) certainty tests at depth 2, so this is the granularity
+// at which aborting an expensive L2S decision is worthwhile.
+func (l Lookahead) NextCtx(ctx context.Context, e *inference.Engine) (int, error) {
 	k := l.K
 	if k < 1 {
 		k = 1
 	}
 	lk := newLook(e, l.CountClasses)
 	if len(lk.baseInf) == 0 {
-		return -1
+		return -1, nil
 	}
 	// Compute entropy^K per informative class, then apply the selection of
 	// Algorithms 4/6: maximize Min, tie-break on Max; first class in class
@@ -55,23 +65,29 @@ func (l Lookahead) Next(e *inference.Engine) int {
 		base := lk.fbase()
 		positions := lk.beamPositions(base, k, l.MaxCandidates)
 		for _, idx := range positions {
+			if err := ctx.Err(); err != nil {
+				return -1, err
+			}
 			ent := lk.fentropyK(idx, base, k)
 			if ent.Min > best.Min || (ent.Min == best.Min && ent.Max > best.Max) {
 				best = ent
 				bestIdx = lk.baseInf[idx]
 			}
 		}
-		return bestIdx
+		return bestIdx, nil
 	}
 	base := lk.baseState()
 	for _, ci := range lk.baseInf {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
 		ent := lk.entropyK(ci, base, k)
 		if ent.Min > best.Min || (ent.Min == best.Min && ent.Max > best.Max) {
 			best = ent
 			bestIdx = ci
 		}
 	}
-	return bestIdx
+	return bestIdx, nil
 }
 
 // beamPositions returns the baseInf positions to evaluate: all of them, or

@@ -15,16 +15,33 @@
 //
 // # Quick start
 //
+// A session is configured once with functional options and then driven
+// either by Run against an Oracle, or question by question:
+//
 //	inst, _ := joininference.LoadCSV("flights.csv", "hotels.csv")
-//	session := joininference.NewSession(inst)
+//	session := joininference.NewSession(inst,
+//		joininference.WithStrategy(joininference.StrategyL2S),
+//		joininference.WithBudget(50))
 //	for {
-//		q, ok := session.NextQuestion(joininference.StrategyTD)
-//		if !ok {
-//			break
+//		qs, err := session.NextQuestions(ctx, 1)
+//		if err != nil || len(qs) == 0 {
+//			break // done, budget spent, or cancelled
 //		}
-//		session.Answer(q, askUser(q)) // your UI
+//		session.Answer(qs[0], askUser(qs[0])) // your UI
 //	}
 //	fmt.Println(session.Inferred().Format(session.Universe()))
+//
+// Non-interactive runs plug in an Oracle — an honest simulated user, an
+// arbitrary function, or a majority-vote crowd of error-prone paid workers:
+//
+//	res, err := joininference.Run(ctx, session, joininference.HonestOracle(goal))
+//
+// For crowdsourcing, NextQuestions(ctx, k) returns up to k questions that
+// are pairwise informative — answering any one leaves the others worth
+// asking — so a whole batch dispatches to workers in parallel and
+// AnswerBatch folds the responses back in. NewSemijoinSession runs the same
+// loop for semijoin inference (Section 6), where every step is NP-hard by
+// design.
 //
 // Subpackages under internal implement the substrates: T-class collection,
 // strategies (BU/TD/L1S/L2S/optimal), the TPC-H and synthetic workload
@@ -33,6 +50,7 @@
 package joininference
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -42,7 +60,6 @@ import (
 	"repro/internal/product"
 	"repro/internal/relation"
 	"repro/internal/sample"
-	"repro/internal/strategy"
 )
 
 // Re-exported substrate types: the public API speaks in terms of these.
@@ -69,7 +86,7 @@ const (
 	Negative = sample.Negative
 )
 
-// StrategyID selects a questioning strategy.
+// StrategyID selects a built-in questioning strategy (see WithStrategy).
 type StrategyID string
 
 // The strategies of Section 4.
@@ -82,7 +99,8 @@ const (
 	StrategyL1S StrategyID = "L1S"
 	// StrategyL2S maximizes two-step entropy (Algorithms 5–6).
 	StrategyL2S StrategyID = "L2S"
-	// StrategyRND asks a random informative tuple (baseline).
+	// StrategyRND asks a random informative tuple (baseline); seed it with
+	// WithSeed.
 	StrategyRND StrategyID = "RND"
 )
 
@@ -144,148 +162,6 @@ func PredFromNames(u *Universe, pairs ...[2]string) (Pred, error) {
 	return predicate.FromNames(u, pairs...)
 }
 
-// Question is a membership query: "should this pair of rows be joined?".
-type Question struct {
-	// RTuple and PTuple are the rows being paired.
-	RTuple, PTuple Tuple
-	// RIndex, PIndex locate them in the instance.
-	RIndex, PIndex int
-	// EquivalentTuples is the number of product tuples this answer decides
-	// directly (the size of the tuple's T-class).
-	EquivalentTuples int64
-
-	classIndex int
-}
-
-// Session is an interactive inference session over one instance
-// (Algorithm 1 driven from outside: the caller owns the user interaction).
-type Session struct {
-	engine *inference.Engine
-	strats map[StrategyID]inference.Strategy
-	asked  int
-}
-
-// NewSession prepares a session: it scans the Cartesian product once
-// (through a shared-value index, never materializing the product) and
-// groups it into T-classes.
-func NewSession(inst *Instance) *Session {
-	return &Session{
-		engine: inference.New(inst),
-		strats: make(map[StrategyID]inference.Strategy),
-	}
-}
-
-// Universe returns Ω for formatting predicates.
-func (s *Session) Universe() *Universe { return s.engine.U }
-
-// Done reports whether any informative tuple remains (halt condition Γ).
-func (s *Session) Done() bool { return s.engine.Done() }
-
-// Questions returns the number of answers recorded so far.
-func (s *Session) Questions() int { return s.asked }
-
-// Classes returns the number of T-classes of the product (the worst-case
-// number of questions).
-func (s *Session) Classes() int { return len(s.engine.Classes()) }
-
-// NextQuestion picks the next informative tuple under the given strategy.
-// ok is false when the session is done.
-func (s *Session) NextQuestion(id StrategyID) (q Question, ok bool) {
-	if s.engine.Done() {
-		return Question{}, false
-	}
-	strat, err := s.strategyFor(id)
-	if err != nil {
-		return Question{}, false
-	}
-	ci := strat.Next(s.engine)
-	if ci < 0 {
-		return Question{}, false
-	}
-	c := s.engine.Classes()[ci]
-	inst := s.engine.Inst
-	return Question{
-		RTuple:           inst.R.Tuples[c.RI],
-		PTuple:           inst.P.Tuples[c.PI],
-		RIndex:           c.RI,
-		PIndex:           c.PI,
-		EquivalentTuples: c.Count,
-		classIndex:       ci,
-	}, true
-}
-
-// Answer records the user's label for a question returned by NextQuestion.
-// It returns inference.ErrInconsistent (wrapped) if the labels contradict
-// every possible equijoin predicate.
-func (s *Session) Answer(q Question, l Label) error {
-	if err := s.engine.Label(q.classIndex, l); err != nil {
-		return fmt.Errorf("joininference: %w", err)
-	}
-	s.asked++
-	return nil
-}
-
-// Inferred returns the current most specific consistent predicate T(S+);
-// once Done() holds it is instance-equivalent to the user's goal.
-func (s *Session) Inferred() Pred { return s.engine.Result() }
-
-// strategyFor lazily constructs and caches the strategy (TD and RND carry
-// state across calls).
-func (s *Session) strategyFor(id StrategyID) (inference.Strategy, error) {
-	if st, ok := s.strats[id]; ok {
-		return st, nil
-	}
-	var st inference.Strategy
-	switch id {
-	case StrategyBU:
-		st = strategy.BottomUp{}
-	case StrategyTD:
-		st = strategy.NewTopDown()
-	case StrategyL1S:
-		st = strategy.Lookahead{K: 1}
-	case StrategyL2S:
-		st = strategy.Lookahead{K: 2}
-	case StrategyRND:
-		// Sessions are interactive; a fixed seed keeps reruns of the same
-		// answer sequence reproducible. Use the lower-level
-		// strategy.NewRandom for custom seeding.
-		st = strategy.NewRandom(1)
-	default:
-		return nil, fmt.Errorf("joininference: unknown strategy %q", id)
-	}
-	s.strats[id] = st
-	return st, nil
-}
-
-// Infer runs a whole session non-interactively against an answerer function
-// (e.g. a simulated user) and returns the inferred predicate plus the
-// number of questions asked.
-func Infer(inst *Instance, id StrategyID, answer func(Question) Label) (Pred, int, error) {
-	s := NewSession(inst)
-	for {
-		q, ok := s.NextQuestion(id)
-		if !ok {
-			break
-		}
-		if err := s.Answer(q, answer(q)); err != nil {
-			return Pred{}, s.asked, err
-		}
-	}
-	return s.Inferred(), s.asked, nil
-}
-
-// InferGoal simulates an honest user with the given goal predicate;
-// useful for testing and benchmarking workloads.
-func InferGoal(inst *Instance, id StrategyID, goal Pred) (Pred, int, error) {
-	u := predicate.NewUniverse(inst)
-	return Infer(inst, id, func(q Question) Label {
-		if goal.Selects(u, q.RTuple, q.PTuple) {
-			return Positive
-		}
-		return Negative
-	})
-}
-
 // JoinRatio computes the paper's instance-complexity measure (Section 5.3).
 func JoinRatio(inst *Instance) float64 {
 	u := predicate.NewUniverse(inst)
@@ -296,4 +172,70 @@ func JoinRatio(inst *Instance) float64 {
 func Join(inst *Instance, theta Pred) [][2]int {
 	u := predicate.NewUniverse(inst)
 	return predicate.Join(inst, u, theta)
+}
+
+// NextQuestion picks the next informative tuple under the given per-call
+// strategy. ok is false when the session is done, the budget is spent, or
+// the strategy is unknown.
+//
+// Deprecated: configure the strategy once with WithStrategy (or
+// WithCustomStrategy) and use NextQuestions, which reports errors and
+// supports cancellation and batching.
+func (s *Session) NextQuestion(id StrategyID) (q Question, ok bool) {
+	if s.sj != nil || s.engine.Done() {
+		return Question{}, false
+	}
+	if s.cfg.budget > 0 && s.asked >= s.cfg.budget {
+		return Question{}, false
+	}
+	strat, err := s.legacyStrategyFor(id)
+	if err != nil {
+		return Question{}, false
+	}
+	ci := strat.Next(s.engine)
+	if ci < 0 {
+		return Question{}, false
+	}
+	return s.question(ci), true
+}
+
+// legacyStrategyFor lazily constructs and caches per-call strategies (TD
+// and RND carry state across calls), for the deprecated NextQuestion form.
+func (s *Session) legacyStrategyFor(id StrategyID) (inference.Strategy, error) {
+	if st, ok := s.strats[id]; ok {
+		return st, nil
+	}
+	st, err := newStrategy(id, s.cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	s.strats[id] = st
+	return st, nil
+}
+
+// Infer runs a whole session non-interactively against an answerer function
+// (e.g. a simulated user) and returns the inferred predicate plus the
+// number of questions asked.
+//
+// Deprecated: use Run with NewSession(inst, WithStrategy(id)) and
+// FuncOracle, which adds budgets, cancellation, and crowd oracles.
+func Infer(inst *Instance, id StrategyID, answer func(Question) Label) (Pred, int, error) {
+	res, err := Run(context.Background(), NewSession(inst, WithStrategy(id)), FuncOracle(answer))
+	if err != nil {
+		return Pred{}, res.Questions, err
+	}
+	return res.Inferred, res.Questions, nil
+}
+
+// InferGoal simulates an honest user with the given goal predicate; useful
+// for testing and benchmarking workloads.
+//
+// Deprecated: use Run with NewSession(inst, WithStrategy(id)) and
+// HonestOracle(goal).
+func InferGoal(inst *Instance, id StrategyID, goal Pred) (Pred, int, error) {
+	res, err := Run(context.Background(), NewSession(inst, WithStrategy(id)), HonestOracle(goal))
+	if err != nil {
+		return Pred{}, res.Questions, err
+	}
+	return res.Inferred, res.Questions, nil
 }

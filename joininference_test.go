@@ -1,6 +1,7 @@
 package joininference
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -92,11 +93,16 @@ func TestSessionStepByStep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for !s.Done() {
-		q, ok := s.NextQuestion(StrategyTD)
-		if !ok {
+	ctx := context.Background()
+	for {
+		qs, err := s.NextQuestions(ctx, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(qs) == 0 {
 			break
 		}
+		q := qs[0]
 		if q.EquivalentTuples < 1 {
 			t.Fatalf("question with class size %d", q.EquivalentTuples)
 		}
@@ -117,9 +123,9 @@ func TestSessionStepByStep(t *testing.T) {
 	if len(gj) != len(rj) {
 		t.Errorf("inferred %v, not equivalent to Q1", got.Format(u))
 	}
-	// After done, NextQuestion returns ok=false.
-	if _, ok := s.NextQuestion(StrategyTD); ok {
-		t.Error("NextQuestion after done returned a question")
+	// After done, NextQuestions returns an empty batch with no error.
+	if qs, err := s.NextQuestions(ctx, 1); err != nil || len(qs) != 0 {
+		t.Errorf("NextQuestions after done = %v, %v", qs, err)
 	}
 }
 

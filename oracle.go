@@ -1,0 +1,187 @@
+package joininference
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/crowd"
+)
+
+// Oracle answers membership questions: the user of the interactive
+// scenario (Section 3.2), a simulation of one, or a crowd of paid workers
+// (Section 7). The same oracle drives join and semijoin sessions — a
+// semijoin question has PIndex -1 (see Question.Semijoin).
+type Oracle interface {
+	// Label answers one question. Returning an error aborts the run (e.g.
+	// a crowd platform timeout); honest errors are wrapped and surfaced by
+	// Run.
+	Label(ctx context.Context, q Question) (Label, error)
+}
+
+// HonestOracle answers every question exactly as the goal predicate
+// dictates: the honest user of Section 3.2. It serves join questions
+// (positive iff θG ⊆ T(t)) and semijoin questions (positive iff some P row
+// joins under θG).
+func HonestOracle(goal Pred) Oracle { return honestOracle{goal: goal} }
+
+type honestOracle struct{ goal Pred }
+
+func (h honestOracle) Label(_ context.Context, q Question) (Label, error) {
+	if q.u == nil {
+		return Negative, fmt.Errorf("joininference: question was not produced by a session")
+	}
+	if q.Semijoin() {
+		for _, tP := range q.inst.P.Tuples {
+			if h.goal.Selects(q.u, q.RTuple, tP) {
+				return Positive, nil
+			}
+		}
+		return Negative, nil
+	}
+	if h.goal.Selects(q.u, q.RTuple, q.PTuple) {
+		return Positive, nil
+	}
+	return Negative, nil
+}
+
+// FuncOracle adapts a plain labeling function (e.g. a UI prompt or a test
+// script) to the Oracle interface.
+func FuncOracle(f func(Question) Label) Oracle { return funcOracle(f) }
+
+type funcOracle func(Question) Label
+
+func (f funcOracle) Label(_ context.Context, q Question) (Label, error) { return f(q), nil }
+
+// Crowd is an Oracle that simulates the crowdsourcing deployment of
+// Section 7: each question fans out to several independent error-prone
+// workers and the majority label wins (ties ask one more worker). It wraps
+// a truth oracle whose labels the workers perturb, and keeps running
+// cost/accuracy statistics.
+type Crowd struct {
+	mu     sync.Mutex
+	m      *crowd.Majority
+	bridge *truthBridge
+}
+
+// CrowdOracle builds a majority-vote crowd over the truth oracle: workers
+// independent answers per question, each wrong with probability errorRate,
+// each costing costPerTask. The seed makes worker noise reproducible.
+func CrowdOracle(truth Oracle, workers int, errorRate, costPerTask float64, seed int64) (*Crowd, error) {
+	b := &truthBridge{truth: truth}
+	m, err := crowd.NewMajority(b, workers, errorRate, seed)
+	if err != nil {
+		return nil, fmt.Errorf("joininference: %w", err)
+	}
+	m.CostPerTask = costPerTask
+	return &Crowd{m: m, bridge: b}, nil
+}
+
+// truthBridge adapts a public Oracle to the internal crowd.Truth interface,
+// which addresses questions by row indexes only.
+type truthBridge struct {
+	truth Oracle
+	ctx   context.Context
+	q     Question
+	err   error
+}
+
+func (b *truthBridge) LabelFor(ri, pi int) Label {
+	l, err := b.truth.Label(b.ctx, b.q)
+	if err != nil && b.err == nil {
+		b.err = err
+	}
+	return l
+}
+
+// Label implements Oracle with one majority-aggregated crowd round. It is
+// safe for concurrent use — questions from a parallel batch dispatch are
+// aggregated one at a time (the real cost in a deployment is the workers,
+// not the vote count).
+func (c *Crowd) Label(ctx context.Context, q Question) (Label, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bridge.ctx, c.bridge.q, c.bridge.err = ctx, q, nil
+	l := c.m.LabelFor(q.RIndex, q.PIndex)
+	if err := c.bridge.err; err != nil {
+		return l, err
+	}
+	return l, nil
+}
+
+// Microtasks returns the number of individual worker answers so far.
+func (c *Crowd) Microtasks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Microtasks
+}
+
+// Questions returns the number of aggregated questions answered.
+func (c *Crowd) Questions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Questions
+}
+
+// WrongAnswers returns how many aggregated labels differed from the truth.
+func (c *Crowd) WrongAnswers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.WrongAnswers
+}
+
+// TotalCost returns Microtasks · costPerTask.
+func (c *Crowd) TotalCost() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.TotalCost()
+}
+
+// CrowdErrorRate returns the probability that a majority of `workers`
+// independent workers, each wrong with probability errorRate, aggregates to
+// the wrong label (ties resolved by an extra worker).
+func CrowdErrorRate(workers int, errorRate float64) float64 {
+	return crowd.MajorityErrorRate(workers, errorRate)
+}
+
+// RunResult reports the outcome of Run.
+type RunResult struct {
+	// Inferred is the most specific predicate consistent with the answers;
+	// instance-equivalent to the oracle's goal when Determined holds.
+	Inferred Pred
+	// Questions is the number of questions the oracle answered.
+	Questions int
+	// Determined reports whether the halt condition Γ was reached (no
+	// informative question remained); false when Run stopped early on a
+	// budget, cancellation, or oracle error.
+	Determined bool
+}
+
+// Run drives a session to completion against an oracle: the general
+// inference algorithm (Algorithm 1) for join sessions, the interactive
+// heuristic for semijoin sessions — one code path for both. It stops at
+// the halt condition Γ, a spent budget (ErrBudgetExhausted), context
+// cancellation, inconsistent answers (ErrInconsistent), or an oracle
+// error; on error the result still carries the best predicate so far.
+func Run(ctx context.Context, s *Session, o Oracle) (RunResult, error) {
+	for {
+		qs, err := s.NextQuestions(ctx, 1)
+		if err != nil {
+			return s.runResult(false), err
+		}
+		if len(qs) == 0 {
+			return s.runResult(true), nil
+		}
+		l, err := o.Label(ctx, qs[0])
+		if err != nil {
+			return s.runResult(false), fmt.Errorf("joininference: oracle: %w", err)
+		}
+		if err := s.Answer(qs[0], l); err != nil {
+			return s.runResult(false), err
+		}
+	}
+}
+
+func (s *Session) runResult(determined bool) RunResult {
+	return RunResult{Inferred: s.Inferred(), Questions: s.asked, Determined: determined}
+}

@@ -25,8 +25,13 @@ type Progress struct {
 }
 
 // Progress reports the session's convergence state; useful for showing the
-// user "N candidate queries remain" between questions.
+// user "N candidate queries remain" between questions. For semijoin
+// sessions (whose version space has no tractable description) only
+// Answered is populated.
 func (s *Session) Progress() Progress {
+	if s.sj != nil {
+		return Progress{Answered: s.asked}
+	}
 	p := versionspace.Describe(s.engine)
 	return Progress{
 		Candidates:         p.Candidates,
@@ -41,6 +46,9 @@ func (s *Session) Progress() Progress {
 // 2^|T(S+)|); it returns nil when the space is too large — check
 // Progress().Candidates first.
 func (s *Session) Candidates(maxBits int) []Pred {
+	if s.sj != nil {
+		return nil
+	}
 	return versionspace.Enumerate(s.engine, maxBits)
 }
 
@@ -57,6 +65,9 @@ type Explanation struct {
 // Explain computes the impact of both possible answers to a question,
 // without recording anything.
 func (s *Session) Explain(q Question) Explanation {
+	if s.sj != nil || q.classIndex < 0 || q.classIndex >= len(s.engine.Classes()) {
+		return Explanation{}
+	}
 	theta := s.engine.Classes()[q.classIndex].Theta
 	tpos := s.engine.TPos()
 	negs := s.engine.Negatives()
@@ -103,6 +114,9 @@ func (s *Session) Undo() error {
 		return fmt.Errorf("joininference: nothing to undo")
 	}
 	tr = tr[:len(tr)-1]
+	if s.sj != nil {
+		return s.undoSemijoin(tr)
+	}
 	fresh := inference.New(s.engine.Inst, inference.WithClasses(s.engine.Classes()))
 	replayed := 0
 	for _, e := range tr {
@@ -117,5 +131,26 @@ func (s *Session) Undo() error {
 	}
 	s.engine = fresh
 	s.asked = replayed
+	// Strategies may cache state keyed by the engine (TopDown does); drop
+	// them so the replaced engine is not retained and caches rebuild.
+	s.strat, s.stratErr = nil, nil
+	s.strats = make(map[StrategyID]inference.Strategy)
+	return nil
+}
+
+// undoSemijoin rebuilds the semijoin sample from the truncated transcript.
+func (s *Session) undoSemijoin(tr []TranscriptEntry) error {
+	st := &semijoinState{u: s.sj.u, labeled: make([]bool, s.inst.R.Len())}
+	for _, e := range tr {
+		if e.Positive {
+			st.sample.Pos = append(st.sample.Pos, e.RIndex)
+		} else {
+			st.sample.Neg = append(st.sample.Neg, e.RIndex)
+		}
+		st.labeled[e.RIndex] = true
+		st.entries = append(st.entries, e)
+	}
+	s.sj = st
+	s.asked = len(tr)
 	return nil
 }

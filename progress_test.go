@@ -1,6 +1,7 @@
 package joininference
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestProgressAndCandidates(t *testing.T) {
 	inst := paperdata.FlightHotel()
-	s := NewSession(inst)
+	s := NewSession(inst, WithStrategy(StrategyL1S))
 	p0 := s.Progress()
 	if p0.Answered != 0 || p0.TotalClasses != s.Classes() {
 		t.Errorf("initial progress = %+v", p0)
@@ -23,17 +24,22 @@ func TestProgressAndCandidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
+	oracle := HonestOracle(goal)
 	var prev *big.Int = p0.Candidates
-	for !s.Done() {
-		q, ok := s.NextQuestion(StrategyL1S)
-		if !ok {
+	for {
+		qs, err := s.NextQuestions(ctx, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(qs) == 0 {
 			break
 		}
-		l := Negative
-		if goal.Selects(u, q.RTuple, q.PTuple) {
-			l = Positive
+		l, err := oracle.Label(ctx, qs[0])
+		if err != nil {
+			t.Fatal(err)
 		}
-		if err := s.Answer(q, l); err != nil {
+		if err := s.Answer(qs[0], l); err != nil {
 			t.Fatal(err)
 		}
 		cur := s.Progress().Candidates
@@ -60,12 +66,13 @@ func TestProgressAndCandidates(t *testing.T) {
 // if labeled no.
 func TestExplainFigure5(t *testing.T) {
 	inst := paperdata.Example21()
-	s := NewSession(inst)
+	s := NewSession(inst, WithStrategy(StrategyBU))
 	// Find the question for the ∅ class by asking BU (it starts at ∅).
-	q, ok := s.NextQuestion(StrategyBU)
-	if !ok {
-		t.Fatal("no question")
+	qs, err := s.NextQuestions(context.Background(), 1)
+	if err != nil || len(qs) == 0 {
+		t.Fatalf("no question: %v", err)
 	}
+	q := qs[0]
 	ex := s.Explain(q)
 	if ex.DecidedIfYes != 11 || ex.DecidedIfNo != 0 {
 		t.Errorf("decided = (%d, %d), want (11, 0)", ex.DecidedIfYes, ex.DecidedIfNo)
@@ -87,25 +94,26 @@ func TestExplainFigure5(t *testing.T) {
 }
 
 func TestUndo(t *testing.T) {
+	ctx := context.Background()
 	inst := paperdata.FlightHotel()
 	s := NewSession(inst)
 	if err := s.Undo(); err == nil {
 		t.Error("undo of empty session accepted")
 	}
 
-	q1, ok := s.NextQuestion(StrategyTD)
-	if !ok {
-		t.Fatal("no question")
+	next := func() Question {
+		t.Helper()
+		qs, err := s.NextQuestions(ctx, 1)
+		if err != nil || len(qs) == 0 {
+			t.Fatalf("no question: %v", err)
+		}
+		return qs[0]
 	}
-	if err := s.Answer(q1, Positive); err != nil {
+	if err := s.Answer(next(), Positive); err != nil {
 		t.Fatal(err)
 	}
 	afterOne := s.Inferred()
-	q2, ok := s.NextQuestion(StrategyTD)
-	if !ok {
-		t.Fatal("no second question")
-	}
-	if err := s.Answer(q2, Negative); err != nil {
+	if err := s.Answer(next(), Negative); err != nil {
 		t.Fatal(err)
 	}
 	if s.Questions() != 2 {
@@ -129,7 +137,5 @@ func TestUndo(t *testing.T) {
 		t.Errorf("after second undo questions = %d, want 0", s.Questions())
 	}
 	// The session is usable again after undo.
-	if _, ok := s.NextQuestion(StrategyTD); !ok {
-		t.Error("session unusable after undo")
-	}
+	next()
 }

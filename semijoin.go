@@ -1,16 +1,19 @@
 package joininference
 
 import (
-	"repro/internal/predicate"
+	"context"
+	"errors"
+
 	"repro/internal/semijoin"
 )
 
 // Semijoin support (Section 6 of the paper). Because projection hides the
 // P side, examples are rows of R alone — and merely deciding whether *any*
 // semijoin predicate is consistent with a set of labeled rows is
-// NP-complete (Theorem 6.1). The functions below expose the complete
-// solver and the interactive heuristic; expect exponential worst cases by
-// design.
+// NP-complete (Theorem 6.1). Interactive semijoin inference runs through
+// the ordinary session machinery — NewSemijoinSession plus Run or
+// NextQuestions/Answer — while the functions below expose the complete
+// solver directly; expect exponential worst cases by design.
 
 // SemijoinSample labels rows of R: Keep lists indexes that must appear in
 // R ⋉θ P, Drop lists indexes that must not.
@@ -34,27 +37,34 @@ func SemijoinEval(inst *Instance, theta Pred) []int {
 // "would you keep this row?" for rows whose answer is not yet determined,
 // until everything is certain or the budget (0 = unlimited) runs out. It
 // returns a consistent predicate and the number of questions asked.
+//
+// Deprecated: use Run with NewSemijoinSession(inst, WithBudget(budget)) and
+// FuncOracle, which adds cancellation and crowd oracles.
 func InferSemijoin(inst *Instance, keeps func(ri int) bool, budget int) (Pred, int, error) {
-	res, err := semijoin.InferInteractive(inst, oracleFunc(keeps), budget)
-	if err != nil {
-		return Pred{}, res.Interactions, err
-	}
-	return res.Predicate, res.Interactions, nil
+	return runSemijoin(inst, budget, FuncOracle(func(q Question) Label {
+		return Label(keeps(q.RIndex))
+	}))
 }
 
 // InferSemijoinGoal simulates an honest user with a goal semijoin
 // predicate.
+//
+// Deprecated: use Run with NewSemijoinSession(inst, WithBudget(budget)) and
+// HonestOracle(goal).
 func InferSemijoinGoal(inst *Instance, goal Pred, budget int) (Pred, int, error) {
-	u := predicate.NewUniverse(inst)
-	orc := &semijoin.GoalOracle{Inst: inst, U: u, Goal: goal}
-	res, err := semijoin.InferInteractive(inst, orc, budget)
-	if err != nil {
-		return Pred{}, res.Interactions, err
-	}
-	return res.Predicate, res.Interactions, nil
+	return runSemijoin(inst, budget, HonestOracle(goal))
 }
 
-// oracleFunc adapts a func to semijoin.LabelOracle.
-type oracleFunc func(ri int) bool
-
-func (f oracleFunc) KeepsTuple(ri int) bool { return f(ri) }
+// runSemijoin keeps the deprecated shims' contract: a spent budget is a
+// normal stop, not an error.
+func runSemijoin(inst *Instance, budget int, o Oracle) (Pred, int, error) {
+	s := NewSemijoinSession(inst, WithBudget(budget))
+	res, err := Run(context.Background(), s, o)
+	if errors.Is(err, ErrBudgetExhausted) {
+		err = nil
+	}
+	if err != nil {
+		return Pred{}, res.Questions, err
+	}
+	return res.Inferred, res.Questions, nil
+}

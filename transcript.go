@@ -5,13 +5,13 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/inference"
 	"repro/internal/predicate"
 	"repro/internal/querytext"
 )
 
 // TranscriptEntry records one answered question, addressed by row indexes
-// so a transcript replays against the same instance.
+// so a transcript replays against the same instance. Semijoin entries carry
+// PIndex -1.
 type TranscriptEntry struct {
 	RIndex   int  `json:"r"`
 	PIndex   int  `json:"p"`
@@ -20,6 +20,9 @@ type TranscriptEntry struct {
 
 // Transcript returns the answered questions in order.
 func (s *Session) Transcript() []TranscriptEntry {
+	if s.sj != nil {
+		return append([]TranscriptEntry(nil), s.sj.entries...)
+	}
 	var out []TranscriptEntry
 	for _, ex := range s.engine.Sample().Examples() {
 		out = append(out, TranscriptEntry{
@@ -42,10 +45,11 @@ func (s *Session) SaveTranscript(w io.Writer) error {
 	return nil
 }
 
-// ReplayTranscript builds a new session over the instance and replays a
-// JSON-lines transcript, re-validating consistency along the way. Entries
+// ReplayTranscript builds a new join session over the instance and replays
+// a JSON-lines transcript, re-validating consistency along the way. Entries
 // whose class was already decided by earlier answers are skipped (they
 // carry no information), mirroring what a live session would have asked.
+// Semijoin transcripts (PIndex -1) are not replayable.
 func ReplayTranscript(inst *Instance, r io.Reader) (*Session, error) {
 	s := NewSession(inst)
 	dec := json.NewDecoder(r)
@@ -69,9 +73,6 @@ func ReplayTranscript(inst *Instance, r io.Reader) (*Session, error) {
 			continue // duplicate of an earlier answer's class
 		}
 		if err := s.engine.Label(ci, Label(e.Positive)); err != nil {
-			if err == inference.ErrInconsistent {
-				return nil, fmt.Errorf("joininference: transcript entry %d: %w", line, err)
-			}
 			return nil, fmt.Errorf("joininference: transcript entry %d: %w", line, err)
 		}
 		s.asked++
@@ -79,15 +80,23 @@ func ReplayTranscript(inst *Instance, r io.Reader) (*Session, error) {
 	return s, nil
 }
 
-// classIndexFor finds the T-class of a product tuple.
+// classIndexFor finds the T-class of a product tuple through a map from
+// T-class predicate key to index, built once per session — so replay and
+// undo stay linear in the number of answers.
 func (s *Session) classIndexFor(ri, pi int) int {
-	theta := predicate.T(s.engine.U, s.engine.Inst.R.Tuples[ri], s.engine.Inst.P.Tuples[pi])
-	for ci, c := range s.engine.Classes() {
-		if c.Theta.Equal(theta) {
-			return ci
+	if s.classIdx == nil {
+		cs := s.engine.Classes()
+		s.classIdx = make(map[string]int, len(cs))
+		for ci, c := range cs {
+			s.classIdx[c.Theta.Key()] = ci
 		}
 	}
-	return -1
+	theta := predicate.T(s.engine.U, s.engine.Inst.R.Tuples[ri], s.engine.Inst.P.Tuples[pi])
+	ci, ok := s.classIdx[theta.Key()]
+	if !ok {
+		return -1
+	}
+	return ci
 }
 
 // ParsePredicate parses a textual predicate such as

@@ -2,6 +2,7 @@ package joininference
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -16,18 +17,8 @@ func runSession(t *testing.T, goalText string) (*Session, Pred) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for !s.Done() {
-		q, ok := s.NextQuestion(StrategyTD)
-		if !ok {
-			break
-		}
-		l := Negative
-		if goal.Selects(s.Universe(), q.RTuple, q.PTuple) {
-			l = Positive
-		}
-		if err := s.Answer(q, l); err != nil {
-			t.Fatal(err)
-		}
+	if _, err := Run(context.Background(), s, HonestOracle(goal)); err != nil {
+		t.Fatal(err)
 	}
 	return s, goal
 }
