@@ -23,6 +23,7 @@ package joininference
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -77,9 +78,16 @@ func BenchmarkFig6TPCHScale100000(b *testing.B) {
 }
 
 // BenchmarkFig6PerJoin breaks Figure 6 down: one sub-bench per (join,
-// strategy) so regressions localize.
+// strategy, workers) so regressions localize. Workers only matters for the
+// lookahead strategies (parallel candidate evaluation), so the other
+// strategies run at w1 only; the reported "interactions" metric must be
+// identical between w1 and wN — parallelism never changes the questions.
 func BenchmarkFig6PerJoin(b *testing.B) {
 	data := tpch.MustGenerate(1, 42)
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
 	for _, j := range tpch.AllJoins() {
 		inst, goal, err := data.Instance(j)
 		if err != nil {
@@ -87,19 +95,24 @@ func BenchmarkFig6PerJoin(b *testing.B) {
 		}
 		u := predicate.NewUniverse(inst)
 		classes := product.ClassesIndexed(inst, u)
-		for _, mk := range experiments.DefaultMakers(7) {
-			b.Run(fmt.Sprintf("join%d/%s", int(j), mk.Name), func(b *testing.B) {
-				interactions := 0
-				for i := 0; i < b.N; i++ {
-					e := inference.New(inst, inference.WithClasses(classes))
-					res, err := inference.Run(e, mk.New(int64(j)), oracle.NewHonest(inst, e.U, goal), 0)
-					if err != nil {
-						b.Fatal(err)
-					}
-					interactions = res.Interactions
+		for _, workers := range workerCounts {
+			for _, mk := range experiments.DefaultMakersWorkers(7, workers) {
+				if workers != 1 && mk.Name != "L1S" && mk.Name != "L2S" {
+					continue
 				}
-				b.ReportMetric(float64(interactions), "interactions")
-			})
+				b.Run(fmt.Sprintf("join%d/%s/w%d", int(j), mk.Name, workers), func(b *testing.B) {
+					interactions := 0
+					for i := 0; i < b.N; i++ {
+						e := inference.New(inst, inference.WithClasses(classes))
+						res, err := inference.Run(e, mk.New(int64(j)), oracle.NewHonest(inst, e.U, goal), 0)
+						if err != nil {
+							b.Fatal(err)
+						}
+						interactions = res.Interactions
+					}
+					b.ReportMetric(float64(interactions), "interactions")
+				})
+			}
 		}
 	}
 }
@@ -133,7 +146,7 @@ func BenchmarkTable1Summary(b *testing.B) {
 	var rows []experiments.Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Table1(42, 1, 3)
+		rows, err = experiments.Table1(42, 1, 3, 1, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -30,24 +30,25 @@ func main() {
 	fig := flag.String("fig", "", "figure panel to run (6a…6d, 7a…7l); empty = all")
 	table := flag.String("table", "", "table to run (1); empty = none unless no -fig either")
 	runs := flag.Int("runs", 10, "synthetic runs to average (paper: 100)")
-	parallel := flag.Int("parallel", 1, "synthetic instances to evaluate concurrently (timings get noisy above 1)")
+	parallel := flag.Int("parallel", 1, "(strategy, goal) inference tasks to evaluate concurrently; -1 = all CPUs; interaction counts are unaffected but timings get noisy above 1")
+	workers := flag.Int("workers", 1, "goroutines per lookahead question (candidate evaluation); -1 = all CPUs; interaction counts are unaffected")
 	goals := flag.Int("goals", 10, "max goal predicates per size for synthetic data (0 = all)")
 	seed := flag.Int64("seed", 42, "base random seed")
 	extended := flag.Bool("extended", false, "also run this implementation's extra strategies (HALVE, L3S)")
 	flag.Parse()
 
-	if err := run(*fig, *table, *runs, *goals, *seed, *extended, *parallel); err != nil {
+	if err := run(*fig, *table, *runs, *goals, *seed, *extended, *parallel, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, table string, runs, goals int, seed int64, extended bool, parallel int) error {
+func run(fig, table string, runs, goals int, seed int64, extended bool, parallel, workers int) error {
 	all := fig == "" && table == ""
 	configs := synth.PaperConfigs()
-	makers := experiments.DefaultMakers(seed)
+	makers := experiments.DefaultMakersWorkers(seed, workers)
 	if extended {
-		makers = experiments.ExtendedMakers(seed)
+		makers = experiments.ExtendedMakersWorkers(seed, workers)
 	}
 
 	// Figure 6.
@@ -64,7 +65,12 @@ func run(fig, table string, runs, goals int, seed int64, extended bool, parallel
 		if !all && !strings.EqualFold(fig, spec.id) {
 			continue
 		}
-		rows, err := experiments.TPCH(experiments.TPCHOptions{Multiplier: spec.mult, Seed: seed, Makers: makers})
+		rows, err := experiments.TPCH(experiments.TPCHOptions{
+			Multiplier:  spec.mult,
+			Seed:        seed,
+			Makers:      makers,
+			Parallelism: parallel,
+		})
 		if err != nil {
 			return err
 		}
@@ -120,7 +126,7 @@ func run(fig, table string, runs, goals int, seed int64, extended bool, parallel
 	}
 
 	if all || table == "1" {
-		rows, err := experiments.Table1(seed, runs, goals)
+		rows, err := experiments.Table1(seed, runs, goals, parallel, makers)
 		if err != nil {
 			return err
 		}

@@ -28,6 +28,7 @@ import (
 
 func main() {
 	strategyFlag := flag.String("strategy", "TD", "questioning strategy: BU, TD, L1S, L2S or RND")
+	parallelFlag := flag.Int("parallel", 1, "goroutines per lookahead question (L1S/L2S candidate evaluation); -1 = all CPUs; the questions asked are identical at any value")
 	maxFlag := flag.Int("max", 0, "maximum number of questions (0 = until fully determined)")
 	simulate := flag.String("simulate", "", "answer automatically according to this goal predicate (e.g. \"R.A = P.B\")")
 	sqlFlag := flag.Bool("sql", false, "additionally print the inferred predicate as SQL")
@@ -44,6 +45,7 @@ func main() {
 	}
 	opts := options{
 		strategy:   joininference.StrategyID(*strategyFlag),
+		parallel:   *parallelFlag,
 		max:        *maxFlag,
 		simulate:   *simulate,
 		sql:        *sqlFlag,
@@ -58,6 +60,7 @@ func main() {
 
 type options struct {
 	strategy   joininference.StrategyID
+	parallel   int
 	max        int
 	simulate   string
 	sql        bool
@@ -73,7 +76,8 @@ func run(rPath, pPath string, opts options) error {
 	s := joininference.NewSession(inst,
 		joininference.WithStrategy(opts.strategy),
 		joininference.WithBudget(opts.max),
-		joininference.WithSeed(opts.seed))
+		joininference.WithSeed(opts.seed),
+		joininference.WithParallelism(opts.parallel))
 
 	var oracle joininference.Oracle
 	simulated := opts.simulate != ""

@@ -27,7 +27,9 @@ type Truth interface {
 // question and returns the majority label. Ties (possible only with an
 // even worker count) are broken by asking one more worker.
 type Majority struct {
-	// Truth provides the correct label each worker perturbs.
+	// Truth provides the correct label each worker perturbs. It may be nil
+	// when the caller resolves the truth itself and aggregates with Vote;
+	// LabelFor requires it.
 	Truth Truth
 	// Workers per question; values < 1 behave as 1.
 	Workers int
@@ -65,7 +67,16 @@ func NewMajority(truth Truth, workers int, errorRate float64, seed int64) (*Majo
 
 // LabelFor implements the inference oracle interface with majority voting.
 func (m *Majority) LabelFor(ri, pi int) sample.Label {
-	truth := m.Truth.LabelFor(ri, pi)
+	return m.Vote(m.Truth.LabelFor(ri, pi))
+}
+
+// Vote aggregates one crowd round given the true label: Workers
+// independent noisy votes, majority wins, ties ask one more worker. It
+// updates the running cost/accuracy statistics. Vote lets a caller that
+// resolves the truth through its own channel (and outside its own locks)
+// reuse the aggregation; it is not safe for concurrent use — the caller
+// serializes rounds.
+func (m *Majority) Vote(truth sample.Label) sample.Label {
 	m.Questions++
 	votesFor, votesAgainst := 0, 0
 	ask := func() {

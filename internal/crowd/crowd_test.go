@@ -162,3 +162,38 @@ func TestInferenceThroughCrowd(t *testing.T) {
 		t.Errorf("9-worker panel succeeded only %d/20 times", panel)
 	}
 }
+
+// TestVoteMatchesLabelFor: LabelFor is exactly Vote over the truth's
+// answer — the same seed must produce the same label sequence and the same
+// statistics whichever entry point is used, so callers that resolve the
+// truth themselves (outside their locks) aggregate identically.
+func TestVoteMatchesLabelFor(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	goal := predicate.FromPairs(u, [2]int{1, 2})
+	truth := oracle.NewHonest(inst, u, goal)
+	viaLabelFor, err := NewMajority(truth, 4, 0.3, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaVote, err := NewMajority(nil, 4, 0.3, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := 0; ri < 4; ri++ {
+		for pi := 0; pi < 3; pi++ {
+			a := viaLabelFor.LabelFor(ri, pi)
+			b := viaVote.Vote(truth.LabelFor(ri, pi))
+			if a != b {
+				t.Fatalf("labels diverged at (%d,%d): %v vs %v", ri, pi, a, b)
+			}
+		}
+	}
+	if viaLabelFor.Microtasks != viaVote.Microtasks ||
+		viaLabelFor.Questions != viaVote.Questions ||
+		viaLabelFor.WrongAnswers != viaVote.WrongAnswers {
+		t.Errorf("statistics diverged: LabelFor (%d,%d,%d) vs Vote (%d,%d,%d)",
+			viaLabelFor.Microtasks, viaLabelFor.Questions, viaLabelFor.WrongAnswers,
+			viaVote.Microtasks, viaVote.Questions, viaVote.WrongAnswers)
+	}
+}

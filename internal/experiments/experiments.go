@@ -11,13 +11,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/inference"
 	"repro/internal/lattice"
 	"repro/internal/oracle"
+	"repro/internal/pool"
 	"repro/internal/predicate"
 	"repro/internal/product"
 	"repro/internal/relation"
@@ -40,11 +43,20 @@ type Maker struct {
 // DefaultMakers returns the paper's five strategies in its reporting order:
 // BU, TD, L1S, L2S, RND.
 func DefaultMakers(seed int64) []Maker {
+	return DefaultMakersWorkers(seed, 1)
+}
+
+// DefaultMakersWorkers is DefaultMakers with the lookahead strategies
+// fanning their per-candidate evaluation across workers goroutines
+// (strategy.Lookahead.Workers). Interaction counts are unaffected — the
+// parallel reduction applies the exact serial selection rule — only the
+// per-question wall-clock changes.
+func DefaultMakersWorkers(seed int64, workers int) []Maker {
 	return []Maker{
 		{Name: "BU", New: func(int64) inference.Strategy { return strategy.BottomUp{} }},
 		{Name: "TD", New: func(int64) inference.Strategy { return strategy.NewTopDown() }},
-		{Name: "L1S", New: func(int64) inference.Strategy { return strategy.Lookahead{K: 1} }},
-		{Name: "L2S", New: func(int64) inference.Strategy { return strategy.Lookahead{K: 2} }},
+		{Name: "L1S", New: func(int64) inference.Strategy { return strategy.Lookahead{K: 1, Workers: workers} }},
+		{Name: "L2S", New: func(int64) inference.Strategy { return strategy.Lookahead{K: 2, Workers: workers} }},
 		{Name: "RND", New: func(s int64) inference.Strategy { return strategy.NewRandom(seed ^ s) }},
 	}
 }
@@ -54,10 +66,23 @@ func DefaultMakers(seed int64) []Maker {
 // lookahead). Comparing them against the originals is the
 // "probabilistic lookahead" ablation DESIGN.md calls out.
 func ExtendedMakers(seed int64) []Maker {
-	return append(DefaultMakers(seed),
+	return ExtendedMakersWorkers(seed, 1)
+}
+
+// ExtendedMakersWorkers is ExtendedMakers with the lookahead strategies
+// running workers-wide candidate evaluation (see DefaultMakersWorkers).
+func ExtendedMakersWorkers(seed int64, workers int) []Maker {
+	return append(DefaultMakersWorkers(seed, workers),
 		Maker{Name: "HALVE", New: func(int64) inference.Strategy { return strategy.Halving{} }},
-		Maker{Name: "L3S", New: func(int64) inference.Strategy { return strategy.Lookahead{K: 3, MaxCandidates: 16} }},
+		Maker{Name: "L3S", New: func(int64) inference.Strategy { return strategy.Lookahead{K: 3, MaxCandidates: 16, Workers: workers} }},
 	)
+}
+
+// forEachTask runs fn(i) for every i in [0, n), fanning across at most
+// workers goroutines (0 or 1 = sequential). fn must confine its writes to
+// per-index slots.
+func forEachTask(workers, n int, fn func(i int)) {
+	pool.ForEach(context.Background(), workers, n, fn)
 }
 
 // Cell is one (strategy, workload) measurement, averaged over the
@@ -130,10 +155,19 @@ type TPCHOptions struct {
 	Joins []tpch.Join
 	// Makers restricts the strategies; nil means DefaultMakers(Seed).
 	Makers []Maker
+	// Parallelism runs that many (join, strategy) inference tasks
+	// concurrently (0 or 1 = sequential, negative = one per CPU). Interaction
+	// counts are unaffected
+	// (every task is an independent run); per-task wall-clock times gain
+	// scheduling noise, so keep it at 1 when timing precision matters.
+	Parallelism int
 }
 
 // TPCH runs the Figure 6 experiment: for each goal join, every strategy's
-// interaction count and inference time.
+// interaction count and inference time. Each (join, strategy) run is an
+// independent task, fanned across Parallelism goroutines; results are
+// merged in (join, strategy) order, so rows are deterministic regardless
+// of scheduling.
 func TPCH(o TPCHOptions) ([]Row, error) {
 	if o.Multiplier < 1 {
 		o.Multiplier = 1
@@ -150,15 +184,61 @@ func TPCH(o TPCHOptions) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Row
-	for _, j := range joins {
-		inst, goal, err := data.Instance(j)
-		if err != nil {
-			return nil, err
+	// Workloads materialize lazily (first task of a join builds its
+	// instance and classes) and are released once the join's last task
+	// finishes, so peak memory stays at the joins currently in flight —
+	// one for a sequential run, matching the old per-join loop.
+	type workload struct {
+		once    sync.Once
+		inst    *relation.Instance
+		goal    predicate.Pred
+		classes []*product.Class
+		stats   lattice.Stats
+		err     error
+		pending atomic.Int32
+	}
+	wls := make([]*workload, len(joins))
+	for ji := range wls {
+		wls[ji] = &workload{}
+		wls[ji].pending.Store(int32(len(makers)))
+	}
+	materialize := func(ji int) *workload {
+		wl := wls[ji]
+		wl.once.Do(func() {
+			inst, goal, err := data.Instance(joins[ji])
+			if err != nil {
+				wl.err = err
+				return
+			}
+			u := predicate.NewUniverse(inst)
+			wl.inst, wl.goal = inst, goal
+			wl.classes = product.ClassesIndexed(inst, u)
+			wl.stats = lattice.ComputeStats(wl.classes)
+		})
+		return wl
+	}
+	type taskResult struct {
+		n   int
+		d   time.Duration
+		err error
+	}
+	results := make([]taskResult, len(joins)*len(makers))
+	forEachTask(o.Parallelism, len(results), func(i int) {
+		ji, mi := i/len(makers), i%len(makers)
+		wl := materialize(ji)
+		if wl.err != nil {
+			results[i] = taskResult{err: wl.err}
+		} else {
+			n, d, err := runOne(wl.inst, wl.classes, makers[mi], wl.goal, int64(joins[ji])*1009)
+			results[i] = taskResult{n: n, d: d, err: err}
 		}
-		u := predicate.NewUniverse(inst)
-		classes := product.ClassesIndexed(inst, u)
-		st := lattice.ComputeStats(classes)
+		if wl.pending.Add(-1) == 0 {
+			wl.inst, wl.classes = nil, nil // stats and goal stay for the rows
+		}
+	})
+	var rows []Row
+	for ji, j := range joins {
+		st := wls[ji].stats
 		row := Row{
 			Dataset:     fmt.Sprintf("TPC-H ×%d", o.Multiplier),
 			Workload:    fmt.Sprintf("%s (size %d)", j, j.GoalSize()),
@@ -168,14 +248,14 @@ func TPCH(o TPCHOptions) ([]Row, error) {
 			JoinRatio:   st.JoinRatio,
 			Cells:       make(map[string]Cell, len(makers)),
 		}
-		for _, mk := range makers {
-			n, d, err := runOne(inst, classes, mk, goal, int64(j)*1009)
-			if err != nil {
-				return nil, err
+		for mi, mk := range makers {
+			res := results[ji*len(makers)+mi]
+			if res.err != nil {
+				return nil, res.err
 			}
 			row.Cells[mk.Name] = Cell{
-				Interactions: float64(n),
-				Seconds:      d.Seconds(),
+				Interactions: float64(res.n),
+				Seconds:      res.d.Seconds(),
 				Runs:         1,
 			}
 		}
@@ -200,10 +280,13 @@ type SynthOptions struct {
 	MaxGoalSize int
 	// Makers restricts the strategies; nil means DefaultMakers(Seed).
 	Makers []Maker
-	// Parallelism runs that many instances concurrently (0 or 1 =
-	// sequential). Interaction counts are unaffected (every run is
-	// independently seeded); per-run wall-clock times gain scheduling
-	// noise, so keep it at 1 when timing precision matters.
+	// Parallelism runs that many (strategy, goal) inference tasks
+	// concurrently (0 or 1 = sequential, negative = one per CPU) —
+	// finer-grained than whole
+	// instances, so cores stay busy even for a single slow run. Interaction
+	// counts are unaffected (every task is an independent, deterministically
+	// seeded run); per-task wall-clock times gain scheduling noise, so keep
+	// it at 1 when timing precision matters.
 	Parallelism int
 }
 
@@ -221,104 +304,114 @@ func Synth(o SynthOptions) ([]Row, error) {
 		makers = DefaultMakers(o.Seed)
 	}
 
-	type measure struct {
-		size  int
-		name  string
-		inter float64
-		secs  float64
+	// Phase 1: generate the instances (one per run, each independently
+	// seeded), in parallel — generation is cheap but not free at 100 runs.
+	// All runs are held live through phase 3 so tasks can be enumerated and
+	// scheduled freely; the paper configurations yield a few dozen classes
+	// per instance, so even 100 runs stay in the low megabytes.
+	type instanceData struct {
+		inst    *relation.Instance
+		classes []*product.Class
+		stats   lattice.Stats
+		goals   map[int][]predicate.Pred
+		err     error
 	}
-	type runResult struct {
-		prod, classes, ratio float64
-		measures             []measure
-		err                  error
-	}
-
-	// oneRun executes all goals × strategies for one generated instance.
-	oneRun := func(run int) runResult {
+	insts := make([]instanceData, o.Runs)
+	forEachTask(o.Parallelism, o.Runs, func(run int) {
 		inst, err := synth.Generate(o.Config, o.Seed+int64(run))
 		if err != nil {
-			return runResult{err: err}
+			insts[run] = instanceData{err: err}
+			return
 		}
 		u := predicate.NewUniverse(inst)
 		classes := product.ClassesIndexed(inst, u)
-		st := lattice.ComputeStats(classes)
-		res := runResult{
-			prod:    float64(st.ProductSize),
-			classes: float64(st.Classes),
-			ratio:   st.JoinRatio,
+		insts[run] = instanceData{
+			inst:    inst,
+			classes: classes,
+			stats:   lattice.ComputeStats(classes),
+			goals:   lattice.GoalsBySize(classes),
 		}
-		goals := lattice.GoalsBySize(classes)
+	})
+	for run := range insts {
+		if err := insts[run].err; err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: flatten every (run, size, strategy, goal) inference into an
+	// independent task. The task order (run-major, then size, strategy,
+	// goal) is the exact order the old sequential loop measured in, so the
+	// aggregation below is bit-compatible with it.
+	type task struct {
+		run, size, mi int
+		goal          predicate.Pred
+		seed          int64
+		inter, secs   float64
+		err           error
+	}
+	var tasks []task
+	for run := 0; run < o.Runs; run++ {
+		goals := insts[run].goals
 		for size := 0; size <= o.MaxGoalSize; size++ {
 			gs := goals[size]
 			if o.MaxGoalsPerSize > 0 && len(gs) > o.MaxGoalsPerSize {
 				gs = gs[:o.MaxGoalsPerSize]
 			}
-			for _, mk := range makers {
+			for mi := range makers {
 				for gi, goal := range gs {
-					n, d, err := runOne(inst, classes, mk, goal,
-						int64(run)*1000003+int64(size)*1009+int64(gi)*31)
-					if err != nil {
-						res.err = err
-						return res
-					}
-					res.measures = append(res.measures, measure{
-						size: size, name: mk.Name,
-						inter: float64(n), secs: d.Seconds(),
+					tasks = append(tasks, task{
+						run: run, size: size, mi: mi, goal: goal,
+						seed: int64(run)*1000003 + int64(size)*1009 + int64(gi)*31,
 					})
 				}
 			}
 		}
-		return res
 	}
 
-	results := make([]runResult, o.Runs)
-	if o.Parallelism > 1 {
-		sem := make(chan struct{}, o.Parallelism)
-		var wg sync.WaitGroup
-		for run := 0; run < o.Runs; run++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(run int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				results[run] = oneRun(run)
-			}(run)
+	// Phase 3: execute the tasks on the worker pool; each writes only its
+	// own slot.
+	forEachTask(o.Parallelism, len(tasks), func(i int) {
+		t := &tasks[i]
+		id := insts[t.run]
+		n, d, err := runOne(id.inst, id.classes, makers[t.mi], t.goal, t.seed)
+		if err != nil {
+			t.err = err
+			return
 		}
-		wg.Wait()
-	} else {
-		for run := 0; run < o.Runs; run++ {
-			results[run] = oneRun(run)
-		}
-	}
+		t.inter, t.secs = float64(n), d.Seconds()
+	})
 
+	// Phase 4: merge in task order so aggregates are deterministic
+	// regardless of scheduling.
 	type acc struct {
 		inter, secs stats.Acc
 	}
 	accs := make(map[int]map[string]*acc) // size → strategy → accumulators
 	var prodSum, classSum, ratioSum float64
 	instances := 0
-	// Merge in run order so aggregates are deterministic regardless of
-	// scheduling.
-	for _, res := range results {
-		if res.err != nil {
-			return nil, res.err
-		}
-		prodSum += res.prod
-		classSum += res.classes
-		ratioSum += res.ratio
+	for run := 0; run < o.Runs; run++ {
+		st := insts[run].stats
+		prodSum += float64(st.ProductSize)
+		classSum += float64(st.Classes)
+		ratioSum += st.JoinRatio
 		instances++
-		for _, m := range res.measures {
-			if accs[m.size] == nil {
-				accs[m.size] = make(map[string]*acc)
-			}
-			a := accs[m.size][m.name]
-			if a == nil {
-				a = &acc{}
-				accs[m.size][m.name] = a
-			}
-			a.inter.Add(m.inter)
-			a.secs.Add(m.secs)
+	}
+	for i := range tasks {
+		t := &tasks[i]
+		if t.err != nil {
+			return nil, t.err
 		}
+		if accs[t.size] == nil {
+			accs[t.size] = make(map[string]*acc)
+		}
+		name := makers[t.mi].Name
+		a := accs[t.size][name]
+		if a == nil {
+			a = &acc{}
+			accs[t.size][name] = a
+		}
+		a.inter.Add(t.inter)
+		a.secs.Add(t.secs)
 	}
 
 	var rows []Row
@@ -353,11 +446,12 @@ func Synth(o SynthOptions) ([]Row, error) {
 }
 
 // Table1 assembles the summary table from TPC-H rows at the two scales and
-// the six synthetic configurations.
-func Table1(seed int64, synthRuns int, maxGoalsPerSize int) ([]Row, error) {
+// the six synthetic configurations. makers nil means DefaultMakers(seed);
+// parallelism fans the inference tasks like TPCHOptions/SynthOptions do.
+func Table1(seed int64, synthRuns, maxGoalsPerSize, parallelism int, makers []Maker) ([]Row, error) {
 	var rows []Row
 	for _, mult := range []int{1, tpch.SFToMultiplier(100000)} {
-		rs, err := TPCH(TPCHOptions{Multiplier: mult, Seed: seed})
+		rs, err := TPCH(TPCHOptions{Multiplier: mult, Seed: seed, Makers: makers, Parallelism: parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -369,6 +463,8 @@ func Table1(seed int64, synthRuns int, maxGoalsPerSize int) ([]Row, error) {
 			Runs:            synthRuns,
 			Seed:            seed,
 			MaxGoalsPerSize: maxGoalsPerSize,
+			Makers:          makers,
+			Parallelism:     parallelism,
 		})
 		if err != nil {
 			return nil, err

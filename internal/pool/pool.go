@@ -1,0 +1,59 @@
+// Package pool provides the per-call bounded fan-out used by the parallel
+// hot paths: the lookahead strategies' candidate evaluation and the
+// experiment harness' task fan-out. Each ForEach call spawns its own
+// goroutines bounded by its workers argument; calls are independent (there
+// is no global bound), so nesting fan-outs — e.g. parallel experiment
+// tasks each running a parallel lookahead — multiplies goroutine counts.
+// Results must land in per-index slots; ForEach establishes the
+// happens-before edge between those writes and its return, so callers
+// reduce serially afterwards — which is what keeps parallel runs
+// bit-identical to serial ones.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), fanning across at most workers
+// goroutines. workers follows the convention of every parallelism knob in
+// this module: 0 and 1 mean sequential, negative means one worker per CPU.
+// Cancellation is observed per item: once ctx is done no further item
+// starts and the context's error is returned (items already running
+// finish). fn must confine its writes to per-index slots.
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

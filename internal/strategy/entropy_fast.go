@@ -6,8 +6,21 @@ package strategy
 // and the certainty tests of Lemmas 3.3/3.4 become three integer
 // operations. The lookahead inner loop runs Θ(K³) certainty tests per
 // question (K = informative classes), so this path is what makes L2S
-// practical at TPC-H scale; entropy_test.go asserts it agrees exactly with
-// the general bitset path.
+// practical at TPC-H scale; entropy_fast_test.go asserts it agrees exactly
+// with the general bitset path.
+//
+// The fast state is allocation-free along a hypothetical extension chain:
+// the newly-labeled set is a fixed inline chain of ≤ maxFastDepth positions
+// guarded by a one-word position filter, and negative extensions append
+// into a scratch buffer reserved once per candidate (fentropyKRoot), so the
+// Θ(K²) extensions evaluated per candidate allocate nothing.
+
+// maxFastDepth bounds the lookahead depth the fast path supports: a
+// hypothetical chain labels one class per level, and the chain is stored
+// inline to avoid per-extension allocations. Deeper lookaheads (which are
+// computationally absurd anyway — the cost is exponential in K) fall back
+// to the general bitset path.
+const maxFastDepth = 8
 
 // fastReady reports whether the fast path can be used and fills the
 // word-level snapshot.
@@ -44,21 +57,37 @@ func (l *look) fastReady() bool {
 	return true
 }
 
-// fstate is the hypothetical-extension state of the fast path; newly holds
-// *positions into baseInf* (not class indexes).
+// fstate is the hypothetical-extension state of the fast path. newly holds
+// *positions into baseInf* (not class indexes) of the classes labeled along
+// this chain; newlyMask is a one-word filter over position mod 64 (exact
+// when ≤ 64 informative classes exist, a conservative pre-test otherwise)
+// so the common "not labeled" case is a single AND. The whole struct is a
+// value: extensions copy it on the stack and never allocate.
 type fstate struct {
-	tpos  uint64
-	negs  []uint64
-	newly []int
+	tpos      uint64
+	negs      []uint64
+	newlyMask uint64
+	newly     [maxFastDepth]int32
+	nNew      int8
 }
 
-func (s fstate) labeled(idx int) bool {
-	for _, x := range s.newly {
-		if x == idx {
+func (s *fstate) labeled(idx int) bool {
+	if s.newlyMask&(1<<(uint(idx)&63)) == 0 {
+		return false
+	}
+	for i := int8(0); i < s.nNew; i++ {
+		if s.newly[i] == int32(idx) {
 			return true
 		}
 	}
 	return false
+}
+
+func (s fstate) withNewly(idx int) fstate {
+	s.newlyMask |= 1 << (uint(idx) & 63)
+	s.newly[s.nNew] = int32(idx)
+	s.nNew++
+	return s
 }
 
 func (l *look) fbase() fstate { return fstate{tpos: l.tposW, negs: l.negsW} }
@@ -113,21 +142,20 @@ func (l *look) finformativeUnder(s fstate) []int {
 }
 
 func (s fstate) withPositive(theta uint64, idx int) fstate {
-	return fstate{
-		tpos:  s.tpos & theta,
-		negs:  s.negs,
-		newly: append(append([]int(nil), s.newly...), idx),
-	}
+	ext := s.withNewly(idx)
+	ext.tpos = s.tpos & theta
+	return ext
 }
 
+// withNegative appends theta to the negative list in place. The scratch
+// buffer reserved by fentropyKRoot makes the append allocation-free; the
+// slot it overwrites is safe to reuse because sibling branches of the
+// lookahead recursion are evaluated strictly one after the other, and no
+// evaluation retains the extension past its own subtree.
 func (s fstate) withNegative(theta uint64, idx int) fstate {
-	negs := make([]uint64, len(s.negs), len(s.negs)+1)
-	copy(negs, s.negs)
-	return fstate{
-		tpos:  s.tpos,
-		negs:  append(negs, theta),
-		newly: append(append([]int(nil), s.newly...), idx),
-	}
+	ext := s.withNewly(idx)
+	ext.negs = append(s.negs, theta)
+	return ext
 }
 
 // fentropy1 mirrors look.entropy1 for baseInf position idx.
@@ -139,6 +167,17 @@ func (l *look) fentropy1(idx int, s fstate) Entropy {
 		up, un = un, up
 	}
 	return Entropy{Min: up, Max: un}
+}
+
+// fentropyKRoot evaluates candidate idx from the base state with a private
+// scratch negative buffer: concurrent candidate evaluations never share an
+// append target, and the ≤ k negative extensions along any chain reuse the
+// reserved capacity instead of reallocating.
+func (l *look) fentropyKRoot(idx int, s fstate, k int) Entropy {
+	negs := make([]uint64, len(s.negs), len(s.negs)+k)
+	copy(negs, s.negs)
+	s.negs = negs
+	return l.fentropyK(idx, s, k)
 }
 
 // fentropyK mirrors look.entropyK for baseInf position idx.

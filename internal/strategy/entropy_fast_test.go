@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/inference"
 	"repro/internal/paperdata"
+	"repro/internal/predicate"
 	"repro/internal/sample"
 )
 
@@ -54,6 +55,112 @@ func TestQuickFastPathMatchesGeneral(t *testing.T) {
 					if err := e.Label(ci, l); err != nil {
 						return false
 					}
+				}
+				l := Lookahead{K: k, CountClasses: countClasses}
+				fast := l.Entropies(e)
+				slow := l.entropiesGeneral(e)
+				if len(fast) != len(slow) {
+					return false
+				}
+				for ci, fe := range fast {
+					if slow[ci] != fe {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// labelHonestly labels up to n random informative classes according to the
+// goal and reports how many were labeled.
+func labelHonestly(r *rand.Rand, e *inference.Engine, goal predicate.Pred, n int) int {
+	labeled := 0
+	for q := 0; q < n; q++ {
+		inf := e.InformativeClasses()
+		if len(inf) == 0 {
+			break
+		}
+		ci := inf[r.Intn(len(inf))]
+		c := e.Classes()[ci]
+		l := sample.Negative
+		if goal.Selects(e.U, e.Inst.R.Tuples[c.RI], e.Inst.P.Tuples[c.PI]) {
+			l = sample.Positive
+		}
+		if err := e.Label(ci, l); err != nil {
+			return -1
+		}
+		labeled++
+	}
+	return labeled
+}
+
+// TestQuickFDeltaMatchesDelta: the word-level fdelta agrees exactly with
+// the bitset delta on random instances with labeled classes, under both
+// counting modes, along random mirrored hypothetical extension chains —
+// the unit underneath every entropy computation.
+func TestQuickFDeltaMatchesDelta(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randInstance(r)
+		for _, countClasses := range []bool{false, true} {
+			e := inference.New(inst)
+			if labelHonestly(r, e, randPred(r, e.U), r.Intn(5)) < 0 {
+				return false
+			}
+			lk := newLook(e, countClasses)
+			if len(lk.baseInf) == 0 {
+				continue
+			}
+			if !lk.fastReady() {
+				return false // randInstance universes always fit a word
+			}
+			// Mirror a random extension chain on both representations.
+			gs := lk.baseState()
+			fs := lk.fbase()
+			chain := r.Perm(len(lk.baseInf))
+			if len(chain) > 3 {
+				chain = chain[:3]
+			}
+			for _, pos := range chain {
+				ci := lk.baseInf[pos]
+				theta := e.Classes()[ci].Theta
+				if r.Intn(2) == 0 {
+					gs = gs.withPositive(theta, ci)
+					fs = fs.withPositive(lk.thetasW[pos], pos)
+				} else {
+					gs = gs.withNegative(theta, ci)
+					fs = fs.withNegative(lk.thetasW[pos], pos)
+				}
+				if lk.delta(gs) != lk.fdelta(fs) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEntropiesMatchWithLabels: full Entropies vs entropiesGeneral
+// agreement under CountClasses once several classes are labeled — the
+// labeled-class bookkeeping is where the two paths differ structurally
+// (class-index newly lists vs position chains).
+func TestQuickEntropiesMatchWithLabels(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randInstance(r)
+		for _, k := range []int{1, 2} {
+			for _, countClasses := range []bool{false, true} {
+				e := inference.New(inst)
+				if labelHonestly(r, e, randPred(r, e.U), 2+r.Intn(4)) < 0 {
+					return false
 				}
 				l := Lookahead{K: k, CountClasses: countClasses}
 				fast := l.Entropies(e)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/inference"
 )
@@ -24,8 +25,21 @@ type Lookahead struct {
 	// the best one-step entropy (a beam). The paper evaluates every
 	// informative tuple — set 0 (the default) for the exact algorithm; the
 	// beam is an engineering knob for instances with thousands of classes,
-	// where exact L2S is Θ(K³) per question.
+	// where exact L2S is Θ(K³) per question. The beam applies on both the
+	// word-level fast path and the general bitset path.
 	MaxCandidates int
+	// Workers fans the per-candidate entropy^K evaluations across that many
+	// goroutines: 0 and 1 evaluate serially, negative uses one worker per
+	// CPU. The parallel reduction applies the exact serial selection rule
+	// (max Min, tie-break max Max, first class in class order wins), so the
+	// chosen questions — and hence interaction counts — are bit-identical
+	// for every Workers value.
+	Workers int
+
+	// evalCount, when non-nil, is atomically incremented by the number of
+	// candidates whose entropy^K NextCtx evaluates after beaming; test
+	// instrumentation for the beam and the worker pool.
+	evalCount *atomic.Int64
 }
 
 // Name implements Strategy.
@@ -46,7 +60,9 @@ func (l Lookahead) Next(e *inference.Engine) int {
 // NextCtx implements inference.ContextStrategy: identical selection to
 // Next, but cancellation is observed between candidate evaluations — each
 // one costs Θ(K²) certainty tests at depth 2, so this is the granularity
-// at which aborting an expensive L2S decision is worthwhile.
+// at which aborting an expensive L2S decision is worthwhile. With
+// Workers > 1 the candidates are evaluated concurrently; cancellation is
+// still observed per candidate.
 func (l Lookahead) NextCtx(ctx context.Context, e *inference.Engine) (int, error) {
 	k := l.K
 	if k < 1 {
@@ -56,45 +72,44 @@ func (l Lookahead) NextCtx(ctx context.Context, e *inference.Engine) (int, error
 	if len(lk.baseInf) == 0 {
 		return -1, nil
 	}
-	// Compute entropy^K per informative class, then apply the selection of
-	// Algorithms 4/6: maximize Min, tie-break on Max; first class in class
-	// order wins ties, keeping runs deterministic.
-	bestIdx := -1
-	best := Entropy{Min: -1, Max: -1}
-	if lk.fastReady() {
+	workers := l.Workers
+	var positions []int
+	var ents []Entropy
+	if k <= maxFastDepth && lk.fastReady() {
 		base := lk.fbase()
-		positions := lk.beamPositions(base, k, l.MaxCandidates)
-		for _, idx := range positions {
-			if err := ctx.Err(); err != nil {
-				return -1, err
-			}
-			ent := lk.fentropyK(idx, base, k)
-			if ent.Min > best.Min || (ent.Min == best.Min && ent.Max > best.Max) {
-				best = ent
-				bestIdx = lk.baseInf[idx]
-			}
-		}
-		return bestIdx, nil
-	}
-	base := lk.baseState()
-	for _, ci := range lk.baseInf {
-		if err := ctx.Err(); err != nil {
+		positions = lk.beamPositions(k, l.MaxCandidates, func(pos int) Entropy {
+			return lk.fentropy1(pos, base)
+		})
+		ents = make([]Entropy, len(positions))
+		if err := forEachCandidate(ctx, workers, len(positions), func(i int) {
+			ents[i] = lk.fentropyKRoot(positions[i], base, k)
+		}); err != nil {
 			return -1, err
 		}
-		ent := lk.entropyK(ci, base, k)
-		if ent.Min > best.Min || (ent.Min == best.Min && ent.Max > best.Max) {
-			best = ent
-			bestIdx = ci
+	} else {
+		base := lk.baseState()
+		positions = lk.beamPositions(k, l.MaxCandidates, func(pos int) Entropy {
+			return lk.entropy1(lk.baseInf[pos], base)
+		})
+		ents = make([]Entropy, len(positions))
+		if err := forEachCandidate(ctx, workers, len(positions), func(i int) {
+			ents[i] = lk.entropyK(lk.baseInf[positions[i]], base, k)
+		}); err != nil {
+			return -1, err
 		}
 	}
-	return bestIdx, nil
+	if l.evalCount != nil {
+		l.evalCount.Add(int64(len(positions)))
+	}
+	return selectBestPosition(lk.baseInf, positions, ents), nil
 }
 
 // beamPositions returns the baseInf positions to evaluate: all of them, or
 // — when a beam is configured and the lookahead is deep — the
 // MaxCandidates best by one-step entropy (stable order, so runs stay
-// deterministic).
-func (lk *look) beamPositions(base fstate, k, maxCandidates int) []int {
+// deterministic). score computes the one-step entropy of a baseInf
+// position, letting the fast and general paths share the beam.
+func (lk *look) beamPositions(k, maxCandidates int, score func(pos int) Entropy) []int {
 	positions := make([]int, len(lk.baseInf))
 	for i := range positions {
 		positions[i] = i
@@ -108,7 +123,7 @@ func (lk *look) beamPositions(base fstate, k, maxCandidates int) []int {
 	}
 	ss := make([]scored, len(positions))
 	for i, idx := range positions {
-		ss[i] = scored{idx: idx, ent: lk.fentropy1(idx, base)}
+		ss[i] = scored{idx: idx, ent: score(idx)}
 	}
 	sort.SliceStable(ss, func(a, b int) bool {
 		if ss[a].ent.Min != ss[b].ent.Min {
@@ -134,10 +149,10 @@ func (l Lookahead) Entropies(e *inference.Engine) map[int]Entropy {
 	}
 	lk := newLook(e, l.CountClasses)
 	out := make(map[int]Entropy, len(lk.baseInf))
-	if lk.fastReady() {
+	if k <= maxFastDepth && lk.fastReady() {
 		base := lk.fbase()
 		for idx, ci := range lk.baseInf {
-			out[ci] = lk.fentropyK(idx, base, k)
+			out[ci] = lk.fentropyKRoot(idx, base, k)
 		}
 		return out
 	}

@@ -1,0 +1,208 @@
+package strategy
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/inference"
+	"repro/internal/oracle"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+	"repro/internal/sample"
+	"repro/internal/synth"
+)
+
+// generalPathInstance returns an instance whose pair universe exceeds 64
+// bits (Ω = 9·8 = 72), forcing the lookahead onto the general bitset path;
+// every product tuple lands in its own T-class, so rows² informative
+// classes exist at the start.
+func generalPathInstance(t *testing.T, rows int) *inference.Engine {
+	t.Helper()
+	inst := synth.MustGenerate(synth.Config{AttrsR: 9, AttrsP: 8, Rows: rows, Values: 3}, 1)
+	e := inference.New(inst)
+	if e.U.Size() <= 64 {
+		t.Fatalf("universe %d fits a word; want > 64", e.U.Size())
+	}
+	lk := newLook(e, false)
+	if lk.fastReady() {
+		t.Fatal("fast path unexpectedly available on a >64-pair universe")
+	}
+	return e
+}
+
+// TestWorkersDeterministicFastPath: on random word-size instances, NextCtx
+// picks the same class at every Workers value, and whole runs ask the same
+// number of questions — parallel evaluation must be bit-identical to
+// serial.
+func TestWorkersDeterministicFastPath(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		inst := randInstance(r)
+		goal := randPred(r, inference.New(inst).U)
+		for _, k := range []int{1, 2} {
+			e := inference.New(inst)
+			serial, err := Lookahead{K: k}.NextCtx(ctx, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 4, 16, -1} {
+				got, err := Lookahead{K: k, Workers: w}.NextCtx(ctx, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != serial {
+					t.Fatalf("trial %d K=%d workers=%d: picked %d, serial picked %d", trial, k, w, got, serial)
+				}
+			}
+			// Whole-run agreement: identical questions means identical
+			// interaction counts and inferred predicates.
+			base, err := inference.Run(inference.New(inst), Lookahead{K: k},
+				oracle.NewHonest(inst, inference.New(inst).U, goal), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{4, 16} {
+				res, err := inference.Run(inference.New(inst), Lookahead{K: k, Workers: w},
+					oracle.NewHonest(inst, inference.New(inst).U, goal), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Interactions != base.Interactions || !res.Predicate.Equal(base.Predicate) {
+					t.Fatalf("trial %d K=%d workers=%d: run diverged (%d vs %d interactions)",
+						trial, k, w, res.Interactions, base.Interactions)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersDeterministicGeneralPath: the same determinism guarantee on
+// the general bitset path (Ω > 64).
+func TestWorkersDeterministicGeneralPath(t *testing.T) {
+	ctx := context.Background()
+	e := generalPathInstance(t, 5)
+	serial := (Lookahead{K: 2}).Next(e)
+	for _, w := range []int{1, 4, 16} {
+		got, err := Lookahead{K: 2, Workers: w}.NextCtx(ctx, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != serial {
+			t.Fatalf("workers=%d: picked %d, serial picked %d", w, got, serial)
+		}
+	}
+}
+
+// TestGeneralPathBeamLimitsEvaluations is the regression test for the
+// silently-ignored beam: on a >64-pair universe (general path) with 64
+// informative classes, MaxCandidates must cap the number of entropy^K
+// evaluations. Before the fix the beam was applied only on the word-level
+// fast path, so exactly this instance shape ran exact L2S regardless of
+// the knob.
+func TestGeneralPathBeamLimitsEvaluations(t *testing.T) {
+	e := generalPathInstance(t, 8)
+	inf := len(e.InformativeClasses())
+	if inf <= 8 {
+		t.Fatalf("want > 8 informative classes, got %d", inf)
+	}
+	var evals atomic.Int64
+	beamed := Lookahead{K: 2, MaxCandidates: 8, evalCount: &evals}
+	ci, err := beamed.NextCtx(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := evals.Load(); got != 8 {
+		t.Errorf("beam 8 evaluated %d candidates; want exactly 8", got)
+	}
+	if ci < 0 || !e.Informative(ci) {
+		t.Errorf("beamed pick %d is not an informative class", ci)
+	}
+}
+
+// TestGeneralPathNoBeamEvaluatesAll: without a beam the general path still
+// evaluates every informative candidate (the counter counts what the beam
+// would have cut).
+func TestGeneralPathNoBeamEvaluatesAll(t *testing.T) {
+	e := generalPathInstance(t, 5)
+	inf := len(e.InformativeClasses())
+	var evals atomic.Int64
+	exact := Lookahead{K: 2, evalCount: &evals}
+	if _, err := exact.NextCtx(context.Background(), e); err != nil {
+		t.Fatal(err)
+	}
+	if got := evals.Load(); got != int64(inf) {
+		t.Errorf("exact L2S evaluated %d candidates; want all %d", got, inf)
+	}
+}
+
+// TestBeamAgreesAcrossPaths: the beam's candidate selection (one-step
+// entropy scoring plus stable ordering) must be identical whether scored
+// by the fast or the general path, so beamed runs do not depend on which
+// path an instance happens to take.
+func TestBeamAgreesAcrossPaths(t *testing.T) {
+	inst := paperdata.Example21()
+	e := inference.New(inst)
+	lk := newLook(e, false)
+	if !lk.fastReady() {
+		t.Fatal("Example 2.1 should take the fast path")
+	}
+	fb := lk.fbase()
+	gb := lk.baseState()
+	for _, beam := range []int{1, 2, 4, 8} {
+		fast := lk.beamPositions(2, beam, func(pos int) Entropy { return lk.fentropy1(pos, fb) })
+		general := lk.beamPositions(2, beam, func(pos int) Entropy { return lk.entropy1(lk.baseInf[pos], gb) })
+		if len(fast) != len(general) {
+			t.Fatalf("beam %d: %d vs %d positions", beam, len(fast), len(general))
+		}
+		for i := range fast {
+			if fast[i] != general[i] {
+				t.Fatalf("beam %d: position %d differs (%d vs %d)", beam, i, fast[i], general[i])
+			}
+		}
+	}
+}
+
+// TestParallelNextCtxCancellation: a cancelled context aborts a parallel
+// L2S decision with the context's error.
+func TestParallelNextCtxCancellation(t *testing.T) {
+	inst := synth.MustGenerate(synth.Config{AttrsR: 3, AttrsP: 3, Rows: 50, Values: 100}, 5)
+	e := inference.New(inst)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 8} {
+		ci, err := Lookahead{K: 2, Workers: w}.NextCtx(ctx, e)
+		if err != context.Canceled {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		if ci != -1 {
+			t.Errorf("workers=%d: ci = %d, want -1", w, ci)
+		}
+	}
+}
+
+// TestDeepLookaheadFallsBackToGeneral: depths beyond the fast path's inline
+// chain (maxFastDepth) must still work — they route to the general path,
+// which handles arbitrary K. A three-class instance keeps the exponential
+// recursion trivially small.
+func TestDeepLookaheadFallsBackToGeneral(t *testing.T) {
+	R := relation.NewRelation(relation.MustSchema("R", "A"))
+	P := relation.NewRelation(relation.MustSchema("P", "B"))
+	R.Tuples = append(R.Tuples, relation.Tuple{"1"}, relation.Tuple{"2"})
+	P.Tuples = append(P.Tuples, relation.Tuple{"1"}, relation.Tuple{"3"})
+	inst := relation.MustInstance(R, P)
+	e := inference.New(inst)
+	deep := Lookahead{K: maxFastDepth + 1, Workers: 4}
+	ci, err := deep.NextCtx(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci < 0 || !e.Informative(ci) {
+		t.Fatalf("deep lookahead picked %d; want an informative class", ci)
+	}
+	if err := e.Label(ci, sample.Negative); err != nil {
+		t.Fatal(err)
+	}
+}

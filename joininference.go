@@ -205,7 +205,7 @@ func (s *Session) legacyStrategyFor(id StrategyID) (inference.Strategy, error) {
 	if st, ok := s.strats[id]; ok {
 		return st, nil
 	}
-	st, err := newStrategy(id, s.cfg.seed)
+	st, err := newStrategy(id, s.cfg.seed, s.cfg.parallelism)
 	if err != nil {
 		return nil, err
 	}

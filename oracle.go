@@ -59,54 +59,41 @@ func (f funcOracle) Label(_ context.Context, q Question) (Label, error) { return
 // a truth oracle whose labels the workers perturb, and keeps running
 // cost/accuracy statistics.
 type Crowd struct {
-	mu     sync.Mutex
-	m      *crowd.Majority
-	bridge *truthBridge
+	truth Oracle
+	mu    sync.Mutex
+	m     *crowd.Majority
 }
 
 // CrowdOracle builds a majority-vote crowd over the truth oracle: workers
 // independent answers per question, each wrong with probability errorRate,
-// each costing costPerTask. The seed makes worker noise reproducible.
+// each costing costPerTask. The seed makes worker noise reproducible for a
+// fixed dispatch order.
 func CrowdOracle(truth Oracle, workers int, errorRate, costPerTask float64, seed int64) (*Crowd, error) {
-	b := &truthBridge{truth: truth}
-	m, err := crowd.NewMajority(b, workers, errorRate, seed)
+	m, err := crowd.NewMajority(nil, workers, errorRate, seed)
 	if err != nil {
 		return nil, fmt.Errorf("joininference: %w", err)
 	}
 	m.CostPerTask = costPerTask
-	return &Crowd{m: m, bridge: b}, nil
+	return &Crowd{truth: truth, m: m}, nil
 }
 
-// truthBridge adapts a public Oracle to the internal crowd.Truth interface,
-// which addresses questions by row indexes only.
-type truthBridge struct {
-	truth Oracle
-	ctx   context.Context
-	q     Question
-	err   error
-}
-
-func (b *truthBridge) LabelFor(ri, pi int) Label {
-	l, err := b.truth.Label(b.ctx, b.q)
-	if err != nil && b.err == nil {
-		b.err = err
-	}
-	return l
-}
-
-// Label implements Oracle with one majority-aggregated crowd round. It is
-// safe for concurrent use — questions from a parallel batch dispatch are
-// aggregated one at a time (the real cost in a deployment is the workers,
-// not the vote count).
+// Label implements Oracle with one majority-aggregated crowd round. The
+// truth oracle answers the exact question it is handed, outside the mutex,
+// so a parallel batch dispatch only serializes on the cheap vote
+// aggregation — not on the truth oracle's latency. Concurrent use is safe
+// provided the truth oracle is itself safe for concurrent use
+// (HonestOracle is; a FuncOracle over shared mutable state is the caller's
+// responsibility to lock). Aggregated label sequences stay reproducible
+// for a fixed dispatch order; concurrent dispatch keeps every count exact
+// but lets the scheduler decide which question consumes which noise draw.
 func (c *Crowd) Label(ctx context.Context, q Question) (Label, error) {
+	truth, err := c.truth.Label(ctx, q)
+	if err != nil {
+		return truth, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.bridge.ctx, c.bridge.q, c.bridge.err = ctx, q, nil
-	l := c.m.LabelFor(q.RIndex, q.PIndex)
-	if err := c.bridge.err; err != nil {
-		return l, err
-	}
-	return l, nil
+	return c.m.Vote(truth), nil
 }
 
 // Microtasks returns the number of individual worker answers so far.

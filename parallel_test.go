@@ -1,0 +1,115 @@
+package joininference
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/tpch"
+)
+
+// TestWithParallelismDeterministic: a session asks the exact same question
+// sequence at every parallelism level — the acceptance bar for the parallel
+// lookahead engine is bit-identical interaction counts.
+func TestWithParallelismDeterministic(t *testing.T) {
+	data := tpch.MustGenerate(1, 42)
+	inst, goal, err := data.Instance(tpch.Join2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := PrecomputeClasses(inst)
+	for _, id := range []StrategyID{StrategyL1S, StrategyL2S} {
+		transcript := func(workers int) []TranscriptEntry {
+			_, s := honestRun(t, inst, goal,
+				WithStrategy(id), WithPrecomputedClasses(classes), WithParallelism(workers))
+			return s.Transcript()
+		}
+		base := transcript(1)
+		if len(base) == 0 {
+			t.Fatalf("%s: empty transcript", id)
+		}
+		for _, workers := range []int{4, 16, -1} {
+			got := transcript(workers)
+			if len(got) != len(base) {
+				t.Fatalf("%s parallelism %d: %d questions, serial asked %d", id, workers, len(got), len(base))
+			}
+			for i := range got {
+				if got[i] != base[i] {
+					t.Fatalf("%s parallelism %d: question %d is (%d,%d), serial asked (%d,%d)",
+						id, workers, i, got[i].RIndex, got[i].PIndex, base[i].RIndex, base[i].PIndex)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBatchCrowdDispatch drives the crowdsourcing deployment the
+// way a real one runs: every NextQuestions batch fans out to concurrent
+// workers hitting the Crowd oracle at once, and the answers come back
+// through AnswerBatch. Exercises the narrowed Crowd.Label critical section
+// (and fails under -race if the truth path shares state).
+func TestParallelBatchCrowdDispatch(t *testing.T) {
+	inst := paperdata.FlightHotel()
+	u := NewSession(inst).Universe()
+	goal, err := PredFromNames(u, [2]string{"To", "City"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := CrowdOracle(HonestOracle(goal), 5, 0, 0.05, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(inst, WithStrategy(StrategyL2S), WithParallelism(4))
+	ctx := context.Background()
+	rounds := 0
+	for {
+		qs, err := s.NextQuestions(ctx, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(qs) == 0 {
+			break
+		}
+		labels := make([]Label, len(qs))
+		var wg sync.WaitGroup
+		wg.Add(len(qs))
+		for i, q := range qs {
+			go func(i int, q Question) {
+				defer wg.Done()
+				l, err := crowd.Label(ctx, q)
+				if err != nil {
+					t.Error(err)
+				}
+				labels[i] = l
+			}(i, q)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		if _, err := s.AnswerBatch(qs, labels); err != nil {
+			t.Fatal(err)
+		}
+		if rounds++; rounds > 50 {
+			t.Fatal("batch loop did not converge")
+		}
+	}
+	// Error rate 0: the crowd is always right, so the inference must land
+	// on the goal and the accounting must line up exactly.
+	if got, want := len(Join(inst, s.Inferred())), len(Join(inst, goal)); got != want {
+		t.Errorf("inferred join selects %d pairs, goal selects %d", got, want)
+	}
+	// Every session answer consumed a crowd round; the crowd may have
+	// answered a few more (batch answers that earlier answers in the same
+	// round made uninformative are dropped by AnswerBatch).
+	if crowd.Questions() < s.Questions() {
+		t.Errorf("crowd answered %d questions, session recorded %d", crowd.Questions(), s.Questions())
+	}
+	if crowd.WrongAnswers() != 0 {
+		t.Errorf("error-free crowd produced %d wrong answers", crowd.WrongAnswers())
+	}
+	if min := crowd.Questions() * 5; crowd.Microtasks() < min {
+		t.Errorf("microtasks %d < %d (5 workers per question)", crowd.Microtasks(), min)
+	}
+}

@@ -38,11 +38,12 @@ func (q Question) Semijoin() bool { return q.PIndex < 0 }
 type Option func(*sessionConfig)
 
 type sessionConfig struct {
-	stratID StrategyID
-	custom  Strategy
-	seed    int64
-	budget  int
-	classes *ClassSet
+	stratID     StrategyID
+	custom      Strategy
+	seed        int64
+	budget      int
+	classes     *ClassSet
+	parallelism int
 }
 
 // WithStrategy selects the questioning strategy the session uses for
@@ -71,6 +72,16 @@ func WithSeed(seed int64) Option {
 // ErrBudgetExhausted; Inferred still returns the best predicate so far.
 func WithBudget(n int) Option {
 	return func(c *sessionConfig) { c.budget = n }
+}
+
+// WithParallelism fans the per-candidate lookahead evaluations of
+// StrategyL1S and StrategyL2S across n goroutines per question: 0 and 1
+// keep evaluation serial, negative uses one worker per CPU. The parallel
+// reduction applies the exact serial selection rule, so the questions a
+// session asks — and hence its interaction counts — are bit-identical for
+// every n. Strategies without a lookahead ignore the knob.
+func WithParallelism(n int) Option {
+	return func(c *sessionConfig) { c.parallelism = n }
 }
 
 // WithPrecomputedClasses supplies T-classes computed once with
@@ -289,21 +300,22 @@ func (s *Session) strategy() (inference.Strategy, error) {
 		s.strat = customStrategy{s.cfg.custom}
 		return s.strat, nil
 	}
-	s.strat, s.stratErr = newStrategy(s.cfg.stratID, s.cfg.seed)
+	s.strat, s.stratErr = newStrategy(s.cfg.stratID, s.cfg.seed, s.cfg.parallelism)
 	return s.strat, s.stratErr
 }
 
-// newStrategy constructs a built-in strategy.
-func newStrategy(id StrategyID, seed int64) (inference.Strategy, error) {
+// newStrategy constructs a built-in strategy; workers is the
+// WithParallelism knob, honored by the lookahead strategies.
+func newStrategy(id StrategyID, seed int64, workers int) (inference.Strategy, error) {
 	switch id {
 	case StrategyBU:
 		return strategy.BottomUp{}, nil
 	case StrategyTD:
 		return strategy.NewTopDown(), nil
 	case StrategyL1S:
-		return strategy.Lookahead{K: 1}, nil
+		return strategy.Lookahead{K: 1, Workers: workers}, nil
 	case StrategyL2S:
-		return strategy.Lookahead{K: 2}, nil
+		return strategy.Lookahead{K: 2, Workers: workers}, nil
 	case StrategyRND:
 		return strategy.NewRandom(seed), nil
 	default:
