@@ -1,0 +1,137 @@
+// Command joinserve serves interactive join-inference sessions over
+// HTTP/JSON: the crowdsourcing deployment of Section 7, where membership
+// questions are dispatched to remote workers over minutes or days rather
+// than one process lifetime.
+//
+// Usage:
+//
+//	joinserve [-addr :8080] [-ttl 30m] [-persist-dir ./sessions]
+//	          [-csv name=R.csv,P.csv]...
+//
+// The server starts with the paper's workloads registered (tpch-join1 …
+// tpch-join5, synth-1 … synth-6); -csv adds instances from CSV pairs.
+// With -persist-dir, sessions idle past the TTL are snapshotted to disk
+// and evicted, every live session is snapshotted on shutdown, and all of
+// them are restored on the next boot — clients resume mid-inference with
+// bit-identical question sequences. See README.md ("Serving") for a curl
+// walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	ttl := flag.Duration("ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables)")
+	persistDir := flag.String("persist-dir", "", "snapshot sessions here on eviction/shutdown and restore them on boot")
+	var csvs csvFlags
+	flag.Var(&csvs, "csv", "register a CSV instance as name=R.csv,P.csv (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, *ttl, *persistDir, csvs); err != nil {
+		fmt.Fprintln(os.Stderr, "joinserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, ttl time.Duration, persistDir string, csvs csvFlags) error {
+	reg := service.DefaultRegistry()
+	for _, c := range csvs {
+		if err := reg.RegisterCSV(c.name, c.rPath, c.pPath); err != nil {
+			return err
+		}
+	}
+	mgr, err := service.NewManager(reg, service.Options{
+		TTL:        ttl,
+		PersistDir: persistDir,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	if ttl > 0 {
+		interval := ttl / 4
+		if interval > time.Minute {
+			interval = time.Minute
+		}
+		stop := mgr.StartJanitor(interval)
+		defer stop()
+	}
+
+	server := &http.Server{Addr: addr, Handler: service.NewHandler(mgr)}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("joinserve: listening on %s (%d instances registered)", addr, len(reg.Names()))
+		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("joinserve: %s, shutting down", sig)
+	}
+
+	// Graceful shutdown: finish in-flight requests (client disconnects
+	// already cancel long lookaheads via the request context), then persist
+	// every live session.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		log.Printf("joinserve: shutdown: %v", err)
+	}
+	if err := mgr.Close(ctx); err != nil && !errors.Is(err, service.ErrClosed) {
+		return err
+	}
+	if persistDir != "" {
+		log.Printf("joinserve: sessions persisted to %s", persistDir)
+	}
+	return <-errc
+}
+
+// csvFlag is one -csv name=R.csv,P.csv registration.
+type csvFlag struct {
+	name, rPath, pPath string
+}
+
+type csvFlags []csvFlag
+
+func (c *csvFlags) String() string {
+	parts := make([]string, len(*c))
+	for i, f := range *c {
+		parts[i] = fmt.Sprintf("%s=%s,%s", f.name, f.rPath, f.pPath)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (c *csvFlags) Set(s string) error {
+	name, paths, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=R.csv,P.csv, got %q", s)
+	}
+	rPath, pPath, ok := strings.Cut(paths, ",")
+	if !ok || name == "" || rPath == "" || pPath == "" {
+		return fmt.Errorf("want name=R.csv,P.csv, got %q", s)
+	}
+	*c = append(*c, csvFlag{name: name, rPath: rPath, pPath: pPath})
+	return nil
+}

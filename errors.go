@@ -24,4 +24,25 @@ var (
 
 	// ErrUnknownStrategy reports a StrategyID the package does not know.
 	ErrUnknownStrategy = errors.New("joininference: unknown strategy")
+
+	// ErrBadTranscript reports a transcript that cannot be applied to the
+	// instance at hand: malformed JSON, row indexes out of bounds, labels
+	// inconsistent with every predicate, or join/semijoin entries fed to the
+	// wrong kind of session. Wrapped errors carry the offending entry number.
+	ErrBadTranscript = errors.New("joininference: bad transcript")
+
+	// ErrBadQuestionRef reports a QuestionRef that does not address this
+	// session's instance: indexes out of range, a semijoin ref on a join
+	// session, or vice versa.
+	ErrBadQuestionRef = errors.New("joininference: bad question ref")
+
+	// ErrBadSnapshot reports a snapshot that cannot be resumed: an
+	// unsupported version, an unknown kind, or internal inconsistencies
+	// (see Snapshot for the compatibility policy).
+	ErrBadSnapshot = errors.New("joininference: bad snapshot")
+
+	// ErrNotSnapshottable reports a session whose state cannot be captured —
+	// today only sessions configured with WithCustomStrategy, since a
+	// caller-implemented Strategy may hold arbitrary unserializable state.
+	ErrNotSnapshottable = errors.New("joininference: session cannot be snapshotted")
 )

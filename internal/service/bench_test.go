@@ -1,0 +1,96 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	joininference "repro"
+	"repro/internal/paperdata"
+)
+
+// BenchmarkSessionManager measures service throughput: each iteration
+// creates a session through the manager and drives it to convergence with
+// honest answers (create + N×(questions, answer) + predicate). The
+// parallel variants model concurrent users hitting one manager; T-classes
+// are precomputed once in the registry, so the per-session cost is the
+// question loop itself.
+func BenchmarkSessionManager(b *testing.B) {
+	inst := paperdata.FlightHotel()
+	u := joininference.NewSession(inst).Universe()
+	goal, err := joininference.PredFromNames(u, [2]string{"To", "City"}, [2]string{"Airline", "Discount"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.RegisterInstance("flights", inst); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reg.Get("flights"); err != nil { // pay class precompute up front
+		b.Fatal(err)
+	}
+	oracle := joininference.HonestOracle(goal)
+	ctx := context.Background()
+
+	drive := func(m *Manager) error {
+		info, err := m.Create(Params{Instance: "flights", Strategy: joininference.StrategyTD})
+		if err != nil {
+			return err
+		}
+		for {
+			qs, err := m.Questions(ctx, info.ID, 2)
+			if err != nil {
+				return err
+			}
+			if len(qs) == 0 {
+				break
+			}
+			answers := make([]Answer, len(qs))
+			for i, q := range qs {
+				l, err := oracle.Label(ctx, q)
+				if err != nil {
+					return err
+				}
+				answers[i] = Answer{QuestionRef: q.Ref(), Positive: bool(l)}
+			}
+			if _, err := m.Answer(ctx, info.ID, answers); err != nil {
+				return err
+			}
+		}
+		if _, err := m.Predicate(info.ID); err != nil {
+			return err
+		}
+		return m.Delete(info.ID)
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		m, err := NewManager(reg, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := drive(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, par := range []int{4, 16} {
+		b.Run(fmt.Sprintf("parallel%d", par), func(b *testing.B) {
+			m, err := NewManager(reg, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.SetParallelism(par)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := drive(m); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

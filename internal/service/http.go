@@ -1,0 +1,200 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	joininference "repro"
+)
+
+// NewHandler mounts the manager's operations as an HTTP/JSON API:
+//
+//	POST   /sessions                  create a session ({"instance": ...,
+//	                                  "strategy": ..., ...}) or resume one
+//	                                  ({"snapshot": <service snapshot>})
+//	GET    /sessions                  list sessions
+//	GET    /sessions/{id}             session status
+//	GET    /sessions/{id}/questions?k=N   up to N pairwise-informative
+//	                                  questions for parallel crowd dispatch
+//	POST   /sessions/{id}/answers     {"answers": [{"r":..,"p":..,"positive":..}]}
+//	GET    /sessions/{id}/predicate   current inferred predicate (text + SQL)
+//	GET    /sessions/{id}/snapshot    durable snapshot (resumable elsewhere)
+//	DELETE /sessions/{id}             discard the session
+//	GET    /instances                 registered instance names
+//	GET    /healthz                   liveness
+//
+// Request contexts thread into the inference engine, so a client
+// disconnect cancels even a long L2S lookahead mid-computation.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req createRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		var info Info
+		var err error
+		if req.Snapshot != nil {
+			info, err = m.Resume(req.Snapshot)
+		} else {
+			info, err = m.Create(req.Params)
+		}
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, listResponse{Sessions: m.List()})
+	})
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("GET /sessions/{id}/questions", func(w http.ResponseWriter, r *http.Request) {
+		k := 1
+		if s := r.URL.Query().Get("k"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("k must be a positive integer, got %q", s))
+				return
+			}
+			k = n
+		}
+		qs, err := m.Questions(r.Context(), r.PathValue("id"), k)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, questionsResponse{Questions: qs, Done: len(qs) == 0})
+	})
+	mux.HandleFunc("POST /sessions/{id}/answers", func(w http.ResponseWriter, r *http.Request) {
+		var req answersRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		res, err := m.Answer(r.Context(), r.PathValue("id"), req.Answers)
+		if err != nil {
+			// Answers apply in order, so a mid-batch failure (inconsistent
+			// label, spent budget) leaves a prefix recorded — report the
+			// counts so the client knows exactly what was kept.
+			writeJSON(w, statusFor(err), answersError{
+				Error: err.Error(), Applied: res.Applied, Skipped: res.Skipped,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /sessions/{id}/predicate", func(w http.ResponseWriter, r *http.Request) {
+		p, err := m.Predicate(r.PathValue("id"))
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("GET /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := m.Snapshot(r.PathValue("id"))
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Delete(r.PathValue("id")); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /instances", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, instancesResponse{Instances: m.reg.Names()})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// createRequest accepts either creation params or a snapshot to resume.
+type createRequest struct {
+	Params
+	Snapshot *SessionSnapshot `json:"snapshot,omitempty"`
+}
+
+type listResponse struct {
+	Sessions []Info `json:"sessions"`
+}
+
+type questionsResponse struct {
+	// Questions marshal through Question.MarshalJSON: row indexes, values
+	// and attribute names. Done is true when none remain (Γ reached).
+	Questions []joininference.Question `json:"questions"`
+	Done      bool                     `json:"done"`
+}
+
+type answersRequest struct {
+	Answers []Answer `json:"answers"`
+}
+
+type instancesResponse struct {
+	Instances []string `json:"instances"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// answersError is the error body of POST /sessions/{id}/answers: the
+// failure plus how much of the batch was recorded before it.
+type answersError struct {
+	Error   string `json:"error"`
+	Applied int    `json:"applied"`
+	Skipped int    `json:"skipped"`
+}
+
+// statusFor maps service and inference errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrSessionNotFound), errors.Is(err, ErrUnknownInstance):
+		return http.StatusNotFound
+	case errors.Is(err, joininference.ErrBudgetExhausted),
+		errors.Is(err, joininference.ErrInconsistent):
+		return http.StatusConflict
+	case errors.Is(err, joininference.ErrUnknownStrategy),
+		errors.Is(err, joininference.ErrBadSnapshot),
+		errors.Is(err, joininference.ErrBadTranscript),
+		errors.Is(err, joininference.ErrBadQuestionRef):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away (or timed out); the status is moot but a
+		// 4xx keeps logs honest.
+		return http.StatusRequestTimeout
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

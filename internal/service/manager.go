@@ -1,0 +1,674 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	joininference "repro"
+)
+
+// Sentinel errors of the service layer.
+var (
+	// ErrSessionNotFound reports an id the manager does not hold (never
+	// created, evicted, or deleted).
+	ErrSessionNotFound = errors.New("service: session not found")
+	// ErrClosed reports use of a manager after Close.
+	ErrClosed = errors.New("service: manager closed")
+)
+
+// Params configures a new session. The zero value of each field means the
+// root package's default (strategy TD, seed 1, no budget, serial lookahead).
+type Params struct {
+	// Instance names a registry entry.
+	Instance string `json:"instance"`
+	// Semijoin selects a semijoin session (questions are single rows of R).
+	Semijoin bool `json:"semijoin,omitempty"`
+	// Strategy, Seed, Budget, Parallelism mirror the root package options.
+	Strategy    joininference.StrategyID `json:"strategy,omitempty"`
+	Seed        int64                    `json:"seed,omitempty"`
+	Budget      int                      `json:"budget,omitempty"`
+	Parallelism int                      `json:"parallelism,omitempty"`
+}
+
+// Info is a session's public status.
+type Info struct {
+	ID       string                   `json:"id"`
+	Instance string                   `json:"instance"`
+	Semijoin bool                     `json:"semijoin,omitempty"`
+	Strategy joininference.StrategyID `json:"strategy,omitempty"`
+	Asked    int                      `json:"asked"`
+	Budget   int                      `json:"budget,omitempty"`
+	// Classes is the number of T-classes (the worst-case number of
+	// questions); 0 for semijoin sessions.
+	Classes int `json:"classes,omitempty"`
+	// Done reports the halt condition Γ: the predicate is determined.
+	Done bool `json:"done"`
+}
+
+// Answer is one labeled question coming back from a worker.
+type Answer struct {
+	joininference.QuestionRef
+	Positive bool `json:"positive"`
+}
+
+// AnswerResult reports what a batch of answers did to the session.
+type AnswerResult struct {
+	// Applied counts answers recorded; Skipped counts answers whose
+	// question an earlier answer (possibly in the same batch) had already
+	// decided — normal in parallel crowd rounds, not an error.
+	Applied int  `json:"applied"`
+	Skipped int  `json:"skipped"`
+	Asked   int  `json:"asked"`
+	Done    bool `json:"done"`
+}
+
+// PredicateInfo is the current inference result.
+type PredicateInfo struct {
+	// Predicate is the inferred predicate in the package's textual form
+	// (parseable back with ParsePredicate); "TRUE" is the empty conjunction.
+	Predicate string `json:"predicate"`
+	// SQL renders it as a runnable join (or semijoin) query.
+	SQL   string `json:"sql"`
+	Asked int    `json:"asked"`
+	Done  bool   `json:"done"`
+}
+
+// SessionSnapshot is the service-level durable form of a session: the root
+// package's Snapshot plus the instance name needed to rebuild it. This is
+// what GET /sessions/{id}/snapshot returns and what --persist-dir writes.
+type SessionSnapshot struct {
+	ID       string                  `json:"id"`
+	Instance string                  `json:"instance"`
+	Snapshot *joininference.Snapshot `json:"snapshot"`
+}
+
+// Options configures a Manager.
+type Options struct {
+	// TTL evicts sessions idle longer than this on SweepExpired; 0 disables
+	// eviction.
+	TTL time.Duration
+	// PersistDir, when non-empty, persists sessions to disk on eviction and
+	// Close, and restores them in NewManager.
+	PersistDir string
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+	// Logf receives restore/persist diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Manager owns live sessions: create/answer/snapshot/evict with per-session
+// locking — concurrent requests to different sessions proceed in parallel,
+// even while one session computes an expensive L2S lookahead — plus TTL
+// eviction and disk persistence. All methods are safe for concurrent use.
+type Manager struct {
+	reg  *Registry
+	opts Options
+	now  func() time.Time
+	logf func(string, ...any)
+
+	mu       sync.Mutex
+	sessions map[string]*managed
+	closed   bool
+}
+
+// managed pairs a session with its lock and bookkeeping. The manager's map
+// lock is never held while a session's lock is awaited, so slow sessions
+// do not serialize the service.
+type managed struct {
+	mu       sync.Mutex
+	id       string
+	params   Params
+	sess     *joininference.Session
+	lastUsed time.Time
+	gone     bool
+	// done caches Session.Done() — for semijoin sessions an NP-hard scan —
+	// so status calls don't recompute it; nil = unknown, reset when answers
+	// are applied. Guarded by mu.
+	done *bool
+
+	// infoMu guards lastInfo: the status as of the last completed
+	// operation, served by List when the session is busy mid-operation.
+	infoMu   sync.Mutex
+	lastInfo Info
+}
+
+// NewManager builds a manager over the registry. With a PersistDir it
+// restores every persisted session before returning; files that no longer
+// decode or resume are skipped (and logged), never fatal — a corrupt
+// snapshot must not take the service down.
+func NewManager(reg *Registry, opts Options) (*Manager, error) {
+	m := &Manager{
+		reg:      reg,
+		opts:     opts,
+		now:      opts.Now,
+		logf:     opts.Logf,
+		sessions: make(map[string]*managed),
+	}
+	if m.now == nil {
+		m.now = time.Now
+	}
+	if m.logf == nil {
+		m.logf = func(string, ...any) {}
+	}
+	if opts.PersistDir != "" {
+		if err := os.MkdirAll(opts.PersistDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: persist dir: %w", err)
+		}
+		if err := m.restoreAll(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Create builds a session over a registered instance and returns its info.
+func (m *Manager) Create(p Params) (Info, error) {
+	if err := validStrategy(p.Strategy); err != nil {
+		return Info{}, err
+	}
+	entry, err := m.reg.Get(p.Instance)
+	if err != nil {
+		return Info{}, err
+	}
+	var opts []joininference.Option
+	if p.Strategy != "" {
+		opts = append(opts, joininference.WithStrategy(p.Strategy))
+	}
+	if p.Seed != 0 {
+		opts = append(opts, joininference.WithSeed(p.Seed))
+	}
+	if p.Budget != 0 {
+		opts = append(opts, joininference.WithBudget(p.Budget))
+	}
+	if p.Parallelism != 0 {
+		opts = append(opts, joininference.WithParallelism(p.Parallelism))
+	}
+	var sess *joininference.Session
+	if p.Semijoin {
+		sess = joininference.NewSemijoinSession(entry.Inst, opts...)
+	} else {
+		opts = append(opts, joininference.WithPrecomputedClasses(entry.Classes))
+		sess = joininference.NewSession(entry.Inst, opts...)
+	}
+	return m.add("", p, sess)
+}
+
+// validStrategy rejects unknown strategy ids at session creation instead of
+// at the first question ("" selects the root package's default).
+func validStrategy(id joininference.StrategyID) error {
+	if id == "" {
+		return nil
+	}
+	for _, known := range joininference.KnownStrategies() {
+		if id == known {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", joininference.ErrUnknownStrategy, id)
+}
+
+// Resume rebuilds a session from a service snapshot (same determinism
+// guarantee as joininference.ResumeSession) and registers it — under its
+// original id when still free, else a fresh one.
+func (m *Manager) Resume(snap *SessionSnapshot) (Info, error) {
+	if snap == nil || snap.Snapshot == nil {
+		return Info{}, fmt.Errorf("%w: empty service snapshot", joininference.ErrBadSnapshot)
+	}
+	// Reject unknown strategy ids now: ResumeSession materializes the
+	// strategy lazily, and a zombie session that 400s on every /questions
+	// call (and re-restores from disk on every boot) helps nobody.
+	if err := validStrategy(snap.Snapshot.Strategy); err != nil {
+		return Info{}, err
+	}
+	entry, err := m.reg.Get(snap.Instance)
+	if err != nil {
+		return Info{}, err
+	}
+	var opts []joininference.Option
+	semijoin := snap.Snapshot.Kind == joininference.SnapshotKindSemijoin
+	if !semijoin {
+		opts = append(opts, joininference.WithPrecomputedClasses(entry.Classes))
+	}
+	sess, err := joininference.ResumeSession(entry.Inst, snap.Snapshot, opts...)
+	if err != nil {
+		return Info{}, err
+	}
+	p := Params{
+		Instance:    snap.Instance,
+		Semijoin:    semijoin,
+		Strategy:    snap.Snapshot.Strategy,
+		Seed:        snap.Snapshot.Seed,
+		Budget:      snap.Snapshot.Budget,
+		Parallelism: snap.Snapshot.Parallelism,
+	}
+	return m.add(snap.ID, p, sess)
+}
+
+// add registers a session under id (or a fresh random id when the
+// requested one is malformed or taken) and returns its info.
+func (m *Manager) add(id string, p Params, sess *joininference.Session) (Info, error) {
+	ms := &managed{params: p, sess: sess, lastUsed: m.now()}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Info{}, ErrClosed
+	}
+	if !validID(id) || m.sessions[id] != nil {
+		for {
+			id = newID()
+			if m.sessions[id] == nil {
+				break
+			}
+		}
+	}
+	ms.id = id
+	m.sessions[id] = ms
+	return ms.info(), nil
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: crypto/rand unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validID reports whether id has the exact shape newID produces. Ids
+// arrive from clients (resume bodies, URL paths) and are used as path
+// components under PersistDir, so anything else — "../../tmp/evil",
+// absolute paths, empty strings — must never reach filepath.Join.
+func validID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// isDone returns the session's halt state through the done cache; callers
+// hold ms.mu (or have exclusive access).
+func (ms *managed) isDone() bool {
+	if ms.done == nil {
+		d := ms.sess.Done()
+		ms.done = &d
+	}
+	return *ms.done
+}
+
+// info builds the session's status and refreshes the lastInfo cache;
+// callers hold ms.mu (or have exclusive access).
+func (ms *managed) info() Info {
+	in := Info{
+		ID:       ms.id,
+		Instance: ms.params.Instance,
+		Semijoin: ms.params.Semijoin,
+		Strategy: ms.params.Strategy,
+		Asked:    ms.sess.Questions(),
+		Budget:   ms.sess.Budget(),
+		Classes:  ms.sess.Classes(),
+		Done:     ms.isDone(),
+	}
+	ms.infoMu.Lock()
+	ms.lastInfo = in
+	ms.infoMu.Unlock()
+	return in
+}
+
+// acquire locks the named session for exclusive use; the caller must call
+// release. The manager map lock is dropped before the session lock is
+// taken, so a slow session never blocks unrelated requests.
+func (m *Manager) acquire(id string) (*managed, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ms := m.sessions[id]
+	m.mu.Unlock()
+	if ms == nil {
+		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	ms.mu.Lock()
+	if ms.gone {
+		ms.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	return ms, nil
+}
+
+func (m *Manager) release(ms *managed) {
+	ms.lastUsed = m.now()
+	ms.mu.Unlock()
+}
+
+// Get returns the session's status.
+func (m *Manager) Get(id string) (Info, error) {
+	ms, err := m.acquire(id)
+	if err != nil {
+		return Info{}, err
+	}
+	defer m.release(ms)
+	return ms.info(), nil
+}
+
+// List returns every live session's status, sorted by id.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	all := make([]*managed, 0, len(m.sessions))
+	for _, ms := range m.sessions {
+		all = append(all, ms)
+	}
+	m.mu.Unlock()
+	out := make([]Info, 0, len(all))
+	for _, ms := range all {
+		// Never wait on a session mid-operation (it may be deep in an L2S
+		// lookahead): serve its status as of the last completed operation
+		// instead.
+		if !ms.mu.TryLock() {
+			ms.infoMu.Lock()
+			out = append(out, ms.lastInfo)
+			ms.infoMu.Unlock()
+			continue
+		}
+		if !ms.gone {
+			out = append(out, ms.info())
+		}
+		ms.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Questions returns up to k pairwise-informative questions for parallel
+// dispatch. The context cancels mid-computation (including inside an L2S
+// lookahead). An empty slice means the session is done.
+func (m *Manager) Questions(ctx context.Context, id string, k int) ([]joininference.Question, error) {
+	ms, err := m.acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	defer m.release(ms)
+	qs, err := ms.sess.NextQuestions(ctx, k)
+	if err == nil {
+		// NextQuestions just answered the done question for free.
+		d := len(qs) == 0
+		ms.done = &d
+		ms.info()
+	}
+	return qs, err
+}
+
+// Answer applies a batch of labeled questions. Answers whose question an
+// earlier answer already decided are skipped and counted, mirroring
+// Session.AnswerBatch; a ref that does not address the instance at all is
+// an error.
+func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (AnswerResult, error) {
+	ms, err := m.acquire(id)
+	if err != nil {
+		return AnswerResult{}, err
+	}
+	defer m.release(ms)
+	var res AnswerResult
+	// Resolve every ref before applying anything, so a malformed ref
+	// rejects the whole batch instead of leaving it half-recorded (the
+	// client could not tell which half).
+	qs := make([]joininference.Question, len(answers))
+	for i, a := range answers {
+		q, err := ms.sess.QuestionByRef(a.QuestionRef)
+		if err != nil {
+			return res, err
+		}
+		qs[i] = q
+	}
+	for i, a := range answers {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if !ms.sess.IsInformative(qs[i]) {
+			res.Skipped++
+			continue
+		}
+		label := joininference.Negative
+		if a.Positive {
+			label = joininference.Positive
+		}
+		if err := ms.sess.Answer(qs[i], label); err != nil {
+			return res, err
+		}
+		res.Applied++
+		// Invalidate immediately, not after the loop: an early return
+		// (cancellation, a later bad answer) must not leave a stale Done.
+		ms.done = nil
+	}
+	res.Asked = ms.sess.Questions()
+	res.Done = ms.isDone()
+	ms.info()
+	return res, nil
+}
+
+// Predicate returns the current inferred predicate (text and SQL).
+func (m *Manager) Predicate(id string) (PredicateInfo, error) {
+	ms, err := m.acquire(id)
+	if err != nil {
+		return PredicateInfo{}, err
+	}
+	defer m.release(ms)
+	u := ms.sess.Universe()
+	p := ms.sess.Inferred()
+	return PredicateInfo{
+		Predicate: p.Format(u),
+		SQL:       joininference.SQL(u, p, ms.params.Semijoin, false),
+		Asked:     ms.sess.Questions(),
+		Done:      ms.isDone(),
+	}, nil
+}
+
+// Snapshot captures the session's durable state without disturbing it.
+func (m *Manager) Snapshot(id string) (*SessionSnapshot, error) {
+	ms, err := m.acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	defer m.release(ms)
+	return ms.snapshotLocked()
+}
+
+// snapshotLocked builds the service snapshot; callers hold ms.mu.
+func (ms *managed) snapshotLocked() (*SessionSnapshot, error) {
+	sn, err := ms.sess.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &SessionSnapshot{ID: ms.id, Instance: ms.params.Instance, Snapshot: sn}, nil
+}
+
+// Delete removes a session the client is done with, discarding any
+// persisted copy (deletion is explicit abandonment — unlike TTL eviction,
+// which persists first). A session that only exists as a TTL-evicted
+// snapshot on disk is deletable too: its file is removed so it does not
+// resurrect on the next boot.
+func (m *Manager) Delete(id string) error {
+	ms, err := m.acquire(id)
+	if err != nil {
+		if errors.Is(err, ErrSessionNotFound) && m.opts.PersistDir != "" && validID(id) {
+			if rmErr := os.Remove(m.persistPath(id)); rmErr == nil {
+				return nil
+			}
+		}
+		return err
+	}
+	ms.gone = true
+	ms.mu.Unlock()
+	m.mu.Lock()
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if m.opts.PersistDir != "" {
+		if err := os.Remove(m.persistPath(id)); err != nil && !os.IsNotExist(err) {
+			m.logf("service: removing persisted session %s: %v", id, err)
+		}
+	}
+	return nil
+}
+
+// SweepExpired evicts sessions idle past the TTL, persisting each first
+// when a PersistDir is configured, and returns how many were evicted.
+func (m *Manager) SweepExpired() int {
+	if m.opts.TTL <= 0 {
+		return 0
+	}
+	cutoff := m.now().Add(-m.opts.TTL)
+	m.mu.Lock()
+	candidates := make([]*managed, 0, len(m.sessions))
+	for _, ms := range m.sessions {
+		candidates = append(candidates, ms)
+	}
+	m.mu.Unlock()
+	evicted := 0
+	for _, ms := range candidates {
+		// A session whose lock is held is in use right now — by definition
+		// not idle; never let the janitor queue behind a long lookahead.
+		if !ms.mu.TryLock() {
+			continue
+		}
+		if ms.gone || !ms.lastUsed.Before(cutoff) {
+			ms.mu.Unlock()
+			continue
+		}
+		m.persistLocked(ms)
+		ms.gone = true
+		ms.mu.Unlock()
+		m.mu.Lock()
+		delete(m.sessions, ms.id)
+		m.mu.Unlock()
+		evicted++
+	}
+	return evicted
+}
+
+// StartJanitor sweeps expired sessions every interval until the returned
+// stop function is called.
+func (m *Manager) StartJanitor(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.SweepExpired()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Close persists every live session (when a PersistDir is configured) and
+// shuts the manager; subsequent calls fail with ErrClosed. The context
+// bounds how long persistence may take. Unlike List/SweepExpired, Close
+// deliberately waits for each session's in-flight operation to finish —
+// skipping one would lose its latest answers; callers drain request
+// traffic first (cmd/joinserve runs http.Server.Shutdown before Close).
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.closed = true
+	all := make([]*managed, 0, len(m.sessions))
+	for _, ms := range m.sessions {
+		all = append(all, ms)
+	}
+	m.sessions = make(map[string]*managed)
+	m.mu.Unlock()
+	for _, ms := range all {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ms.mu.Lock()
+		if !ms.gone {
+			m.persistLocked(ms)
+			ms.gone = true
+		}
+		ms.mu.Unlock()
+	}
+	return nil
+}
+
+// persistPath is the snapshot file for a session id.
+func (m *Manager) persistPath(id string) string {
+	return filepath.Join(m.opts.PersistDir, id+".json")
+}
+
+// persistLocked writes the session's snapshot to disk; callers hold ms.mu.
+// Persistence failures are logged, not fatal — eviction proceeds.
+func (m *Manager) persistLocked(ms *managed) {
+	if m.opts.PersistDir == "" {
+		return
+	}
+	snap, err := ms.snapshotLocked()
+	if err != nil {
+		m.logf("service: snapshotting session %s: %v", ms.id, err)
+		return
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		m.logf("service: encoding session %s: %v", ms.id, err)
+		return
+	}
+	tmp := m.persistPath(ms.id) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		m.logf("service: persisting session %s: %v", ms.id, err)
+		return
+	}
+	if err := os.Rename(tmp, m.persistPath(ms.id)); err != nil {
+		m.logf("service: persisting session %s: %v", ms.id, err)
+	}
+}
+
+// restoreAll resumes every *.json snapshot in the persist dir. Files that
+// fail to decode or resume are skipped with a log line.
+func (m *Manager) restoreAll() error {
+	entries, err := os.ReadDir(m.opts.PersistDir)
+	if err != nil {
+		return fmt.Errorf("service: reading persist dir: %w", err)
+	}
+	for _, de := range entries {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		path := filepath.Join(m.opts.PersistDir, de.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			m.logf("service: reading %s: %v", path, err)
+			continue
+		}
+		var snap SessionSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			m.logf("service: decoding %s: %v", path, err)
+			continue
+		}
+		if _, err := m.Resume(&snap); err != nil {
+			m.logf("service: restoring %s: %v", path, err)
+			continue
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+// Package service is the transport-agnostic serving layer over the root
+// joininference package: a registry of named instances, a goroutine-safe
+// SessionManager with TTL eviction and disk persistence, and an HTTP/JSON
+// handler (NewHandler) that cmd/joinserve mounts. Nothing here is specific
+// to HTTP — the manager is equally usable behind gRPC, a message queue, or
+// in-process.
+package service
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	joininference "repro"
+	"repro/internal/synth"
+	"repro/internal/tpch"
+)
+
+// Entry is a loaded, ready-to-serve instance: the relations plus T-classes
+// precomputed once and shared by every join session over it.
+type Entry struct {
+	// Name is the registry key.
+	Name string
+	// Inst is the two-relation instance.
+	Inst *joininference.Instance
+	// Classes are the precomputed T-classes (join sessions adopt them via
+	// WithPrecomputedClasses, skipping the product scan per session).
+	Classes *joininference.ClassSet
+}
+
+// Source lazily produces an instance; it runs at most once per registry
+// entry, on first use.
+type Source func() (*joininference.Instance, error)
+
+type regSlot struct {
+	src  Source
+	once sync.Once
+	e    *Entry
+	err  error
+}
+
+// Registry maps stable names to lazily-loaded instances. All methods are
+// safe for concurrent use; loading (and T-class precomputation) happens at
+// most once per name, concurrent first users block on the same load.
+type Registry struct {
+	mu    sync.Mutex
+	slots map[string]*regSlot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{slots: make(map[string]*regSlot)} }
+
+// Register adds a named source; registering a duplicate name is an error.
+func (r *Registry) Register(name string, src Source) error {
+	if name == "" {
+		return fmt.Errorf("service: instance name must be non-empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.slots[name]; ok {
+		return fmt.Errorf("service: instance %q already registered", name)
+	}
+	r.slots[name] = &regSlot{src: src}
+	return nil
+}
+
+// RegisterInstance registers an already-built instance (e.g. for tests).
+func (r *Registry) RegisterInstance(name string, inst *joininference.Instance) error {
+	return r.Register(name, func() (*joininference.Instance, error) { return inst, nil })
+}
+
+// RegisterCSV registers a pair of CSV files loaded on first use.
+func (r *Registry) RegisterCSV(name, rPath, pPath string) error {
+	return r.Register(name, func() (*joininference.Instance, error) {
+		if _, err := os.Stat(rPath); err != nil {
+			return nil, fmt.Errorf("service: instance %q: %w", name, err)
+		}
+		if _, err := os.Stat(pPath); err != nil {
+			return nil, fmt.Errorf("service: instance %q: %w", name, err)
+		}
+		return joininference.LoadCSV(rPath, pPath)
+	})
+}
+
+// RegisterTPCH registers one of the paper's five TPC-H goal joins,
+// generated deterministically on first use.
+func (r *Registry) RegisterTPCH(name string, j tpch.Join, multiplier int, seed int64) error {
+	return r.Register(name, func() (*joininference.Instance, error) {
+		d, err := tpch.Generate(multiplier, seed)
+		if err != nil {
+			return nil, err
+		}
+		inst, _, err := d.Instance(j)
+		return inst, err
+	})
+}
+
+// RegisterSynth registers a synthetic instance (Section 5.2 generator),
+// generated deterministically on first use.
+func (r *Registry) RegisterSynth(name string, cfg synth.Config, seed int64) error {
+	return r.Register(name, func() (*joininference.Instance, error) {
+		return synth.Generate(cfg, seed)
+	})
+}
+
+// ErrUnknownInstance is wrapped by Get for names never registered.
+var ErrUnknownInstance = fmt.Errorf("service: unknown instance")
+
+// Get loads (once) and returns the named entry.
+func (r *Registry) Get(name string) (*Entry, error) {
+	r.mu.Lock()
+	slot, ok := r.slots[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, name)
+	}
+	slot.once.Do(func() {
+		inst, err := slot.src()
+		if err != nil {
+			slot.err = err
+			return
+		}
+		slot.e = &Entry{Name: name, Inst: inst, Classes: joininference.PrecomputeClasses(inst)}
+	})
+	return slot.e, slot.err
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.slots))
+	for n := range r.slots {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultRegistry returns a registry preloaded with the paper's workloads:
+// the five TPC-H goal joins at multiplier 1 ("tpch-join1" … "tpch-join5")
+// and the six synthetic Figure 7 configurations ("synth-1" … "synth-6"),
+// all at seed 1. Everything is lazy — nothing is generated until a session
+// is created over it.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	for _, j := range tpch.AllJoins() {
+		// Registration cannot fail on fresh names; ignore the nil error.
+		_ = r.RegisterTPCH(fmt.Sprintf("tpch-join%d", int(j)), j, 1, 1)
+	}
+	for i, cfg := range synth.PaperConfigs() {
+		_ = r.RegisterSynth(fmt.Sprintf("synth-%d", i+1), cfg, 1)
+	}
+	return r
+}

@@ -17,16 +17,49 @@ import (
 	"repro/internal/inference"
 )
 
+// countingSource wraps a rand.Source64 and counts every draw it serves, so
+// a Random strategy's exact stream position can be captured in a session
+// snapshot and re-established on resume. Counting source-level draws (not
+// Intn calls) is what makes resume bit-identical: one Intn may consume
+// several source draws through rejection sampling.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed); c.n = 0 }
+
 // Random is the RND baseline: it labels a uniformly random informative
-// tuple. A seed makes runs reproducible.
+// tuple. A seed makes runs reproducible, and the stream position is
+// observable (Pos) and restorable (NewRandomAt) so interrupted sessions
+// resume with bit-identical draws.
 type Random struct {
 	rng *rand.Rand
+	src *countingSource
 }
 
 // NewRandom returns a seeded RND strategy.
-func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+func NewRandom(seed int64) *Random { return NewRandomAt(seed, 0) }
+
+// NewRandomAt returns a seeded RND strategy fast-forwarded past the first
+// pos source draws: NewRandomAt(seed, r.Pos()) continues the exact stream
+// of r. NewRandomAt(seed, 0) is NewRandom(seed).
+func NewRandomAt(seed int64, pos uint64) *Random {
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	r := &Random{rng: rand.New(src), src: src}
+	for src.n < pos {
+		src.src.Int63()
+		src.n++
+	}
+	return r
 }
+
+// Pos returns the number of source draws consumed so far.
+func (r *Random) Pos() uint64 { return r.src.n }
 
 // Name implements Strategy.
 func (r *Random) Name() string { return "RND" }

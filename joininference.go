@@ -104,6 +104,12 @@ const (
 	StrategyRND StrategyID = "RND"
 )
 
+// KnownStrategies returns the built-in strategy ids, in the paper's order;
+// useful for UIs and services validating or listing strategies.
+func KnownStrategies() []StrategyID {
+	return []StrategyID{StrategyBU, StrategyTD, StrategyL1S, StrategyL2S, StrategyRND}
+}
+
 // NewSchema builds a schema, validating attribute names.
 func NewSchema(name string, attrs ...string) (*Schema, error) {
 	return relation.NewSchema(name, attrs...)
@@ -205,7 +211,7 @@ func (s *Session) legacyStrategyFor(id StrategyID) (inference.Strategy, error) {
 	if st, ok := s.strats[id]; ok {
 		return st, nil
 	}
-	st, err := newStrategy(id, s.cfg.seed, s.cfg.parallelism)
+	st, err := newStrategy(id, s.cfg.seed, s.cfg.parallelism, 0)
 	if err != nil {
 		return nil, err
 	}

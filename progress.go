@@ -117,6 +117,19 @@ func (s *Session) Undo() error {
 	if s.sj != nil {
 		return s.undoSemijoin(tr)
 	}
+	if err := s.rebuildJoin(tr); err != nil {
+		return err
+	}
+	// RND restarts its stream from the seed, matching the fresh strategy.
+	s.rngMark = 0
+	return nil
+}
+
+// rebuildJoin replaces the engine with a fresh one replaying the given
+// transcript (O(answers)); strategy caches are dropped so nothing retains
+// the replaced engine. rngMark is the caller's to adjust: Undo rewinds it,
+// the inconsistent-answer rollback keeps it.
+func (s *Session) rebuildJoin(tr []TranscriptEntry) error {
 	fresh := inference.New(s.engine.Inst, inference.WithClasses(s.engine.Classes()))
 	replayed := 0
 	for _, e := range tr {
@@ -131,8 +144,6 @@ func (s *Session) Undo() error {
 	}
 	s.engine = fresh
 	s.asked = replayed
-	// Strategies may cache state keyed by the engine (TopDown does); drop
-	// them so the replaced engine is not retained and caches rebuild.
 	s.strat, s.stratErr = nil, nil
 	s.strats = make(map[StrategyID]inference.Strategy)
 	return nil

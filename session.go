@@ -183,6 +183,11 @@ type Session struct {
 	sj *semijoinState
 
 	asked int
+
+	// rngMark is the RND source position as of the last recorded answer
+	// (resume replays up to here, so an outstanding unanswered question is
+	// re-drawn identically after ResumeSession). Zero for other strategies.
+	rngMark uint64
 }
 
 // NewSession prepares a join-inference session: it scans the Cartesian
@@ -300,13 +305,15 @@ func (s *Session) strategy() (inference.Strategy, error) {
 		s.strat = customStrategy{s.cfg.custom}
 		return s.strat, nil
 	}
-	s.strat, s.stratErr = newStrategy(s.cfg.stratID, s.cfg.seed, s.cfg.parallelism)
+	s.strat, s.stratErr = newStrategy(s.cfg.stratID, s.cfg.seed, s.cfg.parallelism, s.rngMark)
 	return s.strat, s.stratErr
 }
 
 // newStrategy constructs a built-in strategy; workers is the
-// WithParallelism knob, honored by the lookahead strategies.
-func newStrategy(id StrategyID, seed int64, workers int) (inference.Strategy, error) {
+// WithParallelism knob, honored by the lookahead strategies, and rngPos
+// fast-forwards RND's source to a snapshotted position (0 for a fresh
+// session).
+func newStrategy(id StrategyID, seed int64, workers int, rngPos uint64) (inference.Strategy, error) {
 	switch id {
 	case StrategyBU:
 		return strategy.BottomUp{}, nil
@@ -317,7 +324,7 @@ func newStrategy(id StrategyID, seed int64, workers int) (inference.Strategy, er
 	case StrategyL2S:
 		return strategy.Lookahead{K: 2, Workers: workers}, nil
 	case StrategyRND:
-		return strategy.NewRandom(seed), nil
+		return strategy.NewRandomAt(seed, rngPos), nil
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownStrategy, id)
 	}
@@ -557,12 +564,32 @@ func (s *Session) Answer(q Question, l Label) error {
 	}
 	if err := s.engine.Label(q.classIndex, l); err != nil {
 		if err == inference.ErrInconsistent {
+			// Label records the example before detecting inconsistency;
+			// roll the engine back so the rejected answer leaves no trace —
+			// Transcript and Snapshot must reflect only accepted answers.
+			// rngMark stays: the stream position of the last accepted
+			// answer is unchanged, so a re-fetched question re-derives
+			// identically (same as after ResumeSession).
+			tr := s.Transcript()
+			if rbErr := s.rebuildJoin(tr[:len(tr)-1]); rbErr != nil {
+				return fmt.Errorf("joininference: rolling back inconsistent answer: %w", rbErr)
+			}
 			return ErrInconsistent
 		}
 		return fmt.Errorf("joininference: %w", err)
 	}
 	s.asked++
+	s.markRNG()
 	return nil
+}
+
+// markRNG records the RND source position after a recorded answer, so a
+// snapshot resumes the stream exactly there (re-drawing any outstanding
+// question identically). Non-RND strategies have no stream to mark.
+func (s *Session) markRNG() {
+	if r, ok := s.strat.(*strategy.Random); ok {
+		s.rngMark = r.Pos()
+	}
 }
 
 func (s *Session) semijoinAnswer(q Question, l Label) error {

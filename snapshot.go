@@ -1,0 +1,222 @@
+package joininference
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SnapshotVersion is the current snapshot wire-format version.
+//
+// # Versioning and compatibility policy
+//
+// A Snapshot is a small, self-describing JSON document. The Version field
+// is bumped only when the format changes incompatibly — a field is removed,
+// renamed, or its meaning changes. New optional fields may be added without
+// a bump: decoders ignore unknown fields and treat absent ones as their
+// zero value, so snapshots written by an older build always resume on a
+// newer build of the same major version. DecodeSnapshot and ResumeSession
+// reject versions greater than SnapshotVersion (produced by a newer,
+// unknown format) and versions ≤ 0, wrapping ErrBadSnapshot; every version
+// in [1, SnapshotVersion] remains resumable forever.
+//
+// Snapshots address rows by index, so they are only meaningful against the
+// exact instance they were taken from. Resuming against a different
+// instance fails with ErrBadTranscript (out-of-range or unmatchable rows)
+// or ErrInconsistent where detectable — but an instance with the same
+// shape and different values may silently replay to a different state;
+// pairing snapshots with a stable instance name is the caller's job (the
+// internal/service layer does exactly that).
+const SnapshotVersion = 1
+
+// Snapshot kinds.
+const (
+	// SnapshotKindJoin marks a snapshot of a join session (NewSession).
+	SnapshotKindJoin = "join"
+	// SnapshotKindSemijoin marks a snapshot of a semijoin session
+	// (NewSemijoinSession).
+	SnapshotKindSemijoin = "semijoin"
+)
+
+// Snapshot is the durable state of a Session: everything needed to resume
+// it later — in another process, on another machine — such that the resumed
+// session asks bit-identical questions and infers the same predicate as the
+// uninterrupted original. It captures the transcript (the answers, in
+// order), the strategy configuration (id, seed, budget, parallelism) and
+// the RND stream position; the engine's derived state (T-classes, sample,
+// certainty bookkeeping) is deterministically recomputed on resume rather
+// than serialized, which keeps snapshots tiny and format-stable.
+//
+// Snapshot captures state as of the last recorded answer. A question fetched
+// with NextQuestions but not yet answered is not part of the snapshot —
+// after ResumeSession, calling NextQuestions again re-derives the very same
+// question (including for StrategyRND, whose stream position is marked at
+// answer time).
+//
+// Sessions using WithCustomStrategy cannot be snapshotted
+// (ErrNotSnapshottable): a caller-implemented Strategy may hold arbitrary
+// state the package cannot capture. The deprecated per-call
+// Session.NextQuestion(id) strategies are likewise outside the guarantee —
+// snapshot/resume covers the strategy configured at construction.
+type Snapshot struct {
+	// Version is the wire-format version (see SnapshotVersion).
+	Version int `json:"version"`
+	// Kind is SnapshotKindJoin or SnapshotKindSemijoin.
+	Kind string `json:"kind"`
+	// Strategy, Seed, Budget and Parallelism mirror the session's
+	// construction options (WithStrategy, WithSeed, WithBudget,
+	// WithParallelism). Strategy and Seed must be preserved for a
+	// bit-identical resume; Parallelism is a pure performance knob and may
+	// be overridden freely on resume.
+	Strategy    StrategyID `json:"strategy,omitempty"`
+	Seed        int64      `json:"seed"`
+	Budget      int        `json:"budget,omitempty"`
+	Parallelism int        `json:"parallelism,omitempty"`
+	// RNGPos is the RND source position as of the last recorded answer;
+	// 0 for the other strategies. Resume re-establishes the position by
+	// fast-forwarding a fresh source, so values above MaxSnapshotRNGPos are
+	// rejected as corrupt rather than burning CPU (ErrBadSnapshot).
+	RNGPos uint64 `json:"rng_pos,omitempty"`
+	// Asked is the number of answers recorded; always equal to
+	// len(Transcript) in a well-formed snapshot (checked on resume).
+	Asked int `json:"asked"`
+	// Transcript is the answered questions, in order.
+	Transcript []TranscriptEntry `json:"transcript"`
+}
+
+// Snapshot captures the session's resumable state as of the last recorded
+// answer. The returned value is independent of the session — mutating or
+// answering the session afterwards does not affect it. It fails with
+// ErrNotSnapshottable for sessions configured with WithCustomStrategy.
+func (s *Session) Snapshot() (*Snapshot, error) {
+	if s.cfg.custom != nil {
+		return nil, fmt.Errorf("%w: custom strategy %q is not serializable", ErrNotSnapshottable, s.cfg.custom.Name())
+	}
+	kind := SnapshotKindJoin
+	if s.sj != nil {
+		kind = SnapshotKindSemijoin
+	}
+	return &Snapshot{
+		Version:     SnapshotVersion,
+		Kind:        kind,
+		Strategy:    s.cfg.stratID,
+		Seed:        s.cfg.seed,
+		Budget:      s.cfg.budget,
+		Parallelism: s.cfg.parallelism,
+		RNGPos:      s.rngMark,
+		Asked:       s.asked,
+		Transcript:  s.Transcript(),
+	}, nil
+}
+
+// Encode writes the snapshot as JSON.
+func (sn *Snapshot) Encode(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(sn); err != nil {
+		return fmt.Errorf("joininference: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a JSON snapshot and validates its version and kind
+// (but not its transcript — that happens against the instance in
+// ResumeSession). Errors wrap ErrBadSnapshot.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var sn Snapshot
+	if err := json.NewDecoder(r).Decode(&sn); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if err := sn.validate(); err != nil {
+		return nil, err
+	}
+	return &sn, nil
+}
+
+// MaxSnapshotRNGPos bounds Snapshot.RNGPos: restoring the position costs
+// one source draw per unit (math/rand sources cannot seek), so an
+// untrusted snapshot with a huge value would pin a CPU for the fast-forward
+// loop. Real sessions sit orders of magnitude below this — roughly one or
+// two draws per question fetched — while 16M draws replay in tens of
+// milliseconds.
+const MaxSnapshotRNGPos = 1 << 24
+
+func (sn *Snapshot) validate() error {
+	if sn.Version <= 0 || sn.Version > SnapshotVersion {
+		return fmt.Errorf("%w: version %d not in [1, %d]", ErrBadSnapshot, sn.Version, SnapshotVersion)
+	}
+	if sn.RNGPos > MaxSnapshotRNGPos {
+		return fmt.Errorf("%w: rng position %d exceeds %d", ErrBadSnapshot, sn.RNGPos, MaxSnapshotRNGPos)
+	}
+	if sn.Kind != SnapshotKindJoin && sn.Kind != SnapshotKindSemijoin {
+		return fmt.Errorf("%w: unknown kind %q", ErrBadSnapshot, sn.Kind)
+	}
+	if sn.Asked != len(sn.Transcript) {
+		return fmt.Errorf("%w: asked %d but %d transcript entries", ErrBadSnapshot, sn.Asked, len(sn.Transcript))
+	}
+	return nil
+}
+
+// ResumeSession rebuilds a session from a snapshot over the instance the
+// snapshot was taken from, replaying the transcript deterministically: the
+// resumed session asks bit-identical remaining questions and infers the
+// same predicate as the uninterrupted original, for join and semijoin
+// sessions alike.
+//
+// Additional options are applied on top of the snapshot's recorded
+// configuration. Overriding performance knobs (WithParallelism,
+// WithPrecomputedClasses) preserves the bit-identical guarantee; overriding
+// WithStrategy or WithSeed deliberately changes future questions and is the
+// caller's choice.
+//
+// Errors wrap ErrBadSnapshot (version/kind/shape), ErrBadTranscript (rows
+// that do not fit the instance) or ErrInconsistent (labels no predicate
+// satisfies — the snapshot belongs to different data).
+func ResumeSession(inst *Instance, snap *Snapshot, opts ...Option) (*Session, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("%w: nil snapshot", ErrBadSnapshot)
+	}
+	if err := snap.validate(); err != nil {
+		return nil, err
+	}
+	base := []Option{
+		WithSeed(snap.Seed),
+		WithBudget(snap.Budget),
+		WithParallelism(snap.Parallelism),
+	}
+	if snap.Strategy != "" {
+		base = append(base, WithStrategy(snap.Strategy))
+	}
+	all := append(base, opts...)
+	if snap.Kind == SnapshotKindSemijoin {
+		return resumeSemijoin(inst, snap, all)
+	}
+	return resumeJoin(inst, snap, all)
+}
+
+func resumeJoin(inst *Instance, snap *Snapshot, opts []Option) (*Session, error) {
+	s := NewSession(inst, opts...)
+	if err := s.replayEntries(snap.Transcript, false); err != nil {
+		return nil, err
+	}
+	s.rngMark = snap.RNGPos
+	return s, nil
+}
+
+func resumeSemijoin(inst *Instance, snap *Snapshot, opts []Option) (*Session, error) {
+	s := NewSemijoinSession(inst, opts...)
+	for i, e := range snap.Transcript {
+		if e.PIndex >= 0 {
+			return nil, fmt.Errorf("%w: entry %d: join entry (%d,%d) in a semijoin snapshot",
+				ErrBadTranscript, i+1, e.RIndex, e.PIndex)
+		}
+		q, err := s.QuestionByRef(QuestionRef{RIndex: e.RIndex, PIndex: e.PIndex})
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrBadTranscript, i+1, err)
+		}
+		// semijoinAnswer re-runs the CONS⋉ consistency check per entry, so a
+		// snapshot from different data surfaces as ErrInconsistent here.
+		if err := s.semijoinAnswer(q, Label(e.Positive)); err != nil {
+			return nil, fmt.Errorf("%w: entry %d: %w", ErrBadTranscript, i+1, err)
+		}
+	}
+	return s, nil
+}

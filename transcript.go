@@ -2,9 +2,11 @@ package joininference
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
+	"repro/internal/inference"
 	"repro/internal/predicate"
 	"repro/internal/querytext"
 )
@@ -45,39 +47,99 @@ func (s *Session) SaveTranscript(w io.Writer) error {
 	return nil
 }
 
-// ReplayTranscript builds a new join session over the instance and replays
-// a JSON-lines transcript, re-validating consistency along the way. Entries
-// whose class was already decided by earlier answers are skipped (they
-// carry no information), mirroring what a live session would have asked.
-// Semijoin transcripts (PIndex -1) are not replayable.
-func ReplayTranscript(inst *Instance, r io.Reader) (*Session, error) {
-	s := NewSession(inst)
+// LoadTranscript parses a JSON-lines transcript and validates every entry
+// against the instance's bounds: RIndex must name a row of R, and PIndex a
+// row of P or -1 (a semijoin entry). Malformed JSON or out-of-range indexes
+// — a corrupt file, or a transcript saved against a different instance —
+// return an error wrapping ErrBadTranscript that names the offending entry,
+// never a panic.
+func LoadTranscript(inst *Instance, r io.Reader) ([]TranscriptEntry, error) {
+	var out []TranscriptEntry
 	dec := json.NewDecoder(r)
 	for line := 1; ; line++ {
 		var e TranscriptEntry
 		if err := dec.Decode(&e); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("joininference: transcript entry %d: %w", line, err)
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrBadTranscript, line, err)
 		}
-		if e.RIndex < 0 || e.RIndex >= inst.R.Len() || e.PIndex < 0 || e.PIndex >= inst.P.Len() {
-			return nil, fmt.Errorf("joininference: transcript entry %d: tuple (%d,%d) out of range",
-				line, e.RIndex, e.PIndex)
+		if err := validateEntry(inst, e); err != nil {
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrBadTranscript, line, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// validateEntry checks one transcript entry against the instance's bounds
+// (PIndex -1 marks a semijoin entry; below -1 is corruption).
+func validateEntry(inst *Instance, e TranscriptEntry) error {
+	if e.RIndex < 0 || e.RIndex >= inst.R.Len() {
+		return fmt.Errorf("row %d of R out of range [0,%d)", e.RIndex, inst.R.Len())
+	}
+	if e.PIndex < -1 || e.PIndex >= inst.P.Len() {
+		return fmt.Errorf("row %d of P out of range [0,%d) (or -1)", e.PIndex, inst.P.Len())
+	}
+	return nil
+}
+
+// ReplayTranscript builds a new join session over the instance and replays
+// a JSON-lines transcript, re-validating bounds and consistency along the
+// way (every failure wraps ErrBadTranscript). Entries whose class was
+// already decided by earlier answers are skipped (they carry no
+// information), mirroring what a live session would have asked. Semijoin
+// transcripts (PIndex -1) are not replayable here — resume those through
+// ResumeSession.
+func ReplayTranscript(inst *Instance, r io.Reader) (*Session, error) {
+	entries, err := LoadTranscript(inst, r)
+	if err != nil {
+		return nil, err
+	}
+	s := NewSession(inst)
+	if err := s.replayEntries(entries, true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// replayEntries replays join-transcript entries into a fresh session,
+// validating bounds and consistency; every failure wraps ErrBadTranscript.
+// skipDecided selects the policy for entries whose class is already
+// labeled: transcripts skip them (duplicates carry no information),
+// snapshots reject them (a live session never labels one class twice, so a
+// duplicate means corruption).
+func (s *Session) replayEntries(entries []TranscriptEntry, skipDecided bool) error {
+	for i, e := range entries {
+		if err := validateEntry(s.inst, e); err != nil {
+			return fmt.Errorf("%w: entry %d: %v", ErrBadTranscript, i+1, err)
+		}
+		if e.PIndex < 0 {
+			return fmt.Errorf("%w: entry %d: semijoin entry (row %d) in a join replay",
+				ErrBadTranscript, i+1, e.RIndex)
 		}
 		ci := s.classIndexFor(e.RIndex, e.PIndex)
 		if ci < 0 {
-			return nil, fmt.Errorf("joininference: transcript entry %d: no class for tuple (%d,%d)",
-				line, e.RIndex, e.PIndex)
+			return fmt.Errorf("%w: entry %d: no class for tuple (%d,%d)",
+				ErrBadTranscript, i+1, e.RIndex, e.PIndex)
 		}
 		if s.engine.IsLabeled(ci) {
-			continue // duplicate of an earlier answer's class
+			if skipDecided {
+				continue // duplicate of an earlier answer's class
+			}
+			return fmt.Errorf("%w: entry %d: class of tuple (%d,%d) already labeled",
+				ErrBadTranscript, i+1, e.RIndex, e.PIndex)
 		}
 		if err := s.engine.Label(ci, Label(e.Positive)); err != nil {
-			return nil, fmt.Errorf("joininference: transcript entry %d: %w", line, err)
+			if errors.Is(err, inference.ErrInconsistent) {
+				// Surface the public sentinel, matching Session.Answer and
+				// the semijoin resume path.
+				err = ErrInconsistent
+			}
+			return fmt.Errorf("%w: entry %d: %w", ErrBadTranscript, i+1, err)
 		}
 		s.asked++
 	}
-	return s, nil
+	return nil
 }
 
 // classIndexFor finds the T-class of a product tuple through a map from
