@@ -5,76 +5,116 @@
 //
 // Usage:
 //
-//	joinserve [-addr :8080] [-ttl 30m] [-persist-dir ./sessions]
-//	          [-csv name=R.csv,P.csv]...
+//	joinserve [-addr :8080] [-ttl 30m] [-sweep-interval 1m]
+//	          [-persist-dir ./sessions] [-policy-cache-bytes N]
+//	          [-warm instance=strategy:depth]... [-csv name=R.csv,P.csv]...
 //
 // The server starts with the paper's workloads registered (tpch-join1 …
 // tpch-join5, synth-1 … synth-6); -csv adds instances from CSV pairs.
 // With -persist-dir, sessions idle past the TTL are snapshotted to disk
 // and evicted, every live session is snapshotted on shutdown, and all of
 // them are restored on the next boot — clients resume mid-inference with
-// bit-identical question sequences. See README.md ("Serving") for a curl
-// walkthrough.
+// bit-identical question sequences.
+//
+// All sessions share one policy cache (-policy-cache-bytes, 0 disables):
+// the strategy decision tree of every (instance, strategy, seed) is
+// memoized across sessions, so on popular instances only the first user
+// pays for the expensive L1S/L2S lookahead. -warm precomputes a tree
+// breadth-first at boot (e.g. -warm tpch-join1=L2S:4). Operational
+// counters — sessions live/created/evicted, questions served, cache
+// hits/misses/evictions — are served at /debug/metrics (and, with the
+// whole expvar namespace, at /debug/vars). See README.md ("Serving",
+// "Policy cache") for a curl walkthrough.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	joininference "repro"
 	"repro/internal/service"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	ttl := flag.Duration("ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables)")
-	persistDir := flag.String("persist-dir", "", "snapshot sessions here on eviction/shutdown and restore them on boot")
-	var csvs csvFlags
-	flag.Var(&csvs, "csv", "register a CSV instance as name=R.csv,P.csv (repeatable)")
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.DurationVar(&cfg.ttl, "ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables)")
+	flag.DurationVar(&cfg.sweepInterval, "sweep-interval", 0, "how often the janitor sweeps for expired sessions (0 = ttl/4, capped at 1m)")
+	flag.StringVar(&cfg.persistDir, "persist-dir", "", "snapshot sessions here on eviction/shutdown and restore them on boot")
+	flag.Int64Var(&cfg.policyCacheBytes, "policy-cache-bytes", 64<<20, "byte bound of the shared policy-tree cache (0 disables, negative = unbounded)")
+	flag.Var(&cfg.warms, "warm", "precompute a policy tree at boot as instance=strategy:depth (repeatable)")
+	flag.Var(&cfg.csvs, "csv", "register a CSV instance as name=R.csv,P.csv (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, *ttl, *persistDir, csvs); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "joinserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, ttl time.Duration, persistDir string, csvs csvFlags) error {
+// config carries the parsed flags.
+type config struct {
+	addr             string
+	ttl              time.Duration
+	sweepInterval    time.Duration
+	persistDir       string
+	policyCacheBytes int64
+	warms            warmFlags
+	csvs             csvFlags
+}
+
+func run(cfg config) error {
 	reg := service.DefaultRegistry()
-	for _, c := range csvs {
+	for _, c := range cfg.csvs {
 		if err := reg.RegisterCSV(c.name, c.rPath, c.pPath); err != nil {
 			return err
 		}
 	}
-	mgr, err := service.NewManager(reg, service.Options{
-		TTL:        ttl,
-		PersistDir: persistDir,
-		Logf:       log.Printf,
-	})
+	opts := service.Options{
+		TTL:           cfg.ttl,
+		SweepInterval: cfg.sweepInterval,
+		PersistDir:    cfg.persistDir,
+		Logf:          log.Printf,
+	}
+	if cfg.policyCacheBytes != 0 {
+		opts.PolicyCache = joininference.NewPolicyCache(cfg.policyCacheBytes)
+	}
+	mgr, err := service.NewManager(reg, opts)
 	if err != nil {
 		return err
 	}
-	if ttl > 0 {
-		interval := ttl / 4
-		if interval > time.Minute {
-			interval = time.Minute
-		}
-		stop := mgr.StartJanitor(interval)
+	if cfg.ttl > 0 {
+		stop := mgr.StartJanitor(opts.JanitorInterval())
 		defer stop()
 	}
+	for _, wf := range cfg.warms {
+		if opts.PolicyCache == nil {
+			return fmt.Errorf("-warm %s=%s:%d requires a policy cache (-policy-cache-bytes != 0)", wf.instance, wf.strategy, wf.depth)
+		}
+		start := time.Now()
+		n, err := mgr.WarmPolicy(context.Background(), service.Params{Instance: wf.instance, Strategy: wf.strategy}, wf.depth)
+		if err != nil {
+			return fmt.Errorf("warming %s=%s:%d: %w", wf.instance, wf.strategy, wf.depth, err)
+		}
+		log.Printf("joinserve: warmed %s/%s to depth %d (%d nodes, %v)", wf.instance, wf.strategy, wf.depth, n, time.Since(start).Round(time.Millisecond))
+	}
+	publishMetrics(mgr)
 
-	server := &http.Server{Addr: addr, Handler: service.NewHandler(mgr)}
+	server := &http.Server{Addr: cfg.addr, Handler: newServeMux(mgr)}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("joinserve: listening on %s (%d instances registered)", addr, len(reg.Names()))
+		log.Printf("joinserve: listening on %s (%d instances registered)", cfg.addr, len(reg.Names()))
 		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -102,10 +142,30 @@ func run(addr string, ttl time.Duration, persistDir string, csvs csvFlags) error
 	if err := mgr.Close(ctx); err != nil && !errors.Is(err, service.ErrClosed) {
 		return err
 	}
-	if persistDir != "" {
-		log.Printf("joinserve: sessions persisted to %s", persistDir)
+	if cfg.persistDir != "" {
+		log.Printf("joinserve: sessions persisted to %s", cfg.persistDir)
 	}
 	return <-errc
+}
+
+// newServeMux mounts the service API plus the debug endpoints: the
+// expvar namespace at /debug/vars (standard expvar handler) — the service
+// handler already serves the manager's counters at /debug/metrics.
+func newServeMux(mgr *service.Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(mgr))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// publishMetrics exposes the manager's counters in the process-wide expvar
+// namespace (idempotent: expvar forbids re-publishing a name, and tests
+// may build several servers per process).
+func publishMetrics(mgr *service.Manager) {
+	if expvar.Get("joinserve") != nil {
+		return
+	}
+	expvar.Publish("joinserve", expvar.Func(func() any { return mgr.Metrics() }))
 }
 
 // csvFlag is one -csv name=R.csv,P.csv registration.
@@ -133,5 +193,39 @@ func (c *csvFlags) Set(s string) error {
 		return fmt.Errorf("want name=R.csv,P.csv, got %q", s)
 	}
 	*c = append(*c, csvFlag{name: name, rPath: rPath, pPath: pPath})
+	return nil
+}
+
+// warmFlag is one -warm instance=strategy:depth request.
+type warmFlag struct {
+	instance string
+	strategy joininference.StrategyID
+	depth    int
+}
+
+type warmFlags []warmFlag
+
+func (w *warmFlags) String() string {
+	parts := make([]string, len(*w))
+	for i, f := range *w {
+		parts[i] = fmt.Sprintf("%s=%s:%d", f.instance, f.strategy, f.depth)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (w *warmFlags) Set(s string) error {
+	instance, rest, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want instance=strategy:depth, got %q", s)
+	}
+	strat, depthStr, ok := strings.Cut(rest, ":")
+	if !ok || instance == "" || strat == "" {
+		return fmt.Errorf("want instance=strategy:depth, got %q", s)
+	}
+	depth, err := strconv.Atoi(depthStr)
+	if err != nil || depth < 1 {
+		return fmt.Errorf("depth must be a positive integer, got %q", depthStr)
+	}
+	*w = append(*w, warmFlag{instance: instance, strategy: joininference.StrategyID(strat), depth: depth})
 	return nil
 }

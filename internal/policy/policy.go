@@ -1,0 +1,216 @@
+// Package policy is a shared, memory-bounded cache of strategy decisions:
+// the decision tree every deterministic session walks.
+//
+// For a fixed instance and strategy configuration the paper's interaction
+// is fully deterministic — given the same answer prefix, BU/TD/L1S/L2S
+// (and seeded RND) always pick the same next T-class — so every session
+// over an instance is a walk down one binary decision tree. The expensive
+// per-question work (the entropy^K lookahead of L1S/L2S, the NP-complete
+// CONS⋉ informativeness scans of semijoin sessions) is a pure function of
+// the answer prefix, and this package memoizes it: the first session to
+// reach a prefix pays for the strategy, publishes its choice, and every
+// later session resolves the same prefix with a map lookup.
+//
+// # Keying
+//
+// Trees are keyed by (instance id, strategy id, seed). The seed is part of
+// the key because RND's walk depends on it; the parallelism knob
+// (Lookahead.Workers) is deliberately NOT part of the key because the
+// worker-pool reduction applies the exact serial selection rule, making
+// strategy picks bit-identical at any parallelism — a choice computed with
+// 16 workers serves a session running with 1. Within a tree, nodes are
+// keyed by the encoded answer prefix (the ordered (class, label) pairs
+// recorded so far) plus the RND stream position at fetch time; the
+// position is 0 for the deterministic strategies, and for RND it keeps
+// sessions whose streams diverged (extra fetches, Undo) on separate,
+// internally consistent node variants instead of poisoning each other.
+//
+// # Bounds and concurrency
+//
+// The cache holds at most MaxBytes (approximate, counted per node) and
+// evicts least-recently-used nodes first. Eviction is always safe: a
+// session that misses — because the node was evicted mid-walk, or was
+// never computed — falls back to live strategy computation and republishes.
+// All methods are safe for concurrent use; published Node values are
+// immutable (callers must not mutate Pivots).
+package policy
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+)
+
+// Key identifies one decision tree: one instance under one strategy
+// configuration. Instance must uniquely name the instance's data (the
+// service registry's names do); Strategy is the strategy id (or a
+// mode marker such as "⋉" for semijoin sessions, whose scan-order picks
+// ignore the strategy); Seed matters only for strategies that draw
+// randomness and should be normalized to 0 for the rest, so their
+// sessions share one tree regardless of the configured seed.
+type Key struct {
+	Instance string
+	Strategy string
+	Seed     int64
+}
+
+// Node is one memoized decision: what the strategy chose at an answer
+// prefix, and which further pairwise-informative picks a batch fetch
+// selected.
+type Node struct {
+	// Chosen is the strategy's pick (a class index for join sessions, a row
+	// index for semijoin sessions); -1 records that no informative question
+	// remains at this prefix.
+	Chosen int
+	// Pivots are the additional batch picks beyond Chosen, in selection
+	// order. The greedy batch selection is prefix-stable: the picks for a
+	// smaller k are a prefix of the picks for a larger one, so a node
+	// computed for k serves every request up to 1+len(Pivots).
+	Pivots []int
+	// Complete reports that the batch scan exhausted all candidates: the
+	// node serves any k, not just k ≤ 1+len(Pivots).
+	Complete bool
+	// RNGAfter is the RND stream position after the pick was drawn (equal
+	// to the lookup position for deterministic strategies). A session
+	// serving this node fast-forwards its stream here, so later misses
+	// draw from the same position a live walk would have reached.
+	RNGAfter uint64
+}
+
+// AppendEdge appends one answered question to an encoded prefix: the index
+// (class or row) and its label. Sessions build node prefixes by folding
+// their transcript through this.
+func AppendEdge(prefix []byte, index int, positive bool) []byte {
+	v := uint64(index) << 1
+	if positive {
+		v |= 1
+	}
+	return binary.AppendUvarint(prefix, v)
+}
+
+// nodeKey addresses one node: the tree, the answer prefix, and the RND
+// stream position at fetch time (0 for deterministic strategies).
+type nodeKey struct {
+	tree   Key
+	prefix string
+	rngPos uint64
+}
+
+// entry is one resident node with its LRU bookkeeping.
+type entry struct {
+	key  nodeKey
+	node Node
+	size int64
+}
+
+// entryOverhead approximates the fixed per-node cost: the map bucket, the
+// list element, and the entry struct itself.
+const entryOverhead = 160
+
+func (e *entry) computeSize() {
+	e.size = entryOverhead +
+		int64(len(e.key.prefix)) +
+		int64(len(e.key.tree.Instance)+len(e.key.tree.Strategy)) +
+		int64(8*len(e.node.Pivots))
+}
+
+// Stats is a point-in-time view of the cache's counters.
+type Stats struct {
+	// Hits and Misses count Lookup outcomes; Publishes counts nodes
+	// inserted or overwritten; Evictions counts nodes dropped to stay under
+	// MaxBytes.
+	Hits, Misses, Publishes, Evictions uint64
+	// Nodes and Bytes are the current residency; MaxBytes is the configured
+	// bound (0 = unbounded).
+	Nodes    int
+	Bytes    int64
+	MaxBytes int64
+}
+
+// Cache is the shared decision-tree cache. The zero value is not usable;
+// construct with New.
+type Cache struct {
+	maxBytes int64
+
+	mu    sync.Mutex
+	lru   *list.List // of *entry; front = most recently used
+	nodes map[nodeKey]*list.Element
+	bytes int64
+
+	hits, misses, publishes, evictions uint64
+}
+
+// New returns an empty cache bounded to roughly maxBytes of node state;
+// maxBytes ≤ 0 means unbounded.
+func New(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		nodes:    make(map[nodeKey]*list.Element),
+	}
+}
+
+// Lookup returns the node published for the prefix under the tree key and
+// RND position, marking it most recently used. The returned Node (and its
+// Pivots slice) must be treated as immutable.
+func (c *Cache) Lookup(k Key, prefix []byte, rngPos uint64) (Node, bool) {
+	nk := nodeKey{tree: k, prefix: string(prefix), rngPos: rngPos}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.nodes[nk]
+	if !ok {
+		c.misses++
+		return Node{}, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).node, true
+}
+
+// Publish stores (or overwrites) the node for the prefix, then evicts
+// least-recently-used nodes until the cache fits its byte bound again. The
+// caller must not retain or mutate n.Pivots after publishing.
+func (c *Cache) Publish(k Key, prefix []byte, rngPos uint64, n Node) {
+	nk := nodeKey{tree: k, prefix: string(prefix), rngPos: rngPos}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.publishes++
+	if el, ok := c.nodes[nk]; ok {
+		e := el.Value.(*entry)
+		c.bytes -= e.size
+		e.node = n
+		e.computeSize()
+		c.bytes += e.size
+		c.lru.MoveToFront(el)
+	} else {
+		e := &entry{key: nk, node: n}
+		e.computeSize()
+		c.nodes[nk] = c.lru.PushFront(e)
+		c.bytes += e.size
+	}
+	if c.maxBytes > 0 {
+		for c.bytes > c.maxBytes && c.lru.Len() > 0 {
+			back := c.lru.Back()
+			e := back.Value.(*entry)
+			c.lru.Remove(back)
+			delete(c.nodes, e.key)
+			c.bytes -= e.size
+			c.evictions++
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Publishes: c.publishes,
+		Evictions: c.evictions,
+		Nodes:     c.lru.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}

@@ -1,0 +1,153 @@
+package policy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLookupPublishRoundtrip(t *testing.T) {
+	c := New(0)
+	k := Key{Instance: "inst", Strategy: "L2S"}
+	prefix := AppendEdge(AppendEdge(nil, 3, true), 7, false)
+
+	if _, ok := c.Lookup(k, prefix, 0); ok {
+		t.Fatal("lookup hit on empty cache")
+	}
+	c.Publish(k, prefix, 0, Node{Chosen: 5, Pivots: []int{8, 9}, Complete: true, RNGAfter: 12})
+	n, ok := c.Lookup(k, prefix, 0)
+	if !ok {
+		t.Fatal("lookup missed published node")
+	}
+	if n.Chosen != 5 || len(n.Pivots) != 2 || n.Pivots[0] != 8 || n.Pivots[1] != 9 || !n.Complete || n.RNGAfter != 12 {
+		t.Fatalf("node = %+v", n)
+	}
+
+	// Distinct trees, prefixes and RNG positions are distinct nodes.
+	if _, ok := c.Lookup(Key{Instance: "other", Strategy: "L2S"}, prefix, 0); ok {
+		t.Error("hit across instances")
+	}
+	if _, ok := c.Lookup(Key{Instance: "inst", Strategy: "BU"}, prefix, 0); ok {
+		t.Error("hit across strategies")
+	}
+	if _, ok := c.Lookup(Key{Instance: "inst", Strategy: "L2S", Seed: 9}, prefix, 0); ok {
+		t.Error("hit across seeds")
+	}
+	if _, ok := c.Lookup(k, AppendEdge(nil, 3, true), 0); ok {
+		t.Error("hit across prefixes")
+	}
+	if _, ok := c.Lookup(k, prefix, 1); ok {
+		t.Error("hit across RNG positions")
+	}
+
+	// Publishing again overwrites in place.
+	c.Publish(k, prefix, 0, Node{Chosen: 6})
+	if n, _ := c.Lookup(k, prefix, 0); n.Chosen != 6 {
+		t.Errorf("overwrite lost: chosen = %d", n.Chosen)
+	}
+	if st := c.Stats(); st.Nodes != 1 {
+		t.Errorf("nodes = %d after overwrite, want 1", st.Nodes)
+	}
+}
+
+func TestAppendEdgeDistinguishesLabels(t *testing.T) {
+	pos := AppendEdge(nil, 4, true)
+	neg := AppendEdge(nil, 4, false)
+	if string(pos) == string(neg) {
+		t.Fatal("positive and negative edges encode identically")
+	}
+	// Order matters: (a then b) and (b then a) are different prefixes.
+	ab := AppendEdge(AppendEdge(nil, 1, true), 2, true)
+	ba := AppendEdge(AppendEdge(nil, 2, true), 1, true)
+	if string(ab) == string(ba) {
+		t.Fatal("prefix encoding is order-insensitive")
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	// Room for roughly three small nodes.
+	c := New(3 * (entryOverhead + 16))
+	k := Key{Instance: "i", Strategy: "TD"}
+	for i := 0; i < 5; i++ {
+		c.Publish(k, AppendEdge(nil, i, true), 0, Node{Chosen: i})
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding the byte bound")
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d exceed bound %d", st.Bytes, st.MaxBytes)
+	}
+	// The oldest nodes went first; the newest survives.
+	if _, ok := c.Lookup(k, AppendEdge(nil, 4, true), 0); !ok {
+		t.Error("most recent node was evicted")
+	}
+	if _, ok := c.Lookup(k, AppendEdge(nil, 0, true), 0); ok {
+		t.Error("least recent node survived eviction")
+	}
+}
+
+func TestLookupRefreshesRecency(t *testing.T) {
+	c := New(3 * (entryOverhead + 16))
+	k := Key{Instance: "i", Strategy: "TD"}
+	for i := 0; i < 3; i++ {
+		c.Publish(k, AppendEdge(nil, i, true), 0, Node{Chosen: i})
+	}
+	// Touch node 0 so node 1 becomes the LRU victim.
+	if _, ok := c.Lookup(k, AppendEdge(nil, 0, true), 0); !ok {
+		t.Fatal("node 0 missing before refresh test")
+	}
+	c.Publish(k, AppendEdge(nil, 99, true), 0, Node{Chosen: 99})
+	if _, ok := c.Lookup(k, AppendEdge(nil, 0, true), 0); !ok {
+		t.Error("recently-used node was evicted")
+	}
+	if _, ok := c.Lookup(k, AppendEdge(nil, 1, true), 0); ok {
+		t.Error("LRU node survived eviction")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := New(0)
+	k := Key{Instance: "i", Strategy: "BU"}
+	c.Lookup(k, nil, 0)
+	c.Publish(k, nil, 0, Node{Chosen: 1})
+	c.Lookup(k, nil, 0)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Publishes != 1 || st.Nodes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Bytes <= 0 {
+		t.Errorf("bytes = %d, want > 0", st.Bytes)
+	}
+}
+
+// TestConcurrentAccess exercises parallel publish/lookup/eviction under the
+// race detector.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(40 * (entryOverhead + 32))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := Key{Instance: fmt.Sprintf("inst-%d", g%2), Strategy: "L2S"}
+			var prefix []byte
+			for i := 0; i < 200; i++ {
+				prefix = AppendEdge(prefix, i, i%2 == 0)
+				if n, ok := c.Lookup(k, prefix, 0); ok {
+					_ = n.Pivots // read-only: published nodes are immutable
+					continue
+				}
+				c.Publish(k, prefix, 0, Node{Chosen: i, Pivots: []int{i + 1, i + 2}})
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.MaxBytes > 0 && st.Bytes > st.MaxBytes {
+		t.Errorf("bytes %d exceed bound %d", st.Bytes, st.MaxBytes)
+	}
+	if st.Publishes == 0 {
+		t.Error("no publishes recorded")
+	}
+}

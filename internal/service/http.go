@@ -26,6 +26,9 @@ import (
 //	DELETE /sessions/{id}             discard the session
 //	GET    /instances                 registered instance names
 //	GET    /healthz                   liveness
+//	GET    /debug/metrics             operational counters (sessions
+//	                                  live/created/evicted, questions
+//	                                  served, policy-cache hits/misses)
 //
 // Request contexts thread into the inference engine, so a client
 // disconnect cancels even a long L2S lookahead mid-computation.
@@ -124,6 +127,9 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Metrics())
 	})
 	return mux
 }

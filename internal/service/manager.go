@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -96,13 +97,35 @@ type Options struct {
 	// TTL evicts sessions idle longer than this on SweepExpired; 0 disables
 	// eviction.
 	TTL time.Duration
+	// SweepInterval is how often the janitor (StartJanitor with
+	// JanitorInterval) sweeps for expired sessions; 0 derives it from the
+	// TTL (a quarter of it, capped at one minute).
+	SweepInterval time.Duration
 	// PersistDir, when non-empty, persists sessions to disk on eviction and
 	// Close, and restores them in NewManager.
 	PersistDir string
+	// PolicyCache, when non-nil, is shared by every session the manager
+	// creates or resumes: sessions over the same instance memoize their
+	// strategy's decision tree in it, so the first user of a popular
+	// instance pays for the lookahead and later ones hit the cache.
+	PolicyCache *joininference.PolicyCache
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 	// Logf receives restore/persist diagnostics; nil discards them.
 	Logf func(format string, args ...any)
+}
+
+// JanitorInterval resolves the sweep cadence: the configured SweepInterval,
+// or TTL/4 capped at one minute when unset.
+func (o Options) JanitorInterval() time.Duration {
+	if o.SweepInterval > 0 {
+		return o.SweepInterval
+	}
+	interval := o.TTL / 4
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	return interval
 }
 
 // Manager owns live sessions: create/answer/snapshot/evict with per-session
@@ -114,10 +137,62 @@ type Manager struct {
 	opts Options
 	now  func() time.Time
 	logf func(string, ...any)
+	met  *managerMetrics
 
 	mu       sync.Mutex
 	sessions map[string]*managed
 	closed   bool
+}
+
+// managerMetrics are the manager's monotonic counters, expvar-typed
+// (atomic, individually publishable) so command frontends can expose them
+// without extra locking.
+type managerMetrics struct {
+	created, resumed, evicted, deleted expvar.Int
+	questions, answers                 expvar.Int
+}
+
+// Metrics is a point-in-time snapshot of the manager's operational
+// counters, served by joinserve's /debug/metrics endpoint and publishable
+// as an expvar.Func.
+type Metrics struct {
+	// SessionsLive counts sessions currently resident in memory.
+	SessionsLive int `json:"sessions_live"`
+	// SessionsCreated / SessionsResumed count Create and Resume successes
+	// (boot-time restores count as resumes); SessionsEvicted counts TTL
+	// sweeps, SessionsDeleted explicit deletions.
+	SessionsCreated int64 `json:"sessions_created"`
+	SessionsResumed int64 `json:"sessions_resumed"`
+	SessionsEvicted int64 `json:"sessions_evicted"`
+	SessionsDeleted int64 `json:"sessions_deleted"`
+	// QuestionsServed counts questions handed out; AnswersApplied counts
+	// answers recorded (skipped answers excluded).
+	QuestionsServed int64 `json:"questions_served"`
+	AnswersApplied  int64 `json:"answers_applied"`
+	// PolicyCache reports the shared policy cache's counters when one is
+	// configured.
+	PolicyCache *joininference.PolicyCacheStats `json:"policy_cache,omitempty"`
+}
+
+// Metrics returns the manager's current counters.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	live := len(m.sessions)
+	m.mu.Unlock()
+	out := Metrics{
+		SessionsLive:    live,
+		SessionsCreated: m.met.created.Value(),
+		SessionsResumed: m.met.resumed.Value(),
+		SessionsEvicted: m.met.evicted.Value(),
+		SessionsDeleted: m.met.deleted.Value(),
+		QuestionsServed: m.met.questions.Value(),
+		AnswersApplied:  m.met.answers.Value(),
+	}
+	if m.opts.PolicyCache != nil {
+		st := m.opts.PolicyCache.Stats()
+		out.PolicyCache = &st
+	}
+	return out
 }
 
 // managed pairs a session with its lock and bookkeeping. The manager's map
@@ -151,6 +226,7 @@ func NewManager(reg *Registry, opts Options) (*Manager, error) {
 		opts:     opts,
 		now:      opts.Now,
 		logf:     opts.Logf,
+		met:      &managerMetrics{},
 		sessions: make(map[string]*managed),
 	}
 	if m.now == nil {
@@ -179,6 +255,25 @@ func (m *Manager) Create(p Params) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
+	opts := m.sessionOptions(p)
+	var sess *joininference.Session
+	if p.Semijoin {
+		sess = joininference.NewSemijoinSession(entry.Inst, opts...)
+	} else {
+		opts = append(opts, joininference.WithPrecomputedClasses(entry.Classes))
+		sess = joininference.NewSession(entry.Inst, opts...)
+	}
+	info, err := m.add("", p, sess)
+	if err == nil {
+		m.met.created.Add(1)
+	}
+	return info, err
+}
+
+// sessionOptions translates creation params into root-package options,
+// attaching the shared policy cache (keyed by the instance's registry
+// name) when one is configured.
+func (m *Manager) sessionOptions(p Params) []joininference.Option {
 	var opts []joininference.Option
 	if p.Strategy != "" {
 		opts = append(opts, joininference.WithStrategy(p.Strategy))
@@ -192,14 +287,10 @@ func (m *Manager) Create(p Params) (Info, error) {
 	if p.Parallelism != 0 {
 		opts = append(opts, joininference.WithParallelism(p.Parallelism))
 	}
-	var sess *joininference.Session
-	if p.Semijoin {
-		sess = joininference.NewSemijoinSession(entry.Inst, opts...)
-	} else {
-		opts = append(opts, joininference.WithPrecomputedClasses(entry.Classes))
-		sess = joininference.NewSession(entry.Inst, opts...)
+	if m.opts.PolicyCache != nil {
+		opts = append(opts, joininference.WithPolicyCache(m.opts.PolicyCache, p.Instance))
 	}
-	return m.add("", p, sess)
+	return opts
 }
 
 // validStrategy rejects unknown strategy ids at session creation instead of
@@ -238,6 +329,9 @@ func (m *Manager) Resume(snap *SessionSnapshot) (Info, error) {
 	if !semijoin {
 		opts = append(opts, joininference.WithPrecomputedClasses(entry.Classes))
 	}
+	if m.opts.PolicyCache != nil {
+		opts = append(opts, joininference.WithPolicyCache(m.opts.PolicyCache, snap.Instance))
+	}
 	sess, err := joininference.ResumeSession(entry.Inst, snap.Snapshot, opts...)
 	if err != nil {
 		return Info{}, err
@@ -250,7 +344,36 @@ func (m *Manager) Resume(snap *SessionSnapshot) (Info, error) {
 		Budget:      snap.Snapshot.Budget,
 		Parallelism: snap.Snapshot.Parallelism,
 	}
-	return m.add(snap.ID, p, sess)
+	info, err := m.add(snap.ID, p, sess)
+	if err == nil {
+		m.met.resumed.Add(1)
+	}
+	return info, err
+}
+
+// WarmPolicy precomputes the policy decision tree of a registered instance
+// breadth-first to the given depth (see PolicyCache.Precompute), so the
+// first depth questions of future sessions with these params are pure
+// cache hits. The params' budget is ignored — warming stops for everyone
+// if the tree is cut short — and semijoin trees warm organically as
+// sessions run. It returns the number of nodes expanded.
+func (m *Manager) WarmPolicy(ctx context.Context, p Params, depth int) (int, error) {
+	if m.opts.PolicyCache == nil {
+		return 0, fmt.Errorf("service: no policy cache configured")
+	}
+	if p.Semijoin {
+		return 0, fmt.Errorf("service: semijoin policy trees cannot be precomputed")
+	}
+	if err := validStrategy(p.Strategy); err != nil {
+		return 0, err
+	}
+	entry, err := m.reg.Get(p.Instance)
+	if err != nil {
+		return 0, err
+	}
+	p.Budget = 0
+	opts := append(m.sessionOptions(p), joininference.WithPrecomputedClasses(entry.Classes))
+	return m.opts.PolicyCache.Precompute(ctx, entry.Inst, p.Instance, depth, opts...)
 }
 
 // add registers a session under id (or a fresh random id when the
@@ -408,6 +531,7 @@ func (m *Manager) Questions(ctx context.Context, id string, k int) ([]joininfere
 		d := len(qs) == 0
 		ms.done = &d
 		ms.info()
+		m.met.questions.Add(int64(len(qs)))
 	}
 	return qs, err
 }
@@ -450,8 +574,11 @@ func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (Answ
 			return res, err
 		}
 		res.Applied++
-		// Invalidate immediately, not after the loop: an early return
-		// (cancellation, a later bad answer) must not leave a stale Done.
+		// Count (and invalidate Done) immediately, not after the loop: an
+		// early return — cancellation, a later bad answer — must not leave a
+		// stale Done or an answers_applied count below what the session
+		// actually recorded.
+		m.met.answers.Add(1)
 		ms.done = nil
 	}
 	res.Asked = ms.sess.Questions()
@@ -506,6 +633,7 @@ func (m *Manager) Delete(id string) error {
 	if err != nil {
 		if errors.Is(err, ErrSessionNotFound) && m.opts.PersistDir != "" && validID(id) {
 			if rmErr := os.Remove(m.persistPath(id)); rmErr == nil {
+				m.met.deleted.Add(1)
 				return nil
 			}
 		}
@@ -516,6 +644,7 @@ func (m *Manager) Delete(id string) error {
 	m.mu.Lock()
 	delete(m.sessions, id)
 	m.mu.Unlock()
+	m.met.deleted.Add(1)
 	if m.opts.PersistDir != "" {
 		if err := os.Remove(m.persistPath(id)); err != nil && !os.IsNotExist(err) {
 			m.logf("service: removing persisted session %s: %v", id, err)
@@ -554,6 +683,7 @@ func (m *Manager) SweepExpired() int {
 		m.mu.Lock()
 		delete(m.sessions, ms.id)
 		m.mu.Unlock()
+		m.met.evicted.Add(1)
 		evicted++
 	}
 	return evicted

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	joininference "repro"
+)
+
+const minute = time.Minute
+
+// TestManagerSharedPolicyCache: sessions created through one manager share
+// the policy cache per instance — the first pays for the strategy, later
+// ones (and resumed ones) hit, and all ask bit-identical sequences.
+func TestManagerSharedPolicyCache(t *testing.T) {
+	goal := flightGoal(t)
+	params := Params{Instance: "flights", Strategy: joininference.StrategyL2S}
+
+	// Reference sequence from a cache-less manager.
+	plain, err := NewManager(testRegistry(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := plain.Create(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := driveToDone(t, plain, info.ID, goal, 2)
+
+	cache := joininference.NewPolicyCache(0)
+	m, err := NewManager(testRegistry(t), Options{PolicyCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.Create(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := driveToDone(t, m, first.ID, goal, 2)
+	if len(got) != len(want) {
+		t.Fatalf("cold cached session asked %d questions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cold cached question %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	before := cache.Stats()
+	second, err := m.Create(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = driveToDone(t, m, second.ID, goal, 2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("warm cached question %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	after := cache.Stats()
+	if after.Hits == before.Hits {
+		t.Error("second session over the same instance never hit the shared cache")
+	}
+	if after.Misses != before.Misses {
+		t.Errorf("second session missed %d times on an unbounded warm cache", after.Misses-before.Misses)
+	}
+}
+
+// TestManagerPolicyCacheConcurrent exercises the shared cache under
+// concurrent managed sessions (run with -race).
+func TestManagerPolicyCacheConcurrent(t *testing.T) {
+	goal := flightGoal(t)
+	cache := joininference.NewPolicyCache(0)
+	m, err := NewManager(testRegistry(t), Options{PolicyCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := joininference.KnownStrategies()[w%len(joininference.KnownStrategies())]
+			info, err := m.Create(Params{Instance: "flights", Strategy: id, Seed: 3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			driveToDone(t, m, info.ID, goal, 2)
+		}(w)
+	}
+	wg.Wait()
+	if st := cache.Stats(); st.Publishes == 0 {
+		t.Error("no nodes published by concurrent sessions")
+	}
+}
+
+// TestManagerPolicyCacheWarm precomputes through the manager and checks a fresh
+// session starts on pure hits.
+func TestManagerPolicyCacheWarm(t *testing.T) {
+	goal := flightGoal(t)
+	cache := joininference.NewPolicyCache(0)
+	m, err := NewManager(testRegistry(t), Options{PolicyCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const depth = 2
+	n, err := m.WarmPolicy(context.Background(), Params{Instance: "flights", Strategy: joininference.StrategyL2S}, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < depth {
+		t.Fatalf("warmed %d nodes, want ≥ %d", n, depth)
+	}
+	before := cache.Stats()
+	info, err := m.Create(Params{Instance: "flights", Strategy: joininference.StrategyL2S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveToDone(t, m, info.ID, goal, 1)
+	if hits := cache.Stats().Hits - before.Hits; hits < depth {
+		t.Errorf("post-warm session hit %d times, want ≥ %d", hits, depth)
+	}
+
+	// Warm requests that cannot be served fail loudly.
+	if _, err := m.WarmPolicy(context.Background(), Params{Instance: "flights", Semijoin: true}, 2); err == nil {
+		t.Error("semijoin warm accepted")
+	}
+	if _, err := m.WarmPolicy(context.Background(), Params{Instance: "nope"}, 2); err == nil {
+		t.Error("unknown instance warm accepted")
+	}
+	plain, err := NewManager(testRegistry(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.WarmPolicy(context.Background(), Params{Instance: "flights"}, 2); err == nil {
+		t.Error("warm without a cache accepted")
+	}
+}
+
+// TestMetricsEndpoint drives the HTTP handler and checks the counters the
+// /debug/metrics endpoint reports.
+func TestMetricsEndpoint(t *testing.T) {
+	goal := flightGoal(t)
+	cache := joininference.NewPolicyCache(0)
+	m, err := NewManager(testRegistry(t), Options{PolicyCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	for i := 0; i < 2; i++ {
+		info, err := m.Create(Params{Instance: "flights", Strategy: joininference.StrategyTD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveToDone(t, m, info.ID, goal, 1)
+	}
+	resp, err := http.Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var met Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&met); err != nil {
+		t.Fatal(err)
+	}
+	if met.SessionsLive != 2 || met.SessionsCreated != 2 {
+		t.Errorf("sessions live=%d created=%d, want 2/2", met.SessionsLive, met.SessionsCreated)
+	}
+	if met.QuestionsServed == 0 || met.AnswersApplied == 0 {
+		t.Errorf("questions=%d answers=%d, want > 0", met.QuestionsServed, met.AnswersApplied)
+	}
+	if met.PolicyCache == nil {
+		t.Fatal("no policy cache stats reported")
+	}
+	if met.PolicyCache.Publishes == 0 {
+		t.Error("policy cache saw no publishes")
+	}
+	if met.PolicyCache.Hits == 0 {
+		t.Error("second TD session should have hit the shared cache")
+	}
+}
+
+// TestMetricsOmitsCacheWhenDisabled: without a configured cache the
+// metrics document must not claim one.
+func TestMetricsOmitsCacheWhenDisabled(t *testing.T) {
+	m, err := NewManager(testRegistry(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met := m.Metrics(); met.PolicyCache != nil {
+		t.Errorf("policy cache stats reported without a cache: %+v", met.PolicyCache)
+	}
+}
+
+// TestJanitorIntervalResolution covers the configurable sweep interval.
+func TestJanitorIntervalResolution(t *testing.T) {
+	cases := []struct {
+		opts Options
+		want string
+	}{
+		{Options{TTL: 40 * minute}, "1m0s"},                            // capped
+		{Options{TTL: 2 * minute}, "30s"},                              // ttl/4
+		{Options{TTL: 40 * minute, SweepInterval: 5 * minute}, "5m0s"}, // explicit
+	}
+	for _, tc := range cases {
+		if got := tc.opts.JanitorInterval().String(); got != tc.want {
+			t.Errorf("JanitorInterval(%+v) = %s, want %s", tc.opts, got, tc.want)
+		}
+	}
+}

@@ -51,15 +51,25 @@ func NewRandom(seed int64) *Random { return NewRandomAt(seed, 0) }
 func NewRandomAt(seed int64, pos uint64) *Random {
 	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
 	r := &Random{rng: rand.New(src), src: src}
-	for src.n < pos {
-		src.src.Int63()
-		src.n++
-	}
+	r.SkipTo(pos)
 	return r
 }
 
 // Pos returns the number of source draws consumed so far.
 func (r *Random) Pos() uint64 { return r.src.n }
+
+// SkipTo fast-forwards the source to absolute position pos, so the next
+// draw happens exactly where a stream that already consumed pos draws
+// would continue. Positions at or behind the current one are a no-op —
+// the stream cannot rewind. Serving a memoized pick (which skips the
+// live draw) uses this to keep the stream bit-identical to an unmemoized
+// session's.
+func (r *Random) SkipTo(pos uint64) {
+	for r.src.n < pos {
+		r.src.src.Int63()
+		r.src.n++
+	}
+}
 
 // Name implements Strategy.
 func (r *Random) Name() string { return "RND" }

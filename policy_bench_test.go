@@ -1,0 +1,62 @@
+package joininference
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// BenchmarkPolicyCache measures the serving win of the shared policy-tree
+// cache: full inference sessions (honest oracle, questions fetched one per
+// round like the Run loop a server drives) over one instance, uncached
+// versus served from a warm cache. The workload is a lookahead strategy —
+// the case the cache exists for, since L2S recomputes an entropy^K sweep
+// per question — on the paper's Figure 7 synthetic configuration (3, 3,
+// 100, 100). The custom metric is questions served per second; the warm
+// number is what a popular instance sustains once its tree is resident.
+// BENCH_policy.json records a reference run.
+func BenchmarkPolicyCache(b *testing.B) {
+	inst, err := synth.Generate(synth.Config{AttrsR: 3, AttrsP: 3, Rows: 100, Values: 100}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := PrecomputeClasses(inst)
+	u := NewSession(inst, WithPrecomputedClasses(classes)).Universe()
+	goal, err := PredFromNames(u, [2]string{"A1", "B1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range []StrategyID{StrategyL1S, StrategyL2S} {
+		base := []Option{WithStrategy(id), WithPrecomputedClasses(classes)}
+		serve := func(b *testing.B, opts []Option) {
+			b.Helper()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				s := NewSession(inst, opts...)
+				res, err := Run(context.Background(), s, HonestOracle(goal))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Determined {
+					b.Fatal("session did not converge")
+				}
+				total += res.Questions
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "questions/s")
+		}
+		b.Run(string(id)+"/uncached", func(b *testing.B) {
+			serve(b, base)
+		})
+		b.Run(string(id)+"/warm", func(b *testing.B) {
+			cache := NewPolicyCache(64 << 20)
+			opts := append(append([]Option(nil), base...), WithPolicyCache(cache, "bench"))
+			// One full session populates the tree outside the timer.
+			if _, err := Run(context.Background(), NewSession(inst, opts...), HonestOracle(goal)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			serve(b, opts)
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/inference"
+	"repro/internal/policy"
 	"repro/internal/predicate"
 	"repro/internal/product"
 	"repro/internal/semijoin"
@@ -38,12 +39,14 @@ func (q Question) Semijoin() bool { return q.PIndex < 0 }
 type Option func(*sessionConfig)
 
 type sessionConfig struct {
-	stratID     StrategyID
-	custom      Strategy
-	seed        int64
-	budget      int
-	classes     *ClassSet
-	parallelism int
+	stratID        StrategyID
+	custom         Strategy
+	seed           int64
+	budget         int
+	classes        *ClassSet
+	parallelism    int
+	policy         *PolicyCache
+	policyInstance string
 }
 
 // WithStrategy selects the questioning strategy the session uses for
@@ -341,6 +344,12 @@ func newStrategy(id StrategyID, seed int64, workers int, rngPos uint64) (inferen
 //
 // When fewer than k mutually informative questions exist, fewer are
 // returned; a budget caps k at the remaining allowance.
+//
+// With WithPolicyCache attached, the strategy's pick (and the batch
+// pivots) for the current answer prefix is served from the shared cache
+// when another session already computed it, and published for others
+// after a live computation; served questions are bit-identical to what
+// the strategy would have picked.
 func (s *Session) NextQuestions(ctx context.Context, k int) ([]Question, error) {
 	if k < 1 {
 		k = 1
@@ -375,35 +384,132 @@ func (s *Session) NextQuestions(ctx context.Context, k int) ([]Question, error) 
 	if err != nil {
 		return nil, err
 	}
+	// Policy-cache fast path: when another session (or this one's past) has
+	// already reached this answer prefix, serve its memoized pick instead of
+	// invoking the strategy.
+	pol := s.policyActive()
+	var prefix []byte
+	var rngBefore uint64
+	if pol != nil {
+		var ok bool
+		if prefix, ok = s.policyPrefix(); !ok {
+			pol = nil
+		} else {
+			rngBefore = s.policyRNGPos()
+			if node, hit := pol.Lookup(s.policyTreeKey(), prefix, rngBefore); hit {
+				qs, served, err := s.servePolicyJoin(ctx, node, prefix, rngBefore, k)
+				if served || err != nil {
+					return qs, err
+				}
+			}
+		}
+	}
 	first, err := nextClass(ctx, strat, s.engine)
 	if err != nil {
 		return nil, err
 	}
 	if first < 0 {
+		if pol != nil {
+			pol.Publish(s.policyTreeKey(), prefix, rngBefore,
+				policy.Node{Chosen: -1, Complete: true, RNGAfter: s.policyRNGPos()})
+		}
 		return nil, nil
 	}
-	picked := []int{first}
-	if k > 1 {
-		for _, ci := range s.engine.InformativeClasses() {
-			if len(picked) >= k {
-				break
-			}
-			if ci == first {
-				continue
-			}
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("joininference: %w", err)
-			}
-			if s.pairwiseInformative(ci, picked) {
-				picked = append(picked, ci)
-			}
+	picked, complete, err := s.extendBatch(ctx, []int{first}, k)
+	if err != nil {
+		return nil, err
+	}
+	if pol != nil {
+		pol.Publish(s.policyTreeKey(), prefix, rngBefore, policy.Node{
+			Chosen:   first,
+			Pivots:   append([]int(nil), picked[1:]...),
+			Complete: complete,
+			RNGAfter: s.policyRNGPos(),
+		})
+	}
+	return s.questions(picked), nil
+}
+
+// servePolicyJoin serves a fetch from a cached decision node: fully from
+// cache when the node covers k picks, else reusing the cached strategy
+// pick (the expensive part) and extending the cheap batch scan live.
+// served=false with a nil error falls the caller back to a fully live
+// computation — defensive, for nodes that no longer match the engine state
+// they claim to describe.
+func (s *Session) servePolicyJoin(ctx context.Context, node policy.Node, prefix []byte, rngBefore uint64, k int) ([]Question, bool, error) {
+	n := len(s.engine.Classes())
+	if node.Chosen >= 0 && (node.Chosen >= n || !s.engine.Informative(node.Chosen)) {
+		return nil, false, nil
+	}
+	for _, ci := range node.Pivots {
+		if ci < 0 || ci >= n || !s.engine.Informative(ci) {
+			return nil, false, nil
 		}
 	}
+	if picks, ok := policyPicks(node, k); ok {
+		s.policySkipRNG(node.RNGAfter)
+		if len(picks) == 0 {
+			return nil, true, nil // Γ reached at this prefix, same nil as the live path
+		}
+		return s.questions(picks), true, nil
+	}
+	picked := make([]int, 0, k)
+	picked = append(picked, node.Chosen)
+	picked = append(picked, node.Pivots...)
+	picked, complete, err := s.extendBatch(ctx, picked, k)
+	if err != nil {
+		return nil, false, err
+	}
+	s.policySkipRNG(node.RNGAfter)
+	s.policyActive().Publish(s.policyTreeKey(), prefix, rngBefore, policy.Node{
+		Chosen:   node.Chosen,
+		Pivots:   append([]int(nil), picked[1:]...),
+		Complete: complete,
+		RNGAfter: node.RNGAfter,
+	})
+	return s.questions(picked), true, nil
+}
+
+// extendBatch grows picked (the strategy's pick plus any pivots already
+// selected) to up to k pairwise-informative classes. The greedy scan is
+// prefix-stable and rejection is monotone in the picked set, so it resumes
+// after the last pivot instead of re-visiting earlier candidates. complete
+// reports that the scan exhausted the informative classes — the result
+// then serves any batch size.
+func (s *Session) extendBatch(ctx context.Context, picked []int, k int) ([]int, bool, error) {
+	if len(picked) >= k {
+		// Nothing to extend (k=1, the default serving loop): skip the
+		// informative-classes scan entirely.
+		return picked, false, nil
+	}
+	after := 0
+	if len(picked) > 1 {
+		after = picked[len(picked)-1] + 1
+	}
+	for _, ci := range s.engine.InformativeClasses() {
+		if len(picked) >= k {
+			return picked, false, nil
+		}
+		if ci < after || ci == picked[0] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, false, fmt.Errorf("joininference: %w", err)
+		}
+		if s.pairwiseInformative(ci, picked) {
+			picked = append(picked, ci)
+		}
+	}
+	return picked, true, nil
+}
+
+// questions materializes the public Questions for the picked classes.
+func (s *Session) questions(picked []int) []Question {
 	qs := make([]Question, len(picked))
 	for i, ci := range picked {
 		qs[i] = s.question(ci)
 	}
-	return qs, nil
+	return qs
 }
 
 // nextClass asks the strategy for its pick, routing through the
@@ -473,19 +579,89 @@ func (s *Session) question(ci int) Question {
 
 // semijoinNextQuestions scans R for informative rows (each test is two
 // CONS⋉ decisions) and greedily keeps rows that remain informative under
-// either answer to the rows already picked.
+// either answer to the rows already picked. With a policy cache attached,
+// a prefix another session already reached skips the NP-complete scans
+// entirely: the picked rows are a pure function of the answer prefix.
 func (s *Session) semijoinNextQuestions(ctx context.Context, k int) ([]Question, error) {
-	var picked []int
-	for ri := 0; ri < s.inst.R.Len() && len(picked) < k; ri++ {
+	pol := s.policyActive()
+	var prefix []byte
+	if pol != nil {
+		prefix, _ = s.policyPrefix()
+		if node, hit := pol.Lookup(s.policyTreeKey(), prefix, 0); hit {
+			if qs, served, err := s.servePolicySemijoin(ctx, node, prefix, k); served || err != nil {
+				return qs, err
+			}
+		}
+	}
+	picked, complete, err := s.semijoinScan(ctx, nil, k)
+	if err != nil {
+		return nil, err
+	}
+	if pol != nil {
+		pol.Publish(s.policyTreeKey(), prefix, 0, semijoinNode(picked, complete))
+	}
+	return s.semijoinQuestions(picked), nil
+}
+
+// servePolicySemijoin serves a semijoin fetch from a cached node; when the
+// node's picks do not cover k, the cached rows seed the scan, which
+// resumes after the last of them. served=false falls back to a live scan.
+func (s *Session) servePolicySemijoin(ctx context.Context, node policy.Node, prefix []byte, k int) ([]Question, bool, error) {
+	if node.Chosen >= 0 && (node.Chosen >= len(s.sj.labeled) || s.sj.labeled[node.Chosen]) {
+		return nil, false, nil
+	}
+	for _, ri := range node.Pivots {
+		if ri < 0 || ri >= len(s.sj.labeled) || s.sj.labeled[ri] {
+			return nil, false, nil
+		}
+	}
+	if picks, ok := policyPicks(node, k); ok {
+		return s.semijoinQuestions(picks), true, nil
+	}
+	picked := make([]int, 0, k)
+	picked = append(picked, node.Chosen)
+	picked = append(picked, node.Pivots...)
+	picked, complete, err := s.semijoinScan(ctx, picked, k)
+	if err != nil {
+		return nil, false, err
+	}
+	s.policyActive().Publish(s.policyTreeKey(), prefix, 0, semijoinNode(picked, complete))
+	return s.semijoinQuestions(picked), true, nil
+}
+
+// semijoinNode packs a semijoin scan result into a cache node (Chosen -1
+// records "no informative row remains at this prefix").
+func semijoinNode(picked []int, complete bool) policy.Node {
+	n := policy.Node{Chosen: -1, Complete: complete}
+	if len(picked) > 0 {
+		n.Chosen = picked[0]
+		n.Pivots = append([]int(nil), picked[1:]...)
+	}
+	return n
+}
+
+// semijoinScan grows picked to up to k mutually informative unlabeled
+// rows. Picks happen in scan order and rejection is monotone in the picked
+// set, so the scan resumes after the last already-picked row. complete
+// reports that the scan covered all remaining rows.
+func (s *Session) semijoinScan(ctx context.Context, picked []int, k int) ([]int, bool, error) {
+	start := 0
+	if len(picked) > 0 {
+		start = picked[len(picked)-1] + 1
+	}
+	for ri := start; ri < s.inst.R.Len(); ri++ {
+		if len(picked) >= k {
+			return picked, false, nil
+		}
 		if s.sj.labeled[ri] {
 			continue
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("joininference: %w", err)
+			return nil, false, fmt.Errorf("joininference: %w", err)
 		}
 		ok, err := semijoin.Informative(s.inst, s.sj.sample, ri)
 		if err != nil {
-			return nil, fmt.Errorf("joininference: %w", err)
+			return nil, false, fmt.Errorf("joininference: %w", err)
 		}
 		if !ok {
 			continue
@@ -493,7 +669,7 @@ func (s *Session) semijoinNextQuestions(ctx context.Context, k int) ([]Question,
 		if len(picked) > 0 {
 			ok, err = s.semijoinPairwise(ri, picked)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			if !ok {
 				continue
@@ -501,11 +677,16 @@ func (s *Session) semijoinNextQuestions(ctx context.Context, k int) ([]Question,
 		}
 		picked = append(picked, ri)
 	}
+	return picked, true, nil
+}
+
+// semijoinQuestions materializes the public Questions for the picked rows.
+func (s *Session) semijoinQuestions(picked []int) []Question {
 	qs := make([]Question, len(picked))
 	for i, ri := range picked {
 		qs[i] = s.semijoinQuestion(ri)
 	}
-	return qs, nil
+	return qs
 }
 
 // semijoinPairwise checks mutual informativeness of row ri against every

@@ -152,7 +152,24 @@ func (sn *Snapshot) validate() error {
 	if sn.Asked != len(sn.Transcript) {
 		return fmt.Errorf("%w: asked %d but %d transcript entries", ErrBadSnapshot, sn.Asked, len(sn.Transcript))
 	}
+	// The kind decides whether ResumeSession rebuilds a join or a semijoin
+	// session, so a snapshot whose entries belong to the other kind — a
+	// tampered or miswired Kind field — must be rejected here, not surface
+	// as a confusing replay failure against the wrong session type.
+	for i, e := range sn.Transcript {
+		if semijoinEntry := e.PIndex < 0; semijoinEntry != (sn.Kind == SnapshotKindSemijoin) {
+			return fmt.Errorf("%w: entry %d: %s entry (%d,%d) in a %q snapshot",
+				ErrBadSnapshot, i+1, entryKind(semijoinEntry), e.RIndex, e.PIndex, sn.Kind)
+		}
+	}
 	return nil
+}
+
+func entryKind(semijoin bool) string {
+	if semijoin {
+		return SnapshotKindSemijoin
+	}
+	return SnapshotKindJoin
 }
 
 // ResumeSession rebuilds a session from a snapshot over the instance the
@@ -203,11 +220,9 @@ func resumeJoin(inst *Instance, snap *Snapshot, opts []Option) (*Session, error)
 
 func resumeSemijoin(inst *Instance, snap *Snapshot, opts []Option) (*Session, error) {
 	s := NewSemijoinSession(inst, opts...)
+	// Kind/entry agreement was already enforced by snap.validate(), so
+	// every entry here is a semijoin entry (PIndex -1).
 	for i, e := range snap.Transcript {
-		if e.PIndex >= 0 {
-			return nil, fmt.Errorf("%w: entry %d: join entry (%d,%d) in a semijoin snapshot",
-				ErrBadTranscript, i+1, e.RIndex, e.PIndex)
-		}
 		q, err := s.QuestionByRef(QuestionRef{RIndex: e.RIndex, PIndex: e.PIndex})
 		if err != nil {
 			return nil, fmt.Errorf("%w: entry %d: %v", ErrBadTranscript, i+1, err)

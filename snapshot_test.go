@@ -239,9 +239,9 @@ func TestResumeRejectsBadSnapshots(t *testing.T) {
 		{"row out of range", &Snapshot{Version: 1, Kind: SnapshotKindJoin, Asked: 1,
 			Transcript: []TranscriptEntry{{RIndex: 99, PIndex: 0, Positive: true}}}, ErrBadTranscript},
 		{"semijoin entry in join snapshot", &Snapshot{Version: 1, Kind: SnapshotKindJoin, Asked: 1,
-			Transcript: []TranscriptEntry{{RIndex: 0, PIndex: -1, Positive: true}}}, ErrBadTranscript},
+			Transcript: []TranscriptEntry{{RIndex: 0, PIndex: -1, Positive: true}}}, ErrBadSnapshot},
 		{"join entry in semijoin snapshot", &Snapshot{Version: 1, Kind: SnapshotKindSemijoin, Asked: 1,
-			Transcript: []TranscriptEntry{{RIndex: 0, PIndex: 0, Positive: true}}}, ErrBadTranscript},
+			Transcript: []TranscriptEntry{{RIndex: 0, PIndex: 0, Positive: true}}}, ErrBadSnapshot},
 		{"duplicate class", &Snapshot{Version: 1, Kind: SnapshotKindJoin, Asked: 2,
 			Transcript: []TranscriptEntry{
 				{RIndex: 0, PIndex: 2, Positive: true},
@@ -254,6 +254,64 @@ func TestResumeRejectsBadSnapshots(t *testing.T) {
 				t.Errorf("want %v, got %v", tc.want, err)
 			}
 		})
+	}
+}
+
+// TestSnapshotRecordsKind is the regression test for the session-kind
+// guard: snapshots record whether the session came from NewSemijoinSession,
+// and a snapshot whose Kind is flipped to the other session type — so its
+// entries no longer match — is rejected with ErrBadSnapshot instead of
+// resuming as the wrong kind.
+func TestSnapshotRecordsKind(t *testing.T) {
+	inst := paperdata.FlightHotel()
+	u := NewSession(inst).Universe()
+	goal, err := PredFromNames(u, [2]string{"To", "City"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	join := NewSession(inst)
+	driveRecording(t, join, goal, 1)
+	jsnap, err := join.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsnap.Kind != SnapshotKindJoin {
+		t.Fatalf("join session snapshot kind = %q", jsnap.Kind)
+	}
+
+	sjInst := paperdata.Example21()
+	sjU := NewSemijoinSession(sjInst).Universe()
+	sjGoal, err := PredFromNames(sjU, [2]string{"A1", "B2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	semi := NewSemijoinSession(sjInst)
+	driveRecording(t, semi, sjGoal, 1)
+	ssnap, err := semi.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssnap.Kind != SnapshotKindSemijoin {
+		t.Fatalf("semijoin session snapshot kind = %q", ssnap.Kind)
+	}
+
+	// A join snapshot resumed as semijoin (and vice versa) must be rejected.
+	jsnap.Kind = SnapshotKindSemijoin
+	if _, err := ResumeSession(inst, jsnap); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("join snapshot with semijoin kind: err = %v, want ErrBadSnapshot", err)
+	}
+	ssnap.Kind = SnapshotKindJoin
+	if _, err := ResumeSession(sjInst, ssnap); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("semijoin snapshot with join kind: err = %v, want ErrBadSnapshot", err)
+	}
+	// DecodeSnapshot validates too: the tampered document never decodes.
+	var buf bytes.Buffer
+	if err := jsnap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(&buf); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("decoding tampered kind: err = %v, want ErrBadSnapshot", err)
 	}
 }
 
