@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -35,12 +37,61 @@ func main() {
 	goals := flag.Int("goals", 10, "max goal predicates per size for synthetic data (0 = all)")
 	seed := flag.Int64("seed", 42, "base random seed")
 	extended := flag.Bool("extended", false, "also run this implementation's extra strategies (HALVE, L3S)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 
-	if err := run(*fig, *table, *runs, *goals, *seed, *extended, *parallel, *workers); err != nil {
+	stopCPU, err := startCPUProfile(*cpuprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	runErr := run(*fig, *table, *runs, *goals, *seed, *extended, *parallel, *workers)
+	stopCPU()
+	if err := writeMemProfile(*memprofile); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
+		os.Exit(1)
+	}
+}
+
+// startCPUProfile begins CPU profiling into path ("" disables) and returns
+// the stop function.
+func startCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("creating cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("starting cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile dumps a GC-fresh heap profile to path ("" disables).
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("writing mem profile: %w", err)
+	}
+	return nil
 }
 
 func run(fig, table string, runs, goals int, seed int64, extended bool, parallel, workers int) error {

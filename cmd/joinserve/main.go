@@ -6,7 +6,7 @@
 // Usage:
 //
 //	joinserve [-addr :8080] [-ttl 30m] [-sweep-interval 1m]
-//	          [-persist-dir ./sessions] [-policy-cache-bytes N]
+//	          [-persist-dir ./sessions] [-policy-cache-bytes N] [-pprof]
 //	          [-warm instance=strategy:depth]... [-csv name=R.csv,P.csv]...
 //
 // The server starts with the paper's workloads registered (tpch-join1 …
@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -55,6 +56,7 @@ func main() {
 	flag.Int64Var(&cfg.policyCacheBytes, "policy-cache-bytes", 64<<20, "byte bound of the shared policy-tree cache (0 disables, negative = unbounded)")
 	flag.Var(&cfg.warms, "warm", "precompute a policy tree at boot as instance=strategy:depth (repeatable)")
 	flag.Var(&cfg.csvs, "csv", "register a CSV instance as name=R.csv,P.csv (repeatable)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving mux")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -72,6 +74,7 @@ type config struct {
 	policyCacheBytes int64
 	warms            warmFlags
 	csvs             csvFlags
+	pprof            bool
 }
 
 func run(cfg config) error {
@@ -111,7 +114,7 @@ func run(cfg config) error {
 	}
 	publishMetrics(mgr)
 
-	server := &http.Server{Addr: cfg.addr, Handler: newServeMux(mgr)}
+	server := &http.Server{Addr: cfg.addr, Handler: newServeMux(mgr, cfg.pprof)}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("joinserve: listening on %s (%d instances registered)", cfg.addr, len(reg.Names()))
@@ -150,11 +153,23 @@ func run(cfg config) error {
 
 // newServeMux mounts the service API plus the debug endpoints: the
 // expvar namespace at /debug/vars (standard expvar handler) — the service
-// handler already serves the manager's counters at /debug/metrics.
-func newServeMux(mgr *service.Manager) http.Handler {
+// handler already serves the manager's counters at /debug/metrics — and,
+// when enabled, net/http/pprof under /debug/pprof/ so live lookahead and
+// CONS⋉ hot paths can be profiled in production.
+func newServeMux(mgr *service.Manager, withPprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(mgr))
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if withPprof {
+		// No method qualifiers: pprof.Symbol accepts lookups via GET query
+		// or POST body (the form `go tool pprof` uses), and mixing
+		// qualified and unqualified patterns under one prefix conflicts.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

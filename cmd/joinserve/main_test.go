@@ -45,7 +45,7 @@ func TestDebugEndpoints(t *testing.T) {
 	publishMetrics(mgr)
 	publishMetrics(mgr) // idempotent: a second server in-process must not panic
 
-	srv := httptest.NewServer(newServeMux(mgr))
+	srv := httptest.NewServer(newServeMux(mgr, true))
 	defer srv.Close()
 
 	if _, err := mgr.Create(service.Params{Instance: "flights"}); err != nil {
@@ -85,6 +85,26 @@ func TestDebugEndpoints(t *testing.T) {
 	}
 	if _, ok := doc["joinserve"]; !ok {
 		t.Error("joinserve metrics not published to expvar")
+	}
+
+	// -pprof mounts the profiling index.
+	pp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d with pprof enabled", pp.StatusCode)
+	}
+	plain := httptest.NewServer(newServeMux(mgr, false))
+	defer plain.Close()
+	off, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Body.Close()
+	if off.StatusCode == http.StatusOK {
+		t.Error("/debug/pprof/ served without -pprof")
 	}
 
 	// The service API is still mounted at the root.

@@ -264,6 +264,85 @@ func (s Set) ForEach(fn func(i int) bool) {
 	}
 }
 
+// WordsFor returns the number of words needed to hold values in [0, n).
+func WordsFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + wordBits - 1) / wordBits
+}
+
+// CopyWords writes the set's first len(dst) words into dst, zero-padding
+// beyond the set's capacity. Hot paths use it to lay predicates out in flat
+// []uint64 arenas and then run the span operations below without touching
+// Set at all.
+func (s Set) CopyWords(dst []uint64) {
+	n := copy(dst, s.words)
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+// IntersectInto replaces dst with a ∩ b, reusing dst's backing array when
+// it is large enough — the allocation-free counterpart of Intersect.
+// Aliasing dst with a or b is safe.
+func IntersectInto(dst *Set, a, b Set) {
+	n := len(a.words)
+	if len(b.words) < n {
+		n = len(b.words)
+	}
+	if cap(dst.words) < n {
+		dst.words = make([]uint64, n)
+	} else {
+		dst.words = dst.words[:n]
+	}
+	for i := 0; i < n; i++ {
+		dst.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// IntersectWords writes a & b elementwise into dst. The three spans must
+// have equal length (the arena layout guarantees it); dst may alias a or b.
+func IntersectWords(dst, a, b []uint64) {
+	if len(a) == 0 {
+		return
+	}
+	_ = dst[len(a)-1] // bounds hint
+	b = b[:len(a)]
+	for i := range a {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// SubsetWords reports a ⊆ b for two equal-length word spans without
+// allocating.
+func SubsetWords(a, b []uint64) bool {
+	b = b[:len(a)]
+	for i, w := range a {
+		if w&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendKey appends the bytes of Key to dst and returns the extended
+// slice: a canonical, capacity-independent encoding usable as (part of) a
+// map key via string(dst) without building intermediate strings.
+func (s Set) AppendKey(dst []byte) []byte {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	for i := 0; i < n; i++ {
+		w := s.words[i]
+		for j := 0; j < 8; j++ {
+			dst = append(dst, byte(w>>(8*j)))
+		}
+	}
+	return dst
+}
+
 // AsWord returns the set's contents as a single machine word when every
 // element is below 64; ok is false otherwise. Hot paths use this to switch
 // to branch-free word arithmetic (join-predicate universes of real schemas

@@ -1,0 +1,112 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWordsFor(t *testing.T) {
+	for _, c := range []struct{ n, want int }{
+		{-1, 0}, {0, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	} {
+		if got := WordsFor(c.n); got != c.want {
+			t.Errorf("WordsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCopyWordsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		s := randSet(r, n)
+		dst := make([]uint64, WordsFor(n))
+		for i := range dst {
+			dst[i] = ^uint64(0) // must be overwritten, including zero-padding
+		}
+		s.CopyWords(dst)
+		for i := 0; i < n; i++ {
+			got := dst[i/64]&(1<<uint(i%64)) != 0
+			if got != s.Contains(i) {
+				t.Fatalf("n=%d bit %d: span %v, set %v", n, i, got, s.Contains(i))
+			}
+		}
+	}
+}
+
+func TestIntersectIntoMatchesIntersect(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var dst Set
+	for trial := 0; trial < 100; trial++ {
+		a := randSet(r, 1+r.Intn(150))
+		b := randSet(r, 1+r.Intn(150))
+		IntersectInto(&dst, a, b)
+		if !dst.Equal(a.Intersect(b)) {
+			t.Fatalf("IntersectInto(%v, %v) = %v, want %v", a, b, dst, a.Intersect(b))
+		}
+	}
+	// Aliasing dst with an operand is allowed.
+	a := FromSlice([]int{1, 5, 70})
+	b := FromSlice([]int{5, 70, 100})
+	IntersectInto(&a, a, b)
+	if !a.Equal(FromSlice([]int{5, 70})) {
+		t.Errorf("aliased IntersectInto = %v", a)
+	}
+	// Steady-state reuse allocates nothing.
+	x := randSet(r, 128)
+	y := randSet(r, 128)
+	IntersectInto(&dst, x, y)
+	if allocs := testing.AllocsPerRun(100, func() { IntersectInto(&dst, x, y) }); allocs != 0 {
+		t.Errorf("IntersectInto allocates %.1f per call; want 0 steady-state", allocs)
+	}
+}
+
+func TestSpanOpsMatchSetOps(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(190)
+		W := WordsFor(n)
+		a := randSet(r, n)
+		b := randSet(r, n)
+		aw := make([]uint64, W)
+		bw := make([]uint64, W)
+		a.CopyWords(aw)
+		b.CopyWords(bw)
+		if got, want := SubsetWords(aw, bw), a.SubsetOf(b); got != want {
+			t.Fatalf("n=%d: SubsetWords = %v, SubsetOf = %v (a=%v b=%v)", n, got, want, a, b)
+		}
+		dst := make([]uint64, W)
+		IntersectWords(dst, aw, bw)
+		inter := a.Intersect(b)
+		iw := make([]uint64, W)
+		inter.CopyWords(iw)
+		for i := range dst {
+			if dst[i] != iw[i] {
+				t.Fatalf("n=%d word %d: IntersectWords %x, Intersect %x", n, i, dst[i], iw[i])
+			}
+		}
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		s := randSet(r, 1+r.Intn(200))
+		if got := string(s.AppendKey(nil)); got != s.Key() {
+			t.Fatalf("AppendKey = %q, Key = %q", got, s.Key())
+		}
+	}
+	// Capacity must not leak into the key (trailing zero words trimmed).
+	a := FromSlice([]int{3})
+	b := New(500)
+	b.Add(3)
+	if string(a.AppendKey(nil)) != string(b.AppendKey(nil)) {
+		t.Error("AppendKey differs for equal sets of different capacity")
+	}
+	// Appends after a prefix.
+	pre := []byte("k|")
+	out := a.AppendKey(pre)
+	if string(out[:2]) != "k|" || string(out[2:]) != a.Key() {
+		t.Errorf("AppendKey with prefix = %q", out)
+	}
+}

@@ -32,6 +32,15 @@ var ErrInconsistent = errors.New("inference: sample is inconsistent with every e
 
 // Engine is the inference state for one instance: its T-classes, the
 // current sample, and per-class labeling bookkeeping.
+//
+// Certainty is cached incrementally: under any sample extension a class
+// that is certain stays certain (T(S+) only shrinks, so the Lemma 3.3 and
+// 3.4 conditions are monotone in the sample — consistency is not even
+// required). Each Label therefore re-examines only the classes still
+// informative, restricted to what the label can flip: a negative example
+// leaves T(S+) unchanged, so only the one new Lemma 3.4 witness is tested.
+// This makes Done O(1) and Informative O(1) instead of O(|negs|) scans
+// with an allocation per class per call.
 type Engine struct {
 	Inst    *relation.Instance
 	U       *predicate.Universe
@@ -40,6 +49,15 @@ type Engine struct {
 	s       *sample.Sample
 	labeled []int8 // 0 unlabeled, 1 positive, 2 negative (per class)
 	negs    []predicate.Pred
+
+	// settled[ci] records that class ci is labeled or certain (either
+	// sign); monotone, so it never reverts. infCount counts the zeros.
+	settled  []bool
+	infCount int
+	// infScratch backs InformativeClasses; inter is the intersection
+	// scratch of the incremental certainty sweeps.
+	infScratch []int
+	inter      predicate.Pred
 }
 
 // Option configures engine construction.
@@ -67,13 +85,26 @@ func New(inst *relation.Instance, opts ...Option) *Engine {
 	if cs == nil {
 		cs = product.ClassesIndexed(inst, u)
 	}
-	return &Engine{
+	e := &Engine{
 		Inst:    inst,
 		U:       u,
 		classes: cs,
 		s:       sample.New(u),
 		labeled: make([]int8, len(cs)),
+		settled: make([]bool, len(cs)),
 	}
+	// Initial certainty: with no negatives, only Lemma 3.3 can settle a
+	// class, and T(S+) = Ω, so exactly the classes with Theta = Ω start
+	// certain (their tuples are selected by every predicate).
+	tpos := e.s.TPos()
+	for ci, c := range cs {
+		if CertainPositive(tpos, c.Theta) {
+			e.settled[ci] = true
+		} else {
+			e.infCount++
+		}
+	}
+	return e
 }
 
 // Classes returns the T-classes in the engine's deterministic order. The
@@ -105,36 +136,32 @@ func (e *Engine) CertainNegative(ci int) bool {
 }
 
 // Informative reports whether labeling class ci would shrink the set of
-// consistent predicates (Theorem 3.5: decidable in PTIME).
+// consistent predicates (Theorem 3.5: decidable in PTIME). Served from the
+// incrementally maintained certainty cache in O(1).
 func (e *Engine) Informative(ci int) bool {
-	if e.labeled[ci] != 0 {
-		return false
-	}
-	return !e.CertainPositive(ci) && !e.CertainNegative(ci)
+	return !e.settled[ci]
 }
 
 // InformativeClasses returns the indexes of all informative classes, in
-// class order.
+// class order. The returned slice is a scratch buffer owned by the engine:
+// it is valid until the next InformativeClasses or Label call and must not
+// be mutated or retained across either.
 func (e *Engine) InformativeClasses() []int {
-	var out []int
-	for ci := range e.classes {
-		if e.Informative(ci) {
-			out = append(out, ci)
+	e.infScratch = e.infScratch[:0]
+	for ci, done := range e.settled {
+		if !done {
+			e.infScratch = append(e.infScratch, ci)
 		}
 	}
-	return out
+	return e.infScratch
 }
 
+// NumInformative returns the number of informative classes in O(1).
+func (e *Engine) NumInformative() int { return e.infCount }
+
 // Done reports the halt condition Γ: no informative tuple remains, i.e.
-// exactly one predicate is consistent up to instance equivalence.
-func (e *Engine) Done() bool {
-	for ci := range e.classes {
-		if e.Informative(ci) {
-			return false
-		}
-	}
-	return true
-}
+// exactly one predicate is consistent up to instance equivalence. O(1).
+func (e *Engine) Done() bool { return e.infCount == 0 }
 
 // Label records the user's label for (the representative of) class ci. It
 // returns ErrInconsistent if the resulting sample admits no consistent
@@ -154,10 +181,69 @@ func (e *Engine) Label(ci int, l sample.Label) error {
 		e.labeled[ci] = 2
 		e.negs = append(e.negs, c.Theta)
 	}
+	e.settle(ci)
+	if l == sample.Positive {
+		e.sweepPositive()
+	} else {
+		e.sweepNegative(c.Theta)
+	}
 	if !e.s.Consistent() {
 		return ErrInconsistent
 	}
 	return nil
+}
+
+// settle marks class ci uninformative if it was not already.
+func (e *Engine) settle(ci int) {
+	if !e.settled[ci] {
+		e.settled[ci] = true
+		e.infCount--
+	}
+}
+
+// sweepPositive re-examines the still-informative classes after a positive
+// example shrank T(S+): both lemmas can newly fire, so the full certainty
+// test runs — but only over informative classes, with the intersection in
+// scratch.
+func (e *Engine) sweepPositive() {
+	tpos := e.s.TPos()
+	for ci, done := range e.settled {
+		if done {
+			continue
+		}
+		th := e.classes[ci].Theta
+		if CertainPositive(tpos, th) || e.certainNegativeScratch(tpos, th) {
+			e.settle(ci)
+		}
+	}
+}
+
+// certainNegativeScratch is CertainNegative with the intersection computed
+// into the engine's scratch predicate instead of a fresh allocation.
+func (e *Engine) certainNegativeScratch(tpos, theta predicate.Pred) bool {
+	predicate.IntersectInto(&e.inter, tpos, theta)
+	for _, n := range e.negs {
+		if e.inter.MoreGeneralThan(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// sweepNegative re-examines the still-informative classes after a negative
+// example: T(S+) is unchanged, so Lemma 3.3 cannot newly fire and Lemma 3.4
+// needs testing against the one new witness only — O(1) per class.
+func (e *Engine) sweepNegative(newNeg predicate.Pred) {
+	tpos := e.s.TPos()
+	for ci, done := range e.settled {
+		if done {
+			continue
+		}
+		predicate.IntersectInto(&e.inter, tpos, e.classes[ci].Theta)
+		if e.inter.MoreGeneralThan(newNeg) {
+			e.settle(ci)
+		}
+	}
 }
 
 // Result returns the inferred predicate T(S+): the most specific predicate
@@ -191,4 +277,20 @@ func CertainNegative(tpos predicate.Pred, negs []predicate.Pred, theta predicate
 // evaluate what-if labelings without mutating the engine.
 func CertainUnder(tpos predicate.Pred, negs []predicate.Pred, theta predicate.Pred) bool {
 	return CertainPositive(tpos, theta) || CertainNegative(tpos, negs, theta)
+}
+
+// CertainUnderWith is CertainUnder with the Lemma 3.4 intersection computed
+// into the caller-provided scratch predicate, so repeated hypothetical
+// tests (e.g. the batch pairwise-informativeness scan) allocate nothing.
+func CertainUnderWith(inter *predicate.Pred, tpos predicate.Pred, negs []predicate.Pred, theta predicate.Pred) bool {
+	if CertainPositive(tpos, theta) {
+		return true
+	}
+	predicate.IntersectInto(inter, tpos, theta)
+	for _, n := range negs {
+		if inter.MoreGeneralThan(n) {
+			return true
+		}
+	}
+	return false
 }

@@ -126,6 +126,10 @@ func (p Pred) MoreGeneralThan(q Pred) bool { return p.Set.SubsetOf(q.Set) }
 // Intersect returns p ∩ q.
 func (p Pred) Intersect(q Pred) Pred { return Pred{Set: p.Set.Intersect(q.Set)} }
 
+// IntersectInto replaces dst with p ∩ q, reusing dst's backing storage —
+// the allocation-free Intersect used by the certainty-test hot paths.
+func IntersectInto(dst *Pred, p, q Pred) { bitset.IntersectInto(&dst.Set, p.Set, q.Set) }
+
 // Union returns p ∪ q.
 func (p Pred) Union(q Pred) Pred { return Pred{Set: p.Set.Union(q.Set)} }
 

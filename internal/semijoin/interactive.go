@@ -68,10 +68,13 @@ func InferInteractive(inst *relation.Instance, orc LabelOracle, budget int) (Int
 	var res InteractiveResult
 	var s Sample
 	labeled := make([]bool, inst.R.Len())
+	// One solver for the whole loop: row witness sets are computed once and
+	// every Informative/Consistent decision after the first reuses them.
+	sv := NewSolver(inst)
 
 	for {
 		if budget > 0 && res.Interactions >= budget {
-			theta, ok, err := Consistent(inst, s)
+			theta, ok, err := sv.Consistent(s)
 			if err != nil {
 				return res, err
 			}
@@ -87,7 +90,7 @@ func InferInteractive(inst *relation.Instance, orc LabelOracle, budget int) (Int
 			if labeled[ri] {
 				continue
 			}
-			ok, err := Informative(inst, s, ri)
+			ok, err := sv.Informative(s, ri)
 			if err != nil {
 				return res, err
 			}
@@ -107,7 +110,7 @@ func InferInteractive(inst *relation.Instance, orc LabelOracle, budget int) (Int
 		res.Interactions++
 	}
 
-	theta, ok, err := Consistent(inst, s)
+	theta, ok, err := sv.Consistent(s)
 	if err != nil {
 		return res, err
 	}

@@ -1,0 +1,141 @@
+package semijoin
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// randSolverInstance builds a small random instance for differential
+// solver tests.
+func randSolverInstance(r *rand.Rand) *relation.Instance {
+	n := 1 + r.Intn(3)
+	m := 1 + r.Intn(3)
+	vals := 1 + r.Intn(3)
+	ra := make([]string, n)
+	for i := range ra {
+		ra[i] = "A" + strconv.Itoa(i+1)
+	}
+	pa := make([]string, m)
+	for i := range pa {
+		pa[i] = "B" + strconv.Itoa(i+1)
+	}
+	R := relation.NewRelation(relation.MustSchema("R", ra...))
+	P := relation.NewRelation(relation.MustSchema("P", pa...))
+	for i := 0; i < 2+r.Intn(4); i++ {
+		tr := make(relation.Tuple, n)
+		for k := range tr {
+			tr[k] = strconv.Itoa(r.Intn(vals))
+		}
+		R.Tuples = append(R.Tuples, tr)
+	}
+	for i := 0; i < 2+r.Intn(4); i++ {
+		tp := make(relation.Tuple, m)
+		for k := range tp {
+			tp[k] = strconv.Itoa(r.Intn(vals))
+		}
+		P.Tuples = append(P.Tuples, tp)
+	}
+	return relation.MustInstance(R, P)
+}
+
+// randSample labels a random subset of R's rows.
+func randSample(r *rand.Rand, rows int) Sample {
+	var s Sample
+	for ri := 0; ri < rows; ri++ {
+		switch r.Intn(3) {
+		case 0:
+			s.Pos = append(s.Pos, ri)
+		case 1:
+			s.Neg = append(s.Neg, ri)
+		}
+	}
+	return s
+}
+
+// TestSolverMatchesConsistent: the scratch-based solver decides CONS⋉
+// exactly like the package-level search — same verdict and same witness
+// predicate — across random instances and samples, with the solver reused
+// across samples so the witness cache is exercised.
+func TestSolverMatchesConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 120; trial++ {
+		inst := randSolverInstance(r)
+		sv := NewSolver(inst)
+		for probe := 0; probe < 6; probe++ {
+			s := randSample(r, inst.R.Len())
+			wantTheta, wantOK, wantErr := Consistent(inst, s)
+			gotTheta, gotOK, gotErr := sv.Consistent(s)
+			if (wantErr != nil) != (gotErr != nil) {
+				t.Fatalf("trial %d: err %v vs %v", trial, wantErr, gotErr)
+			}
+			if wantOK != gotOK {
+				t.Fatalf("trial %d sample %+v: solver ok=%v, package ok=%v", trial, s, gotOK, wantOK)
+			}
+			if wantOK && !wantTheta.Equal(gotTheta) {
+				t.Fatalf("trial %d sample %+v: solver θ=%v, package θ=%v", trial, s, gotTheta, wantTheta)
+			}
+		}
+	}
+}
+
+// TestSolverMatchesInformative: solver informativeness decisions equal the
+// package-level ones for every row under random samples.
+func TestSolverMatchesInformative(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		inst := randSolverInstance(r)
+		sv := NewSolver(inst)
+		for probe := 0; probe < 4; probe++ {
+			s := randSample(r, inst.R.Len())
+			if _, ok, err := Consistent(inst, s); err != nil || !ok {
+				continue // only consistent bases arise in sessions
+			}
+			labeled := make(map[int]bool)
+			for _, i := range s.Pos {
+				labeled[i] = true
+			}
+			for _, i := range s.Neg {
+				labeled[i] = true
+			}
+			for ri := 0; ri < inst.R.Len(); ri++ {
+				if labeled[ri] {
+					continue
+				}
+				want, wantErr := Informative(inst, s, ri)
+				got, gotErr := sv.Informative(s, ri)
+				if (wantErr != nil) != (gotErr != nil) {
+					t.Fatalf("trial %d row %d: err %v vs %v", trial, ri, wantErr, gotErr)
+				}
+				if want != got {
+					t.Fatalf("trial %d sample %+v row %d: solver %v, package %v", trial, s, ri, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSolverValidation: the scratch validation rejects exactly what
+// Sample.Validate rejects, and leaves the scratch clean for the next call.
+func TestSolverValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	inst := randSolverInstance(r)
+	sv := NewSolver(inst)
+	bad := []Sample{
+		{Pos: []int{0, 0}},
+		{Pos: []int{0}, Neg: []int{0}},
+		{Neg: []int{inst.R.Len()}},
+		{Pos: []int{-1}},
+	}
+	for i, s := range bad {
+		if _, _, err := sv.Consistent(s); err == nil {
+			t.Errorf("bad sample %d accepted: %+v", i, s)
+		}
+	}
+	// A valid call right after the rejects must still work (scratch reset).
+	if _, ok, err := sv.Consistent(Sample{Pos: []int{0}}); err != nil {
+		t.Fatalf("valid sample after rejects: %v (ok=%v)", err, ok)
+	}
+}

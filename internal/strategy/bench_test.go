@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/inference"
+	"repro/internal/oracle"
+	"repro/internal/predicate"
 	"repro/internal/synth"
 )
 
@@ -55,6 +57,47 @@ func BenchmarkNextHalving(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Next(e)
+	}
+}
+
+// BenchmarkColdPath measures uncached (first-user) serving on a >64-pair
+// universe — the general path a policy cache cannot help. Each op is one
+// full inference run; "arena" is the production allocation-free flat-arena
+// path, "legacy" the pre-arena slice-based implementation it replaced
+// (still the k > maxFastDepth fallback). questions/s is the custom
+// throughput metric; allocs/op shows the arena discipline. Recorded in
+// BENCH_coldpath.json.
+func BenchmarkColdPath(b *testing.B) {
+	inst := synth.MustGenerate(synth.Config{AttrsR: 9, AttrsP: 8, Rows: 6, Values: 3}, 1)
+	e0 := inference.New(inst)
+	if e0.U.Size() <= 64 {
+		b.Fatalf("universe %d fits a word; want > 64", e0.U.Size())
+	}
+	classes := e0.Classes()
+	goal := predicate.FromPairs(e0.U, [2]int{0, 0}, [2]int{3, 2})
+	variants := []struct {
+		name  string
+		strat inference.Strategy
+	}{
+		{"L1S/arena", Lookahead{K: 1}},
+		{"L1S/legacy", legacyLookahead{K: 1}},
+		{"L2S/arena", Lookahead{K: 2}},
+		{"L2S/legacy", legacyLookahead{K: 2}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			questions := 0
+			for i := 0; i < b.N; i++ {
+				e := inference.New(inst, inference.WithClasses(classes))
+				res, err := inference.Run(e, v.strat, oracle.NewHonest(inst, e.U, goal), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				questions += res.Interactions
+			}
+			b.ReportMetric(float64(questions)/b.Elapsed().Seconds(), "questions/s")
+		})
 	}
 }
 

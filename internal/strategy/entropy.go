@@ -2,6 +2,7 @@ package strategy
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/inference"
 	"repro/internal/predicate"
@@ -25,31 +26,31 @@ func (e Entropy) Dominates(o Entropy) bool {
 }
 
 // Skyline returns the entropies not dominated by a different entropy value
-// in E (duplicates collapse to one representative).
+// in E (duplicates collapse to one representative), ordered by descending
+// Min. Sort-then-sweep: after ordering by (Min desc, Max desc), an entry
+// survives iff its Max strictly exceeds every earlier entry's — any earlier
+// entry has Min ≥ e.Min, so Max ≤ the running maximum means e is dominated
+// (or a duplicate of the entry realizing it). O(n log n) instead of the
+// former all-pairs O(n²) scan; skyline_test.go checks it differentially
+// against that implementation.
 func Skyline(E []Entropy) []Entropy {
-	var out []Entropy
-	for i, e := range E {
-		dominated := false
-		for j, o := range E {
-			if i == j || o == e {
-				continue
-			}
-			if o.Dominates(e) {
-				dominated = true
-				break
-			}
+	if len(E) == 0 {
+		return nil
+	}
+	sorted := make([]Entropy, len(E))
+	copy(sorted, E)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Min != sorted[b].Min {
+			return sorted[a].Min > sorted[b].Min
 		}
-		if !dominated {
-			dup := false
-			for _, p := range out {
-				if p == e {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				out = append(out, e)
-			}
+		return sorted[a].Max > sorted[b].Max
+	})
+	out := sorted[:0]
+	bestMax := int64(-1)
+	for _, e := range sorted {
+		if e.Max > bestMax {
+			out = append(out, e)
+			bestMax = e.Max
 		}
 	}
 	return out
@@ -104,7 +105,17 @@ type look struct {
 	tposW   uint64
 	negsW   []uint64
 	thetasW []uint64 // per baseInf position
-	countsW []int64  // per baseInf position
+	countsW []int64  // per baseInf position, shared with the arena path
+
+	// Flat-arena general path (entropy_general.go), used for any Ω when the
+	// fast path does not apply: predicates are W-word spans in []uint64
+	// arenas and all set operations run in place.
+	gen     bool
+	gW      int      // words per predicate
+	gtpos   []uint64 // base T(S+), W words
+	gthetas []uint64 // per baseInf position, W words each
+	gnegs   []uint64 // base negatives, W words each
+	gnegN   int
 }
 
 // state is a hypothetical extension of the base sample: the updated T(S+),

@@ -11,15 +11,19 @@ package strategy
 //
 // The fast state is allocation-free along a hypothetical extension chain:
 // the newly-labeled set is a fixed inline chain of ≤ maxFastDepth positions
-// guarded by a one-word position filter, and negative extensions append
-// into a scratch buffer reserved once per candidate (fentropyKRoot), so the
-// Θ(K²) extensions evaluated per candidate allocate nothing.
+// guarded by a one-word position filter, negative extensions append into
+// the candidate's lookScratch buffer (reserved once, reused across
+// candidates), and the per-level informative lists live in the scratch's
+// rest arena — so steady-state candidate evaluation allocates nothing.
+// Universes beyond 64 pairs run the identically-disciplined flat-arena
+// path of entropy_general.go instead of falling off a cliff.
 
-// maxFastDepth bounds the lookahead depth the fast path supports: a
-// hypothetical chain labels one class per level, and the chain is stored
+// maxFastDepth bounds the lookahead depth the inline extension chains of
+// both the word-level fast path and the arena-based general path support:
+// a hypothetical chain labels one class per level, and the chain is stored
 // inline to avoid per-extension allocations. Deeper lookaheads (which are
 // computationally absurd anyway — the cost is exponential in K) fall back
-// to the general bitset path.
+// to the legacy slice-based path.
 const maxFastDepth = 8
 
 // fastReady reports whether the fast path can be used and fills the
@@ -55,6 +59,46 @@ func (l *look) fastReady() bool {
 	l.thetasW = thetas
 	l.countsW = counts
 	return true
+}
+
+// lookScratch is the per-candidate scratch of one lookahead evaluation:
+// everything a depth-k recursion needs beyond the inline chain state, sized
+// once and reused so steady-state evaluation allocates nothing. Concurrent
+// candidate evaluations use distinct scratches (NextCtx pools them).
+type lookScratch struct {
+	// rest is the per-level informative-position arena: chain depth d
+	// (1-based) appends into rest[(d-1)·K : d·K], so a frame's list
+	// survives the deeper recursion it drives.
+	rest []int32
+	// fnegs is the fast path's negative buffer: base negatives plus k
+	// reserved extension slots.
+	fnegs []uint64
+	// inter and tpos serve the general arena path: one W-word intersection
+	// buffer for certainty tests and k W-word slots for the hypothetical
+	// T(S+) after each positive extension level.
+	inter []uint64
+	tpos  []uint64
+}
+
+// newScratch sizes a scratch for depth-k evaluation on whichever path the
+// look snapshot prepared.
+func (l *look) newScratch(k int) *lookScratch {
+	sc := &lookScratch{rest: make([]int32, 0, k*len(l.baseInf))}
+	if l.fast {
+		sc.fnegs = make([]uint64, 0, len(l.negsW)+k)
+	}
+	if l.gen {
+		sc.inter = make([]uint64, l.gW)
+		sc.tpos = make([]uint64, k*l.gW)
+	}
+	return sc
+}
+
+// restBuf returns the empty per-level informative buffer for chain depth d.
+func (l *look) restBuf(sc *lookScratch, depth int) []int32 {
+	K := len(l.baseInf)
+	off := (depth - 1) * K
+	return sc.rest[off : off : off+K]
 }
 
 // fstate is the hypothetical-extension state of the fast path. newly holds
@@ -127,18 +171,18 @@ func (l *look) fdelta(s fstate) int64 {
 	return sum
 }
 
-// finformativeUnder returns baseInf positions still informative under s.
-func (l *look) finformativeUnder(s fstate) []int {
-	var out []int
+// finformativeInto appends the baseInf positions still informative under s
+// to buf (a per-level restBuf slot).
+func (l *look) finformativeInto(s fstate, buf []int32) []int32 {
 	for idx, th := range l.thetasW {
 		if s.labeled(idx) {
 			continue
 		}
 		if !fcertain(s.tpos, s.negs, th) {
-			out = append(out, idx)
+			buf = append(buf, int32(idx))
 		}
 	}
-	return out
+	return buf
 }
 
 func (s fstate) withPositive(theta uint64, idx int) fstate {
@@ -169,38 +213,49 @@ func (l *look) fentropy1(idx int, s fstate) Entropy {
 	return Entropy{Min: up, Max: un}
 }
 
-// fentropyKRoot evaluates candidate idx from the base state with a private
-// scratch negative buffer: concurrent candidate evaluations never share an
-// append target, and the ≤ k negative extensions along any chain reuse the
-// reserved capacity instead of reallocating.
-func (l *look) fentropyKRoot(idx int, s fstate, k int) Entropy {
-	negs := make([]uint64, len(s.negs), len(s.negs)+k)
-	copy(negs, s.negs)
-	s.negs = negs
-	return l.fentropyK(idx, s, k)
+// fentropyKRoot evaluates candidate idx from the base state on the given
+// scratch: the negative buffer is refilled from the base negatives with k
+// extension slots reserved, so the ≤ k negative extensions along any chain
+// reuse capacity instead of reallocating, and the whole evaluation is
+// allocation-free.
+func (l *look) fentropyKRoot(idx int, s fstate, k int, sc *lookScratch) Entropy {
+	sc.fnegs = append(sc.fnegs[:0], s.negs...)
+	s.negs = sc.fnegs
+	return l.fentropyK(idx, s, k, sc)
 }
 
 // fentropyK mirrors look.entropyK for baseInf position idx.
-func (l *look) fentropyK(idx int, s fstate, k int) Entropy {
+func (l *look) fentropyK(idx int, s fstate, k int, sc *lookScratch) Entropy {
 	if k <= 1 {
 		return l.fentropy1(idx, s)
 	}
 	theta := l.thetasW[idx]
-	branch := func(ext fstate) Entropy {
-		rest := l.finformativeUnder(ext)
-		if len(rest) == 0 {
-			return Entropy{Min: Inf, Max: Inf}
-		}
-		E := make([]Entropy, 0, len(rest))
-		for _, j := range rest {
-			E = append(E, l.fentropyK(j, ext, k-1))
-		}
-		return selectEntropy(E)
-	}
-	ep := branch(s.withPositive(theta, idx))
-	en := branch(s.withNegative(theta, idx))
+	ep := l.fbranch(s.withPositive(theta, idx), k, sc)
+	en := l.fbranch(s.withNegative(theta, idx), k, sc)
+	// Lines 13–14: keep the pessimistic branch (smaller Min); on a tie the
+	// smaller Max, staying conservative and deterministic.
 	if en.Min < ep.Min || (en.Min == ep.Min && en.Max < ep.Max) {
 		return en
 	}
 	return ep
+}
+
+// fbranch is one answer branch of Algorithm 5 lines 3–12: the best
+// entropy^(k−1) among the classes still informative under ext, or (∞,∞)
+// when none remain. The selection folds selectEntropy's rule (max Min,
+// tie-break max Max, first wins) so no entropy slice is materialized.
+func (l *look) fbranch(ext fstate, k int, sc *lookScratch) Entropy {
+	rest := l.finformativeInto(ext, l.restBuf(sc, int(ext.nNew)))
+	if len(rest) == 0 {
+		// No informative tuple left: interaction ends (lines 3–5).
+		return Entropy{Min: Inf, Max: Inf}
+	}
+	best := Entropy{Min: -1, Max: -1}
+	for _, j := range rest {
+		e := l.fentropyK(int(j), ext, k-1, sc)
+		if e.Min > best.Min || (e.Min == best.Min && e.Max > best.Max) {
+			best = e
+		}
+	}
+	return best
 }

@@ -1,0 +1,347 @@
+package strategy
+
+// Arena-based general path for the lookahead strategies: the any-size-Ω
+// counterpart of entropy_fast.go with the same allocation discipline. The
+// 3SAT reduction of Theorem 6.1 builds universes of (n+1)(2n+1) pairs and
+// TPC-H-extended schemas exceed 64 attribute pairs, so predicates span W =
+// ⌈|Ω|/64⌉ machine words; this path lays them out in flat []uint64 arenas
+// snapshotted per decision (per-class thetas, base T(S+), base negatives)
+// and evaluates hypothetical extension chains with in-place span operations
+// (bitset.IntersectWords / bitset.SubsetWords):
+//
+//   - hypothetical T(S+) values live in k per-level W-word slots of the
+//     candidate's lookScratch, written by positive extensions;
+//   - hypothetical negatives are just baseInf positions (their thetas are
+//     already in the arena), so negative extensions write nothing at all;
+//   - the newly-labeled chain is the same inline ≤ maxFastDepth array as
+//     the fast path.
+//
+// Steady-state candidate evaluation therefore allocates nothing, and the
+// 64-pair cliff of the former slice-based path (fresh Intersect per
+// certainty test, copied slices per extension) is gone. entropy.go keeps
+// the slice-based implementation as the k > maxFastDepth fallback and as
+// the differential-test reference; entropy_general_test.go asserts exact
+// agreement.
+
+import "repro/internal/bitset"
+
+// generalReady fills the flat-arena snapshot of the general path (any
+// universe size). It always succeeds; the return value mirrors fastReady
+// for symmetric dispatch.
+func (l *look) generalReady() bool {
+	W := bitset.WordsFor(l.e.U.Size())
+	l.gW = W
+	l.gtpos = make([]uint64, W)
+	l.e.TPos().Set.CopyWords(l.gtpos)
+	// Only ⊆-maximal negatives matter for Lemma 3.4 (inter ⊆ n implies
+	// inter ⊆ n' for any n ⊆ n'), so dominated and duplicate entries are
+	// dropped from the arena: identical certainty booleans, shorter loop.
+	negs := l.e.Negatives()
+	l.gnegs = make([]uint64, 0, len(negs)*W)
+	span := make([]uint64, W)
+	for i, n := range negs {
+		n.Set.CopyWords(span)
+		dominated := false
+		for j, m := range negs {
+			if i == j {
+				continue
+			}
+			if n.Set.ProperSubsetOf(m.Set) || (n.Set.Equal(m.Set) && j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			l.gnegs = append(l.gnegs, span...)
+		}
+	}
+	if W > 0 {
+		l.gnegN = len(l.gnegs) / W
+	}
+	cs := l.e.Classes()
+	l.gthetas = make([]uint64, len(l.baseInf)*W)
+	l.countsW = make([]int64, len(l.baseInf))
+	for idx, ci := range l.baseInf {
+		cs[ci].Theta.Set.CopyWords(l.gthetas[idx*W : (idx+1)*W])
+		l.countsW[idx] = cs[ci].Count
+	}
+	l.gen = true
+	return true
+}
+
+// gtheta returns the arena span of baseInf position pos's theta.
+func (l *look) gtheta(pos int) []uint64 {
+	return l.gthetas[pos*l.gW : (pos+1)*l.gW]
+}
+
+// gstate is the hypothetical-extension state of the arena path. Like
+// fstate, newly holds baseInf positions labeled along the chain; tpos
+// aliases either the base arena or a per-level scratch slot; extNegs lists
+// the positions whose thetas act as hypothetical negatives — no words are
+// copied for negative extensions. The struct is a value: extensions copy
+// it on the stack and never allocate.
+type gstate struct {
+	tpos      []uint64
+	newlyMask uint64
+	newly     [maxFastDepth]int32
+	nNew      int8
+	extNegs   [maxFastDepth]int32
+	nExt      int8
+}
+
+func (s *gstate) labeled(idx int) bool {
+	if s.newlyMask&(1<<(uint(idx)&63)) == 0 {
+		return false
+	}
+	for i := int8(0); i < s.nNew; i++ {
+		if s.newly[i] == int32(idx) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s gstate) withNewly(idx int) gstate {
+	s.newlyMask |= 1 << (uint(idx) & 63)
+	s.newly[s.nNew] = int32(idx)
+	s.nNew++
+	return s
+}
+
+func (l *look) gbase() gstate { return gstate{tpos: l.gtpos} }
+
+// gcertain is CertainUnder on arena spans: Lemma 3.3 as a span subset
+// test, Lemma 3.4 with the intersection written once into the scratch
+// buffer and tested against the base negatives then the chain's
+// hypothetical ones. The word loops are written out inline — this is the
+// innermost test of the Θ(K³) lookahead, run millions of times per
+// question, and call overhead would dominate the two-or-three-word spans
+// of real universes.
+func (l *look) gcertain(s *gstate, theta []uint64, sc *lookScratch) bool {
+	if len(s.tpos) == 2 {
+		// Two words cover 65–128 pairs — TPC-H-extended scale and the whole
+		// former cliff zone — so this fully unrolled variant is the common
+		// general-path case.
+		return l.gcertain2(s, theta)
+	}
+	tpos := s.tpos
+	theta = theta[:len(tpos)]
+	// One fused pass: build the Lemma 3.4 intersection and detect the
+	// Lemma 3.3 subset (inter == tpos) along the way.
+	inter := sc.inter[:len(tpos)]
+	sub := true
+	for i, w := range tpos {
+		v := w & theta[i]
+		inter[i] = v
+		if v != w {
+			sub = false
+		}
+	}
+	if sub { // Lemma 3.3: tpos ⊆ theta
+		return true
+	}
+	W := len(inter)
+	negs := l.gnegs
+	for off := 0; off < len(negs); off += W { // Lemma 3.4: inter ⊆ some negative
+		n := negs[off : off+W]
+		ok := true
+		for i, w := range inter {
+			if w&^n[i] != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	for i := int8(0); i < s.nExt; i++ {
+		off := int(s.extNegs[i]) * W
+		th := l.gthetas[off : off+W]
+		ok := true
+		for j, w := range inter {
+			if w&^th[j] != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// gcertain2 is gcertain for exactly two-word predicates, with every span
+// held in registers.
+func (l *look) gcertain2(s *gstate, theta []uint64) bool {
+	t0, t1 := s.tpos[0], s.tpos[1]
+	i0, i1 := t0&theta[0], t1&theta[1]
+	if i0 == t0 && i1 == t1 { // Lemma 3.3
+		return true
+	}
+	negs := l.gnegs
+	for off := 0; off+1 < len(negs); off += 2 { // Lemma 3.4
+		if i0&^negs[off] == 0 && i1&^negs[off+1] == 0 {
+			return true
+		}
+	}
+	for i := int8(0); i < s.nExt; i++ {
+		off := int(s.extNegs[i]) * 2
+		if i0&^l.gthetas[off] == 0 && i1&^l.gthetas[off+1] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// gdelta mirrors look.delta on the arena state.
+func (l *look) gdelta(s *gstate, sc *lookScratch) int64 {
+	if l.gW == 2 {
+		return l.gdelta2(s)
+	}
+	var sum int64
+	for idx := range l.countsW {
+		w := l.countsW[idx]
+		if l.countClasses {
+			w = 1
+		}
+		if s.labeled(idx) {
+			if !l.countClasses {
+				sum += w - 1
+			}
+			continue
+		}
+		if l.gcertain(s, l.gtheta(idx), sc) {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// gdelta2 is gdelta for two-word predicates with the certainty test
+// inlined into the loop — this is the innermost Θ(K) sweep of the Θ(K³)
+// lookahead, so the per-class call and slice overhead is worth removing.
+func (l *look) gdelta2(s *gstate) int64 {
+	var sum int64
+	t0, t1 := s.tpos[0], s.tpos[1]
+	thetas := l.gthetas
+	negs := l.gnegs
+	for idx, w := range l.countsW {
+		if l.countClasses {
+			w = 1
+		}
+		if s.labeled(idx) {
+			if !l.countClasses {
+				sum += w - 1
+			}
+			continue
+		}
+		i0, i1 := t0&thetas[2*idx], t1&thetas[2*idx+1]
+		certain := i0 == t0 && i1 == t1 // Lemma 3.3
+		if !certain {
+			for off := 0; off+1 < len(negs); off += 2 { // Lemma 3.4
+				if i0&^negs[off] == 0 && i1&^negs[off+1] == 0 {
+					certain = true
+					break
+				}
+			}
+		}
+		if !certain {
+			for i := int8(0); i < s.nExt; i++ {
+				o := int(s.extNegs[i]) * 2
+				if i0&^thetas[o] == 0 && i1&^thetas[o+1] == 0 {
+					certain = true
+					break
+				}
+			}
+		}
+		if certain {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// ginformativeInto appends the baseInf positions still informative under s
+// to buf (a per-level restBuf slot).
+func (l *look) ginformativeInto(s *gstate, buf []int32, sc *lookScratch) []int32 {
+	for idx := range l.countsW {
+		if s.labeled(idx) {
+			continue
+		}
+		if !l.gcertain(s, l.gtheta(idx), sc) {
+			buf = append(buf, int32(idx))
+		}
+	}
+	return buf
+}
+
+// gwithPositive intersects the chain's T(S+) with theta into the scratch
+// slot of the current depth. Slot d is written only by the extension made
+// from a depth-d state: ancestors occupy lower slots, and sibling branches
+// run strictly one after the other, so reuse is safe — the same argument
+// as the fast path's negative buffer.
+func (l *look) gwithPositive(s gstate, idx int, sc *lookScratch) gstate {
+	W := l.gW
+	dst := sc.tpos[int(s.nNew)*W : (int(s.nNew)+1)*W]
+	bitset.IntersectWords(dst, s.tpos, l.gtheta(idx))
+	ext := s.withNewly(idx)
+	ext.tpos = dst
+	return ext
+}
+
+// gwithNegative records position idx as a hypothetical negative: its theta
+// already lives in the arena, so the extension is pure chain bookkeeping.
+func gwithNegative(s gstate, idx int) gstate {
+	ext := s.withNewly(idx)
+	ext.extNegs[ext.nExt] = int32(idx)
+	ext.nExt++
+	return ext
+}
+
+// gentropy1 mirrors look.entropy1 for baseInf position idx.
+func (l *look) gentropy1(idx int, s gstate, sc *lookScratch) Entropy {
+	extP := l.gwithPositive(s, idx, sc)
+	up := l.gdelta(&extP, sc)
+	extN := gwithNegative(s, idx)
+	un := l.gdelta(&extN, sc)
+	if up > un {
+		up, un = un, up
+	}
+	return Entropy{Min: up, Max: un}
+}
+
+// gentropyKRoot evaluates candidate idx from the base state.
+func (l *look) gentropyKRoot(idx, k int, sc *lookScratch) Entropy {
+	return l.gentropyK(idx, l.gbase(), k, sc)
+}
+
+// gentropyK mirrors look.entropyK for baseInf position idx.
+func (l *look) gentropyK(idx int, s gstate, k int, sc *lookScratch) Entropy {
+	if k <= 1 {
+		return l.gentropy1(idx, s, sc)
+	}
+	ep := l.gbranch(l.gwithPositive(s, idx, sc), k, sc)
+	en := l.gbranch(gwithNegative(s, idx), k, sc)
+	if en.Min < ep.Min || (en.Min == ep.Min && en.Max < ep.Max) {
+		return en
+	}
+	return ep
+}
+
+// gbranch is one answer branch, folding selectEntropy's rule like fbranch.
+func (l *look) gbranch(ext gstate, k int, sc *lookScratch) Entropy {
+	rest := l.ginformativeInto(&ext, l.restBuf(sc, int(ext.nNew)), sc)
+	if len(rest) == 0 {
+		return Entropy{Min: Inf, Max: Inf}
+	}
+	best := Entropy{Min: -1, Max: -1}
+	for _, j := range rest {
+		e := l.gentropyK(int(j), ext, k-1, sc)
+		if e.Min > best.Min || (e.Min == best.Min && e.Max > best.Max) {
+			best = e
+		}
+	}
+	return best
+}

@@ -1,0 +1,209 @@
+package strategy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/inference"
+	"repro/internal/oracle"
+	"repro/internal/predicate"
+	"repro/internal/synth"
+)
+
+// legacyLookahead replays the pre-arena general path: per-candidate
+// entropies via the slice-based reference implementation (entropy.go's
+// state/entropyK, kept as the k > maxFastDepth fallback) reduced with the
+// exact serial selection rule. Differential tests and BenchmarkColdPath
+// compare the production paths against it.
+type legacyLookahead struct {
+	K            int
+	CountClasses bool
+}
+
+func (s legacyLookahead) Name() string { return fmt.Sprintf("legacy-L%dS", s.K) }
+
+func (s legacyLookahead) Next(e *inference.Engine) int {
+	lk := newLook(e, s.CountClasses)
+	if len(lk.baseInf) == 0 {
+		return -1
+	}
+	base := lk.baseState()
+	best := Entropy{Min: -1, Max: -1}
+	bestIdx := -1
+	for _, ci := range lk.baseInf {
+		ent := lk.entropyK(ci, base, s.K)
+		if ent.Min > best.Min || (ent.Min == best.Min && ent.Max > best.Max) {
+			best = ent
+			bestIdx = ci
+		}
+	}
+	return bestIdx
+}
+
+// bigInstance returns a >64-pair instance (Ω = 9·8 = 72), forcing the
+// lookahead onto the arena general path.
+func bigInstance(tb testing.TB, rows int, seed int64) *inference.Engine {
+	tb.Helper()
+	inst := synth.MustGenerate(synth.Config{AttrsR: 9, AttrsP: 8, Rows: rows, Values: 3}, seed)
+	e := inference.New(inst)
+	if e.U.Size() <= 64 {
+		tb.Fatalf("universe %d fits a word; want > 64", e.U.Size())
+	}
+	return e
+}
+
+// TestArenaMatchesLegacyBigUniverse: on >64-pair universes the arena
+// general path computes exactly the legacy path's entropies, for k = 1, 2,
+// both counting modes, with and without labeled classes.
+func TestArenaMatchesLegacyBigUniverse(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		e := bigInstance(t, 5, seed)
+		r := rand.New(rand.NewSource(seed))
+		goal := randPred(r, e.U)
+		if labelHonestly(r, e, goal, r.Intn(4)) < 0 {
+			t.Fatal("labeling failed")
+		}
+		for _, k := range []int{1, 2} {
+			for _, cc := range []bool{false, true} {
+				l := Lookahead{K: k, CountClasses: cc}
+				arena := l.Entropies(e) // dispatches to the arena path (Ω = 72)
+				legacy := l.entropiesGeneral(e)
+				if len(arena) != len(legacy) {
+					t.Fatalf("seed %d k=%d cc=%v: entry counts differ: %d vs %d", seed, k, cc, len(arena), len(legacy))
+				}
+				for ci, ae := range arena {
+					if legacy[ci] != ae {
+						t.Errorf("seed %d k=%d cc=%v class %d: arena %v, legacy %v", seed, k, cc, ci, ae, legacy[ci])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickArenaMatchesLegacySmallUniverse: on random word-size instances
+// the arena path (forced, since dispatch would take the fast path) agrees
+// with the legacy implementation — the three paths compute one function.
+func TestQuickArenaMatchesLegacySmallUniverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randInstance(r)
+		for _, k := range []int{1, 2} {
+			for _, cc := range []bool{false, true} {
+				e := inference.New(inst)
+				if labelHonestly(r, e, randPred(r, e.U), r.Intn(4)) < 0 {
+					return false
+				}
+				lk := newLook(e, cc)
+				if len(lk.baseInf) == 0 {
+					continue
+				}
+				lk.generalReady()
+				sc := lk.newScratch(k)
+				base := lk.baseState()
+				for idx, ci := range lk.baseInf {
+					if lk.gentropyKRoot(idx, k, sc) != lk.entropyK(ci, base, k) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArenaSequenceMatchesLegacy: whole interactions on a >64-pair
+// universe ask bit-identical question sequences whether the entropies come
+// from the arena path (at any worker count) or the legacy reference.
+func TestArenaSequenceMatchesLegacy(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		for _, workers := range []int{1, 4} {
+			e := bigInstance(t, 5, 1)
+			ref := bigInstance(t, 5, 1)
+			goal := predicate.FromPairs(e.U, [2]int{0, 0})
+			orc := oracle.NewHonest(e.Inst, e.U, goal)
+			arena := Lookahead{K: k, Workers: workers}
+			legacy := legacyLookahead{K: k}
+			for step := 0; !e.Done(); step++ {
+				got := arena.Next(e)
+				want := legacy.Next(ref)
+				if got != want {
+					t.Fatalf("K=%d workers=%d step %d: arena picked %d, legacy picked %d", k, workers, step, got, want)
+				}
+				l := orc.LabelFor(e.Classes()[got].RI, e.Classes()[got].PI)
+				if err := e.Label(got, l); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.Label(want, l); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !ref.Done() {
+				t.Fatalf("K=%d workers=%d: legacy engine not done when arena engine is", k, workers)
+			}
+		}
+	}
+}
+
+// TestAllocFreeCandidateEvalFast: steady-state candidate evaluation on the
+// word-level fast path allocates nothing (the allocation-regression guard
+// for the Θ(K³) inner loop).
+func TestAllocFreeCandidateEvalFast(t *testing.T) {
+	inst := synth.MustGenerate(synth.Config{AttrsR: 3, AttrsP: 3, Rows: 10, Values: 3}, 1)
+	e := inference.New(inst)
+	r := rand.New(rand.NewSource(1))
+	if labelHonestly(r, e, randPred(r, e.U), 2) < 0 {
+		t.Fatal("labeling failed")
+	}
+	lk := newLook(e, false)
+	if !lk.fastReady() {
+		t.Fatal("expected fast path")
+	}
+	if len(lk.baseInf) == 0 {
+		t.Fatal("no informative classes")
+	}
+	const k = 2
+	sc := lk.newScratch(k)
+	base := lk.fbase()
+	allocs := testing.AllocsPerRun(50, func() {
+		for pos := range lk.baseInf {
+			lk.fentropyKRoot(pos, base, k, sc)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("fast-path candidate evaluation allocates %.1f per run; want 0", allocs)
+	}
+}
+
+// TestAllocFreeCandidateEvalGeneral: the same guard on the arena general
+// path over a >64-pair universe.
+func TestAllocFreeCandidateEvalGeneral(t *testing.T) {
+	e := bigInstance(t, 5, 1)
+	r := rand.New(rand.NewSource(1))
+	if labelHonestly(r, e, randPred(r, e.U), 2) < 0 {
+		t.Fatal("labeling failed")
+	}
+	lk := newLook(e, false)
+	if lk.fastReady() {
+		t.Fatal("fast path unexpectedly available on a >64-pair universe")
+	}
+	lk.generalReady()
+	if len(lk.baseInf) == 0 {
+		t.Fatal("no informative classes")
+	}
+	const k = 2
+	sc := lk.newScratch(k)
+	allocs := testing.AllocsPerRun(20, func() {
+		for pos := range lk.baseInf {
+			lk.gentropyKRoot(pos, k, sc)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("general-path candidate evaluation allocates %.1f per run; want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/inference"
@@ -75,18 +76,44 @@ func (l Lookahead) NextCtx(ctx context.Context, e *inference.Engine) (int, error
 	workers := l.Workers
 	var positions []int
 	var ents []Entropy
-	if k <= maxFastDepth && lk.fastReady() {
-		base := lk.fbase()
+	if k <= maxFastDepth {
+		// Allocation-free paths: word-level when Ω fits 64 bits, flat-arena
+		// otherwise. root evaluates one candidate at depth kk on a scratch.
+		var root func(pos, kk int, sc *lookScratch) Entropy
+		if lk.fastReady() {
+			base := lk.fbase()
+			root = func(pos, kk int, sc *lookScratch) Entropy {
+				return lk.fentropyKRoot(pos, base, kk, sc)
+			}
+		} else {
+			lk.generalReady()
+			root = func(pos, kk int, sc *lookScratch) Entropy {
+				return lk.gentropyKRoot(pos, kk, sc)
+			}
+		}
+		var scPool sync.Pool
+		getScratch := func() *lookScratch {
+			if v := scPool.Get(); v != nil {
+				return v.(*lookScratch)
+			}
+			return lk.newScratch(k)
+		}
+		sc0 := getScratch()
 		positions = lk.beamPositions(k, l.MaxCandidates, func(pos int) Entropy {
-			return lk.fentropy1(pos, base)
+			return root(pos, 1, sc0)
 		})
+		scPool.Put(sc0)
 		ents = make([]Entropy, len(positions))
 		if err := forEachCandidate(ctx, workers, len(positions), func(i int) {
-			ents[i] = lk.fentropyKRoot(positions[i], base, k)
+			sc := getScratch()
+			ents[i] = root(positions[i], k, sc)
+			scPool.Put(sc)
 		}); err != nil {
 			return -1, err
 		}
 	} else {
+		// Legacy slice-based path for depths beyond the inline chains (the
+		// cost is exponential in K anyway, so these runs are tiny).
 		base := lk.baseState()
 		positions = lk.beamPositions(k, l.MaxCandidates, func(pos int) Entropy {
 			return lk.entropy1(lk.baseInf[pos], base)
@@ -149,10 +176,19 @@ func (l Lookahead) Entropies(e *inference.Engine) map[int]Entropy {
 	}
 	lk := newLook(e, l.CountClasses)
 	out := make(map[int]Entropy, len(lk.baseInf))
-	if k <= maxFastDepth && lk.fastReady() {
-		base := lk.fbase()
+	if k <= maxFastDepth {
+		if lk.fastReady() {
+			base := lk.fbase()
+			sc := lk.newScratch(k)
+			for idx, ci := range lk.baseInf {
+				out[ci] = lk.fentropyKRoot(idx, base, k, sc)
+			}
+			return out
+		}
+		lk.generalReady()
+		sc := lk.newScratch(k)
 		for idx, ci := range lk.baseInf {
-			out[ci] = lk.fentropyKRoot(idx, base, k)
+			out[ci] = lk.gentropyKRoot(idx, k, sc)
 		}
 		return out
 	}

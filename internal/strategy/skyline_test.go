@@ -1,0 +1,92 @@
+package strategy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// skylineQuadratic is the former all-pairs O(n²) implementation, kept as
+// the differential reference for the sort-then-sweep Skyline.
+func skylineQuadratic(E []Entropy) []Entropy {
+	var out []Entropy
+	for i, e := range E {
+		dominated := false
+		for j, o := range E {
+			if i == j || o == e {
+				continue
+			}
+			if o.Dominates(e) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			dup := false
+			for _, p := range out {
+				if p == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// TestSkylineMatchesQuadratic: on random entropy sets (dense value ranges
+// to force duplicates and ties) the sweep returns exactly the quadratic
+// implementation's skyline, as a set.
+func TestSkylineMatchesQuadratic(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(40)
+		E := make([]Entropy, n)
+		for i := range E {
+			E[i] = Entropy{Min: int64(r.Intn(6)), Max: int64(r.Intn(6))}
+			if E[i].Max < E[i].Min {
+				E[i].Min, E[i].Max = E[i].Max, E[i].Min
+			}
+			if r.Intn(10) == 0 {
+				E[i] = Entropy{Min: Inf, Max: Inf}
+			}
+		}
+		got := Skyline(E)
+		want := skylineQuadratic(E)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d E=%v: sweep %v, quadratic %v", trial, E, got, want)
+		}
+		ws := make(map[Entropy]bool, len(want))
+		for _, e := range want {
+			ws[e] = true
+		}
+		seen := make(map[Entropy]bool, len(got))
+		for _, e := range got {
+			if !ws[e] {
+				t.Fatalf("trial %d E=%v: sweep kept %v, not in quadratic skyline %v", trial, E, e, want)
+			}
+			if seen[e] {
+				t.Fatalf("trial %d: duplicate %v in sweep output", trial, e)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+// TestSkylineOrdered: the sweep returns survivors with Min non-increasing
+// (the sort order) and Max strictly increasing (the sweep condition) — the
+// staircase shape of a 2D skyline.
+func TestSkylineOrdered(t *testing.T) {
+	E := []Entropy{{0, 2}, {0, 1}, {1, 2}, {1, 1}, {0, 4}, {0, 11}, {3, 3}}
+	sky := Skyline(E)
+	for i := 1; i < len(sky); i++ {
+		if sky[i].Min > sky[i-1].Min {
+			t.Fatalf("skyline %v: Min not non-increasing", sky)
+		}
+		if sky[i].Max <= sky[i-1].Max {
+			t.Fatalf("skyline %v: Max not strictly increasing", sky)
+		}
+	}
+}

@@ -119,7 +119,7 @@ type Progress struct {
 func Describe(e *inference.Engine) Progress {
 	return Progress{
 		Candidates:         Count(e),
-		InformativeClasses: len(e.InformativeClasses()),
+		InformativeClasses: e.NumInformative(),
 		TotalClasses:       len(e.Classes()),
 		Labeled:            e.Sample().Len(),
 	}

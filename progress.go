@@ -151,7 +151,9 @@ func (s *Session) rebuildJoin(tr []TranscriptEntry) error {
 
 // undoSemijoin rebuilds the semijoin sample from the truncated transcript.
 func (s *Session) undoSemijoin(tr []TranscriptEntry) error {
-	st := &semijoinState{u: s.sj.u, labeled: make([]bool, s.inst.R.Len())}
+	// The solver carries over: its witness cache depends only on the
+	// instance, never on the sample being rebuilt.
+	st := &semijoinState{u: s.sj.u, solver: s.sj.solver, labeled: make([]bool, s.inst.R.Len())}
 	for _, e := range tr {
 		if e.Positive {
 			st.sample.Pos = append(st.sample.Pos, e.RIndex)

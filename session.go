@@ -145,12 +145,16 @@ type StrategyView interface {
 
 type engineView struct{ e *inference.Engine }
 
-func (v engineView) NumClasses() int           { return len(v.e.Classes()) }
-func (v engineView) ClassPred(ci int) Pred     { return v.e.Classes()[ci].Theta.Clone() }
-func (v engineView) ClassCount(ci int) int64   { return v.e.Classes()[ci].Count }
-func (v engineView) Informative(ci int) bool   { return v.e.Informative(ci) }
-func (v engineView) InformativeClasses() []int { return v.e.InformativeClasses() }
-func (v engineView) TPos() Pred                { return v.e.TPos().Clone() }
+func (v engineView) NumClasses() int         { return len(v.e.Classes()) }
+func (v engineView) ClassPred(ci int) Pred   { return v.e.Classes()[ci].Theta.Clone() }
+func (v engineView) ClassCount(ci int) int64 { return v.e.Classes()[ci].Count }
+func (v engineView) Informative(ci int) bool { return v.e.Informative(ci) }
+func (v engineView) InformativeClasses() []int {
+	// The engine returns its scratch buffer; callers of the public API may
+	// retain the slice, so hand out a copy.
+	return append([]int(nil), v.e.InformativeClasses()...)
+}
+func (v engineView) TPos() Pred { return v.e.TPos().Clone() }
 func (v engineView) Negatives() []Pred {
 	negs := v.e.Negatives()
 	out := make([]Pred, len(negs))
@@ -187,6 +191,12 @@ type Session struct {
 
 	asked int
 
+	// batchTPos/batchNegs/batchInter are the scratch of the batch pairwise
+	// scan (mutuallyInformative).
+	batchTPos  Pred
+	batchInter Pred
+	batchNegs  []Pred
+
 	// rngMark is the RND source position as of the last recorded answer
 	// (resume replays up to here, so an outstanding unanswered question is
 	// re-drawn identically after ResumeSession). Zero for other strategies.
@@ -214,14 +224,22 @@ func NewSession(inst *Instance, opts ...Option) *Session {
 }
 
 // semijoinState is the semijoin-mode counterpart of the engine: the labeled
-// row sample and the current consistent witness predicate.
+// row sample, the current consistent witness predicate, and the CONS⋉
+// solver whose per-row witness cache and scratch buffers amortize the
+// NP-complete informativeness scans across the whole session.
 type semijoinState struct {
 	u       *Universe
+	solver  *semijoin.Solver
 	sample  semijoin.Sample
 	labeled []bool
 	entries []TranscriptEntry
 	current Pred
 	valid   bool
+
+	// pairPos/pairNeg back the hypothetical samples of the pairwise batch
+	// scan, so each of its O(k²) informativeness probes reuses one buffer
+	// instead of copying the sample.
+	pairPos, pairNeg []int
 }
 
 // NewSemijoinSession prepares an interactive semijoin-inference session
@@ -239,6 +257,7 @@ func NewSemijoinSession(inst *Instance, opts ...Option) *Session {
 		cfg:  cfg,
 		sj: &semijoinState{
 			u:       predicate.NewUniverse(inst),
+			solver:  semijoin.NewSolver(inst),
 			labeled: make([]bool, inst.R.Len()),
 		},
 	}
@@ -288,7 +307,7 @@ func (s *Session) semijoinDone(ctx context.Context) (bool, error) {
 		if err := ctx.Err(); err != nil {
 			return false, fmt.Errorf("joininference: %w", err)
 		}
-		ok, err := semijoin.Informative(s.inst, s.sj.sample, ri)
+		ok, err := s.sj.solver.Informative(s.sj.sample, ri)
 		if err != nil {
 			return false, fmt.Errorf("joininference: %w", err)
 		}
@@ -538,7 +557,7 @@ func (s *Session) pairwiseInformative(c int, picked []int) bool {
 	negs := e.Negatives()
 	cs := e.Classes()
 	for _, p := range picked {
-		if !mutuallyInformative(tpos, negs, cs[p].Theta, cs[c].Theta) {
+		if !s.mutuallyInformative(tpos, negs, cs[p].Theta, cs[c].Theta) {
 			return false
 		}
 	}
@@ -548,14 +567,18 @@ func (s *Session) pairwiseInformative(c int, picked []int) bool {
 // mutuallyInformative reports whether classes with most specific
 // predicates a and b each stay informative under either label of the other
 // (informativeness is not symmetric, so all four hypotheticals are
-// checked).
-func mutuallyInformative(tpos Pred, negs []Pred, a, b Pred) bool {
+// checked). The hypothetical T(S+), negative list, and Lemma 3.4
+// intersection all live in session scratch, so the O(k²) probes of a batch
+// scan allocate nothing.
+func (s *Session) mutuallyInformative(tpos Pred, negs []Pred, a, b Pred) bool {
 	for _, pair := range [2][2]Pred{{a, b}, {b, a}} {
 		x, y := pair[0], pair[1]
-		if inference.CertainUnder(tpos.Intersect(x), negs, y) {
+		predicate.IntersectInto(&s.batchTPos, tpos, x)
+		if inference.CertainUnderWith(&s.batchInter, s.batchTPos, negs, y) {
 			return false
 		}
-		if inference.CertainUnder(tpos, append(append([]Pred(nil), negs...), x), y) {
+		s.batchNegs = append(append(s.batchNegs[:0], negs...), x)
+		if inference.CertainUnderWith(&s.batchInter, tpos, s.batchNegs, y) {
 			return false
 		}
 	}
@@ -659,7 +682,7 @@ func (s *Session) semijoinScan(ctx context.Context, picked []int, k int) ([]int,
 		if err := ctx.Err(); err != nil {
 			return nil, false, fmt.Errorf("joininference: %w", err)
 		}
-		ok, err := semijoin.Informative(s.inst, s.sj.sample, ri)
+		ok, err := s.sj.solver.Informative(s.sj.sample, ri)
 		if err != nil {
 			return nil, false, fmt.Errorf("joininference: %w", err)
 		}
@@ -690,22 +713,26 @@ func (s *Session) semijoinQuestions(picked []int) []Question {
 }
 
 // semijoinPairwise checks mutual informativeness of row ri against every
-// picked row under both labels of either.
+// picked row under both labels of either. The hypothetical samples live in
+// the session's pair buffers (the solver keeps its own extension scratch,
+// so the nesting is safe).
 func (s *Session) semijoinPairwise(ri int, picked []int) (bool, error) {
 	for _, p := range picked {
 		for _, pair := range [2][2]int{{p, ri}, {ri, p}} {
 			a, b := pair[0], pair[1]
 			base := s.sj.sample
-			asPos := semijoin.Sample{Pos: append(append([]int(nil), base.Pos...), a), Neg: base.Neg}
-			ok, err := semijoin.Informative(s.inst, asPos, b)
+			s.sj.pairPos = append(append(s.sj.pairPos[:0], base.Pos...), a)
+			asPos := semijoin.Sample{Pos: s.sj.pairPos, Neg: base.Neg}
+			ok, err := s.sj.solver.Informative(asPos, b)
 			if err != nil {
 				return false, fmt.Errorf("joininference: %w", err)
 			}
 			if !ok {
 				return false, nil
 			}
-			asNeg := semijoin.Sample{Pos: base.Pos, Neg: append(append([]int(nil), base.Neg...), a)}
-			ok, err = semijoin.Informative(s.inst, asNeg, b)
+			s.sj.pairNeg = append(append(s.sj.pairNeg[:0], base.Neg...), a)
+			asNeg := semijoin.Sample{Pos: base.Pos, Neg: s.sj.pairNeg}
+			ok, err = s.sj.solver.Informative(asNeg, b)
 			if err != nil {
 				return false, fmt.Errorf("joininference: %w", err)
 			}
@@ -787,7 +814,7 @@ func (s *Session) semijoinAnswer(q Question, l Label) error {
 	} else {
 		next.Neg = append(append([]int(nil), next.Neg...), ri)
 	}
-	theta, ok, err := semijoin.Consistent(s.inst, next)
+	theta, ok, err := s.sj.solver.Consistent(next)
 	if err != nil {
 		return fmt.Errorf("joininference: %w", err)
 	}
@@ -833,7 +860,7 @@ func (s *Session) IsInformative(q Question) bool {
 		if !q.Semijoin() || q.RIndex < 0 || q.RIndex >= len(s.sj.labeled) || s.sj.labeled[q.RIndex] {
 			return false
 		}
-		ok, err := semijoin.Informative(s.inst, s.sj.sample, q.RIndex)
+		ok, err := s.sj.solver.Informative(s.sj.sample, q.RIndex)
 		return err == nil && ok
 	}
 	if q.classIndex < 0 || q.classIndex >= len(s.engine.Classes()) {
@@ -848,7 +875,7 @@ func (s *Session) IsInformative(q Question) bool {
 func (s *Session) Inferred() Pred {
 	if s.sj != nil {
 		if !s.sj.valid {
-			theta, ok, err := semijoin.Consistent(s.inst, s.sj.sample)
+			theta, ok, err := s.sj.solver.Consistent(s.sj.sample)
 			if err != nil || !ok {
 				return Pred{}
 			}
