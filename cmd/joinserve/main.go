@@ -6,15 +6,27 @@
 // Usage:
 //
 //	joinserve [-addr :8080] [-ttl 30m] [-sweep-interval 1m]
+//	          [-store-dir ./store | -store mem] [-migrate-persist-dir DIR]
 //	          [-persist-dir ./sessions] [-policy-cache-bytes N] [-pprof]
 //	          [-warm instance=strategy:depth]... [-csv name=R.csv,P.csv]...
 //
 // The server starts with the paper's workloads registered (tpch-join1 …
 // tpch-join5, synth-1 … synth-6); -csv adds instances from CSV pairs.
-// With -persist-dir, sessions idle past the TTL are snapshotted to disk
-// and evicted, every live session is snapshotted on shutdown, and all of
-// them are restored on the next boot — clients resume mid-inference with
-// bit-identical question sequences.
+//
+// With -store-dir, everything durable lives in one crash-safe KV store
+// (see internal/store and README "Persistence"): sessions persist as
+// compact binary snapshots on eviction and shutdown and restore on boot
+// with bit-identical question sequences; the policy cache writes its
+// decision trees through, so warm trees survive restarts and page back
+// into the LRU by prefix scan; and the registry caches loaded instances
+// plus their precomputed T-classes, so boot stops re-parsing CSV and
+// re-generating TPC-H. -store selects the backend ("log", the default, or
+// "mem" for store semantics without disk — then -store-dir is optional).
+// -migrate-persist-dir converts an existing JSON -persist-dir into the
+// store on boot.
+//
+// With -persist-dir (the legacy scheme), sessions are instead snapshotted
+// to one JSON file each; it is ignored when a store is configured.
 //
 // All sessions share one policy cache (-policy-cache-bytes, 0 disables):
 // the strategy decision tree of every (instance, strategy, seed) is
@@ -45,6 +57,7 @@ import (
 
 	joininference "repro"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -52,7 +65,10 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.DurationVar(&cfg.ttl, "ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables)")
 	flag.DurationVar(&cfg.sweepInterval, "sweep-interval", 0, "how often the janitor sweeps for expired sessions (0 = ttl/4, capped at 1m)")
-	flag.StringVar(&cfg.persistDir, "persist-dir", "", "snapshot sessions here on eviction/shutdown and restore them on boot")
+	flag.StringVar(&cfg.persistDir, "persist-dir", "", "snapshot sessions here as JSON on eviction/shutdown and restore them on boot (legacy; superseded by -store-dir)")
+	flag.StringVar(&cfg.storeDir, "store-dir", "", "root of the persistent KV store (sessions, policy trees, instance cache); empty disables")
+	flag.StringVar(&cfg.storeBackend, "store", "", "store backend: log (crash-safe append-only file, default) or mem (no disk; -store-dir optional)")
+	flag.StringVar(&cfg.migrateDir, "migrate-persist-dir", "", "convert this JSON -persist-dir into the store on boot (requires a store)")
 	flag.Int64Var(&cfg.policyCacheBytes, "policy-cache-bytes", 64<<20, "byte bound of the shared policy-tree cache (0 disables, negative = unbounded)")
 	flag.Var(&cfg.warms, "warm", "precompute a policy tree at boot as instance=strategy:depth (repeatable)")
 	flag.Var(&cfg.csvs, "csv", "register a CSV instance as name=R.csv,P.csv (repeatable)")
@@ -71,14 +87,56 @@ type config struct {
 	ttl              time.Duration
 	sweepInterval    time.Duration
 	persistDir       string
+	storeDir         string
+	storeBackend     string
+	migrateDir       string
 	policyCacheBytes int64
 	warms            warmFlags
 	csvs             csvFlags
 	pprof            bool
 }
 
+// openStore builds the configured store backend, or nil when none is
+// requested.
+func openStore(cfg config) (store.KV, error) {
+	backend := cfg.storeBackend
+	if backend == "" && cfg.storeDir != "" {
+		backend = "log"
+	}
+	switch backend {
+	case "":
+		return nil, nil
+	case "mem":
+		return store.NewMem(), nil
+	case "log":
+		if cfg.storeDir == "" {
+			return nil, fmt.Errorf("-store log requires -store-dir")
+		}
+		return store.OpenLog(cfg.storeDir, store.LogOptions{})
+	default:
+		return nil, fmt.Errorf("unknown store backend %q (want log or mem)", backend)
+	}
+}
+
 func run(cfg config) error {
+	kv, err := openStore(cfg)
+	if err != nil {
+		return err
+	}
+	if kv != nil {
+		defer kv.Close()
+		if err := store.EnsureFormat(kv); err != nil {
+			return err
+		}
+	}
+	if kv == nil && cfg.migrateDir != "" {
+		return fmt.Errorf("-migrate-persist-dir requires a store (-store-dir or -store mem)")
+	}
+
 	reg := service.DefaultRegistry()
+	if kv != nil {
+		reg.AttachStore(kv, log.Printf)
+	}
 	for _, c := range cfg.csvs {
 		if err := reg.RegisterCSV(c.name, c.rPath, c.pPath); err != nil {
 			return err
@@ -87,11 +145,22 @@ func run(cfg config) error {
 	opts := service.Options{
 		TTL:           cfg.ttl,
 		SweepInterval: cfg.sweepInterval,
-		PersistDir:    cfg.persistDir,
 		Logf:          log.Printf,
+	}
+	if kv != nil {
+		opts.Store = kv
+		opts.MigratePersistDir = cfg.migrateDir
+		if cfg.persistDir != "" {
+			log.Printf("joinserve: store configured; ignoring -persist-dir %s (use -migrate-persist-dir to convert it)", cfg.persistDir)
+		}
+	} else {
+		opts.PersistDir = cfg.persistDir
 	}
 	if cfg.policyCacheBytes != 0 {
 		opts.PolicyCache = joininference.NewPolicyCache(cfg.policyCacheBytes)
+		if kv != nil {
+			opts.PolicyCache.AttachStore(kv, 0)
+		}
 	}
 	mgr, err := service.NewManager(reg, opts)
 	if err != nil {
@@ -145,7 +214,10 @@ func run(cfg config) error {
 	if err := mgr.Close(ctx); err != nil && !errors.Is(err, service.ErrClosed) {
 		return err
 	}
-	if cfg.persistDir != "" {
+	switch {
+	case kv != nil && cfg.storeDir != "":
+		log.Printf("joinserve: sessions persisted to store %s", cfg.storeDir)
+	case kv == nil && cfg.persistDir != "":
 		log.Printf("joinserve: sessions persisted to %s", cfg.persistDir)
 	}
 	return <-errc

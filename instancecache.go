@@ -1,0 +1,165 @@
+package joininference
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/predicate"
+	"repro/internal/product"
+	"repro/internal/relation"
+)
+
+// Instance-cache wire form: a loaded instance together with its
+// precomputed T-classes, as the registry stores it so boot skips both the
+// source (CSV parse, TPC-H generation) and the product scan. Layout:
+//
+//	"JICA" | 1B version | relation R | relation P | uvarint class count |
+//	classes: uvarint RI | uvarint PI | uvarint Count
+//	relation: uvarint len(name) | name | uvarint arity |
+//	          attrs (uvarint len | bytes)... | uvarint rows | values...
+//
+// Class predicates (Theta) are not serialized: each is recomputed from its
+// representative tuple on decode — T(t) is deterministic and cheap, and it
+// keeps the format free of the bitset's in-memory layout. The classes'
+// stored order is their canonical order and is preserved exactly, so
+// sessions over a decoded entry ask bit-identical questions.
+//
+// The cache is keyed by registry name; like the policy cache, a name must
+// uniquely identify the instance's data — re-registering different data
+// under an old name requires clearing the store (or a new name).
+var instanceCacheMagic = []byte("JICA")
+
+const instanceCacheVersion = 1
+
+// maxInstanceCacheStr bounds any single string (schema name, attribute,
+// value) in the cache; generous for real data, small enough that corrupt
+// lengths cannot drive huge allocations.
+const maxInstanceCacheStr = 1 << 20
+
+// EncodeInstanceCache builds the binary cache record for an instance and
+// its precomputed classes.
+func EncodeInstanceCache(inst *Instance, cs *ClassSet) []byte {
+	buf := append([]byte(nil), instanceCacheMagic...)
+	buf = append(buf, instanceCacheVersion)
+	buf = appendRelation(buf, inst.R)
+	buf = appendRelation(buf, inst.P)
+	buf = binary.AppendUvarint(buf, uint64(len(cs.classes)))
+	for _, c := range cs.classes {
+		buf = binary.AppendUvarint(buf, uint64(c.RI))
+		buf = binary.AppendUvarint(buf, uint64(c.PI))
+		buf = binary.AppendUvarint(buf, uint64(c.Count))
+	}
+	return buf
+}
+
+func appendRelation(buf []byte, r *Relation) []byte {
+	buf = appendString(buf, r.Schema.Name)
+	buf = binary.AppendUvarint(buf, uint64(r.Schema.Arity()))
+	for _, a := range r.Schema.Attributes {
+		buf = appendString(buf, a)
+	}
+	buf = binary.AppendUvarint(buf, uint64(r.Len()))
+	for _, t := range r.Tuples {
+		for _, v := range t {
+			buf = appendString(buf, v)
+		}
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// DecodeInstanceCache parses a cache record back into an instance and its
+// class set, revalidating schemas, arities and representative indexes and
+// recomputing each class's Theta. Corrupt or version-skewed input fails
+// with an error wrapping ErrBadSnapshot — never a panic.
+func DecodeInstanceCache(data []byte) (*Instance, *ClassSet, error) {
+	if !bytes.HasPrefix(data, instanceCacheMagic) {
+		return nil, nil, fmt.Errorf("%w: not an instance cache record", ErrBadSnapshot)
+	}
+	d := snapDecoder{b: data[len(instanceCacheMagic):]}
+	if v := d.byte(); v != instanceCacheVersion && d.err == nil {
+		return nil, nil, fmt.Errorf("%w: instance cache version %d not supported", ErrBadSnapshot, v)
+	}
+	r, err := decodeRelation(&d)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := decodeRelation(&d)
+	if err != nil {
+		return nil, nil, err
+	}
+	inst, err := relation.NewInstance(r, p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	count := d.uvarintMax(uint64(len(data))) // ≥ 3 bytes per class
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	u := predicate.NewUniverse(inst)
+	classes := make([]*product.Class, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ri := int(d.uvarintMax(math.MaxInt32))
+		pi := int(d.uvarintMax(math.MaxInt32))
+		n := int64(d.uvarintMax(math.MaxInt64))
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		if ri >= r.Len() || pi >= p.Len() || n <= 0 {
+			return nil, nil, fmt.Errorf("%w: class %d: representative (%d,%d) count %d out of range", ErrBadSnapshot, i, ri, pi, n)
+		}
+		classes = append(classes, &product.Class{
+			Theta: predicate.T(u, r.Tuples[ri], p.Tuples[pi]),
+			RI:    ri,
+			PI:    pi,
+			Count: n,
+		})
+	}
+	if len(d.b) != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(d.b))
+	}
+	return inst, &ClassSet{classes: classes}, nil
+}
+
+func decodeRelation(d *snapDecoder) (*Relation, error) {
+	name := d.str(maxInstanceCacheStr)
+	arity := d.uvarintMax(1 << 16)
+	if d.err != nil {
+		return nil, d.err
+	}
+	attrs := make([]string, 0, arity)
+	for i := uint64(0); i < arity; i++ {
+		attrs = append(attrs, d.str(maxInstanceCacheStr))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	schema, err := relation.NewSchema(name, attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	rel := relation.NewRelation(schema)
+	rows := d.uvarintMax(math.MaxUint32)
+	if d.err != nil {
+		return nil, d.err
+	}
+	for i := uint64(0); i < rows; i++ {
+		t := make(relation.Tuple, arity)
+		for j := range t {
+			t[j] = d.str(maxInstanceCacheStr)
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		if err := rel.AddTuple(t); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+	}
+	return rel, nil
+}

@@ -31,6 +31,10 @@
 // evicts least-recently-used nodes first. Eviction is always safe: a
 // session that misses — because the node was evicted mid-walk, or was
 // never computed — falls back to live strategy computation and republishes.
+// With a second tier attached (SetTier2, backed by internal/store),
+// publishes write through to the tier and an LRU miss pages the stored
+// subtree back in by prefix scan — so a tree far larger than MaxBytes
+// serves warm from the LRU working set, and warm trees survive restarts.
 // All methods are safe for concurrent use; published Node values are
 // immutable (callers must not mutate Pivots).
 package policy
@@ -88,6 +92,29 @@ func AppendEdge(prefix []byte, index int, positive bool) []byte {
 	return binary.AppendUvarint(prefix, v)
 }
 
+// Tier2 is an optional second cache tier behind the in-RAM LRU — a
+// persistent store of published nodes. On an LRU miss the cache pages the
+// missing node (and, as readahead, its subtree) in from the tier; on
+// Publish it writes through. A tier is strictly a cache of published
+// decisions: losing it costs recomputation, never correctness, and a node
+// it returns must be byte-identical to the one published (the store's
+// codec round-trips exactly).
+//
+// Implementations must be safe for concurrent use and must not call back
+// into the Cache (the insert callback is the only channel back in).
+type Tier2 interface {
+	// Load returns the node stored for exactly (k, prefix, rngPos).
+	Load(k Key, prefix []byte, rngPos uint64) (Node, bool)
+	// PageIn streams the stored subtree rooted at the answer prefix —
+	// the node at prefix and its descendants — into insert, stopping when
+	// insert returns false or the implementation's own readahead bound is
+	// reached.
+	PageIn(k Key, prefix []byte, insert func(prefix []byte, rngPos uint64, n Node) bool)
+	// Save persists one published node; failures must be absorbed (the
+	// tier is a cache, the in-RAM copy already serves).
+	Save(k Key, prefix []byte, rngPos uint64, n Node)
+}
+
 // nodeKey addresses one node: the tree, the answer prefix, and the RND
 // stream position at fetch time (0 for deterministic strategies).
 type nodeKey struct {
@@ -120,6 +147,11 @@ type Stats struct {
 	// inserted or overwritten; Evictions counts nodes dropped to stay under
 	// MaxBytes.
 	Hits, Misses, Publishes, Evictions uint64
+	// Tier2Hits counts lookups that missed the LRU but were resolved from
+	// the second tier; PageIns counts nodes the tier streamed into the LRU
+	// (each tier-2 hit pages in at least the node itself, usually plus
+	// readahead).
+	Tier2Hits, PageIns uint64
 	// Nodes and Bytes are the current residency; MaxBytes is the configured
 	// bound (0 = unbounded).
 	Nodes    int
@@ -131,6 +163,7 @@ type Stats struct {
 // construct with New.
 type Cache struct {
 	maxBytes int64
+	tier2    Tier2 // set once before use via SetTier2; nil = LRU only
 
 	mu    sync.Mutex
 	lru   *list.List // of *entry; front = most recently used
@@ -138,6 +171,7 @@ type Cache struct {
 	bytes int64
 
 	hits, misses, publishes, evictions uint64
+	tier2Hits, pageIns                 uint64
 }
 
 // New returns an empty cache bounded to roughly maxBytes of node state;
@@ -150,31 +184,90 @@ func New(maxBytes int64) *Cache {
 	}
 }
 
+// SetTier2 attaches a persistent second tier behind the LRU. It must be
+// called before the cache is shared across goroutines (wiring happens at
+// construction time in practice); passing nil detaches.
+func (c *Cache) SetTier2(t Tier2) { c.tier2 = t }
+
 // Lookup returns the node published for the prefix under the tree key and
-// RND position, marking it most recently used. The returned Node (and its
-// Pivots slice) must be treated as immutable.
+// RND position, marking it most recently used. On an LRU miss with a
+// second tier attached, the stored subtree rooted at the prefix is paged
+// into the LRU (readahead for the walk that is about to continue) and the
+// lookup retried. The returned Node (and its Pivots slice) must be treated
+// as immutable.
 func (c *Cache) Lookup(k Key, prefix []byte, rngPos uint64) (Node, bool) {
 	nk := nodeKey{tree: k, prefix: string(prefix), rngPos: rngPos}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.nodes[nk]
-	if !ok {
+	if el, ok := c.nodes[nk]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		n := el.Value.(*entry).node
+		c.mu.Unlock()
+		return n, true
+	}
+	if c.tier2 == nil {
 		c.misses++
+		c.mu.Unlock()
 		return Node{}, false
 	}
-	c.hits++
-	c.lru.MoveToFront(el)
-	return el.Value.(*entry).node, true
+	c.mu.Unlock()
+	// Page the subtree in without holding the lock — the tier reads disk.
+	c.tier2.PageIn(k, prefix, func(p []byte, rp uint64, n Node) bool {
+		c.insertPaged(nodeKey{tree: k, prefix: string(p), rngPos: rp}, n)
+		return true
+	})
+	c.mu.Lock()
+	if el, ok := c.nodes[nk]; ok {
+		c.tier2Hits++
+		c.lru.MoveToFront(el)
+		n := el.Value.(*entry).node
+		c.mu.Unlock()
+		return n, true
+	}
+	c.mu.Unlock()
+	// The readahead bound can cut a scan off before the exact node (key
+	// order interleaves RNG-position variants); one exact load settles it.
+	if n, ok := c.tier2.Load(k, prefix, rngPos); ok {
+		c.insertPaged(nk, n)
+		c.mu.Lock()
+		c.tier2Hits++
+		c.mu.Unlock()
+		return n, true
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return Node{}, false
+}
+
+// insertPaged adds a node loaded from the second tier to the LRU without
+// writing it back through.
+func (c *Cache) insertPaged(nk nodeKey, n Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pageIns++
+	c.storeLocked(nk, n)
 }
 
 // Publish stores (or overwrites) the node for the prefix, then evicts
-// least-recently-used nodes until the cache fits its byte bound again. The
-// caller must not retain or mutate n.Pivots after publishing.
+// least-recently-used nodes until the cache fits its byte bound again.
+// With a second tier attached the node is written through, so it survives
+// LRU eviction and process restarts. The caller must not retain or mutate
+// n.Pivots after publishing.
 func (c *Cache) Publish(k Key, prefix []byte, rngPos uint64, n Node) {
 	nk := nodeKey{tree: k, prefix: string(prefix), rngPos: rngPos}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.publishes++
+	c.storeLocked(nk, n)
+	c.mu.Unlock()
+	if c.tier2 != nil {
+		c.tier2.Save(k, prefix, rngPos, n)
+	}
+}
+
+// storeLocked inserts or overwrites a node and enforces the byte bound;
+// callers hold c.mu.
+func (c *Cache) storeLocked(nk nodeKey, n Node) {
 	if el, ok := c.nodes[nk]; ok {
 		e := el.Value.(*entry)
 		c.bytes -= e.size
@@ -209,6 +302,8 @@ func (c *Cache) Stats() Stats {
 		Misses:    c.misses,
 		Publishes: c.publishes,
 		Evictions: c.evictions,
+		Tier2Hits: c.tier2Hits,
+		PageIns:   c.pageIns,
 		Nodes:     c.lru.Len(),
 		Bytes:     c.bytes,
 		MaxBytes:  c.maxBytes,

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	joininference "repro"
+	"repro/internal/store"
 )
 
 // Sentinel errors of the service layer.
@@ -104,6 +105,16 @@ type Options struct {
 	// PersistDir, when non-empty, persists sessions to disk on eviction and
 	// Close, and restores them in NewManager.
 	PersistDir string
+	// Store, when non-nil, persists sessions as compact binary records in
+	// the KV store instead of one JSON file per session, and restores them
+	// in NewManager. It takes precedence over PersistDir (use
+	// MigratePersistDir to convert an existing JSON dir). The manager does
+	// not own the store — the caller closes it after Close.
+	Store store.KV
+	// MigratePersistDir, when non-empty alongside Store, converts the
+	// legacy JSON persist dir into the store before restoring (see the
+	// MigratePersistDir function).
+	MigratePersistDir string
 	// PolicyCache, when non-nil, is shared by every session the manager
 	// creates or resumes: sessions over the same instance memoize their
 	// strategy's decision tree in it, so the first user of a popular
@@ -172,6 +183,9 @@ type Metrics struct {
 	// PolicyCache reports the shared policy cache's counters when one is
 	// configured.
 	PolicyCache *joininference.PolicyCacheStats `json:"policy_cache,omitempty"`
+	// Store reports the persistent store's counters (gets/puts/scans,
+	// live/dead bytes, compactions) when one is configured.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Metrics returns the manager's current counters.
@@ -191,6 +205,10 @@ func (m *Manager) Metrics() Metrics {
 	if m.opts.PolicyCache != nil {
 		st := m.opts.PolicyCache.Stats()
 		out.PolicyCache = &st
+	}
+	if m.opts.Store != nil {
+		st := m.opts.Store.Stats()
+		out.Store = &st
 	}
 	return out
 }
@@ -235,7 +253,21 @@ func NewManager(reg *Registry, opts Options) (*Manager, error) {
 	if m.logf == nil {
 		m.logf = func(string, ...any) {}
 	}
-	if opts.PersistDir != "" {
+	switch {
+	case opts.Store != nil:
+		if opts.MigratePersistDir != "" {
+			n, err := MigratePersistDir(opts.Store, opts.MigratePersistDir, m.logf)
+			if err != nil {
+				return nil, err
+			}
+			if n > 0 {
+				m.logf("service: migrated %d session(s) from %s into the store", n, opts.MigratePersistDir)
+			}
+		}
+		if err := m.restoreStore(); err != nil {
+			return nil, err
+		}
+	case opts.PersistDir != "":
 		if err := os.MkdirAll(opts.PersistDir, 0o755); err != nil {
 			return nil, fmt.Errorf("service: persist dir: %w", err)
 		}
@@ -395,6 +427,10 @@ func (m *Manager) add(id string, p Params, sess *joininference.Session) (Info, e
 	}
 	ms.id = id
 	m.sessions[id] = ms
+	// Write the record through immediately: a session created (or resumed)
+	// just before a crash must exist after the restart. Exclusive access —
+	// nothing else can reach ms until m.mu drops.
+	m.storePersist(ms)
 	return ms.info(), nil
 }
 
@@ -547,6 +583,16 @@ func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (Answ
 	}
 	defer m.release(ms)
 	var res AnswerResult
+	// Store-backed sessions persist on every applied answer, not just at
+	// eviction/shutdown: a kill -9 then restart loses nothing that was
+	// acked. Registered after the release defer, so it runs while ms.mu is
+	// still held — and on early-return errors too, which may have applied a
+	// prefix of the batch.
+	defer func() {
+		if res.Applied > 0 {
+			m.storePersist(ms)
+		}
+	}()
 	// Resolve every ref before applying anything, so a malformed ref
 	// rejects the whole batch instead of leaving it half-recorded (the
 	// client could not tell which half).
@@ -631,10 +677,19 @@ func (ms *managed) snapshotLocked() (*SessionSnapshot, error) {
 func (m *Manager) Delete(id string) error {
 	ms, err := m.acquire(id)
 	if err != nil {
-		if errors.Is(err, ErrSessionNotFound) && m.opts.PersistDir != "" && validID(id) {
-			if rmErr := os.Remove(m.persistPath(id)); rmErr == nil {
-				m.met.deleted.Add(1)
-				return nil
+		if errors.Is(err, ErrSessionNotFound) && validID(id) {
+			if m.opts.Store != nil {
+				if _, ok, _ := m.opts.Store.Get(store.SessionKey(id)); ok {
+					if rmErr := m.opts.Store.Delete(store.SessionKey(id)); rmErr == nil {
+						m.met.deleted.Add(1)
+						return nil
+					}
+				}
+			} else if m.opts.PersistDir != "" {
+				if rmErr := os.Remove(m.persistPath(id)); rmErr == nil {
+					m.met.deleted.Add(1)
+					return nil
+				}
 			}
 		}
 		return err
@@ -645,7 +700,11 @@ func (m *Manager) Delete(id string) error {
 	delete(m.sessions, id)
 	m.mu.Unlock()
 	m.met.deleted.Add(1)
-	if m.opts.PersistDir != "" {
+	if m.opts.Store != nil {
+		if err := m.opts.Store.Delete(store.SessionKey(id)); err != nil {
+			m.logf("service: removing persisted session %s: %v", id, err)
+		}
+	} else if m.opts.PersistDir != "" {
 		if err := os.Remove(m.persistPath(id)); err != nil && !os.IsNotExist(err) {
 			m.logf("service: removing persisted session %s: %v", id, err)
 		}
@@ -685,6 +744,13 @@ func (m *Manager) SweepExpired() int {
 		m.mu.Unlock()
 		m.met.evicted.Add(1)
 		evicted++
+	}
+	if evicted > 0 && m.opts.Store != nil {
+		// One fsync per sweep makes evicted snapshots machine-crash durable
+		// without paying it per session.
+		if err := m.opts.Store.Sync(); err != nil {
+			m.logf("service: syncing store after sweep: %v", err)
+		}
 	}
 	return evicted
 }
@@ -739,6 +805,12 @@ func (m *Manager) Close(ctx context.Context) error {
 		}
 		ms.mu.Unlock()
 	}
+	if m.opts.Store != nil && len(all) > 0 {
+		// One fsync covers the whole shutdown batch.
+		if err := m.opts.Store.Sync(); err != nil {
+			return fmt.Errorf("service: syncing store: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -747,15 +819,32 @@ func (m *Manager) persistPath(id string) string {
 	return filepath.Join(m.opts.PersistDir, id+".json")
 }
 
-// persistLocked writes the session's snapshot to disk; callers hold ms.mu.
-// Persistence failures are logged, not fatal — eviction proceeds.
+// storePersist write-throughs the session record after a state change;
+// callers hold ms.mu (or have exclusive access). A no-op without a store:
+// the legacy persist dir keeps its cheaper persist-on-evict behavior.
+func (m *Manager) storePersist(ms *managed) {
+	if m.opts.Store == nil {
+		return
+	}
+	m.persistLocked(ms)
+}
+
+// persistLocked writes the session's snapshot to the store (binary) or the
+// persist dir (JSON); callers hold ms.mu. Persistence failures are logged,
+// not fatal — eviction proceeds.
 func (m *Manager) persistLocked(ms *managed) {
-	if m.opts.PersistDir == "" {
+	if m.opts.Store == nil && m.opts.PersistDir == "" {
 		return
 	}
 	snap, err := ms.snapshotLocked()
 	if err != nil {
 		m.logf("service: snapshotting session %s: %v", ms.id, err)
+		return
+	}
+	if m.opts.Store != nil {
+		if err := m.opts.Store.Put(store.SessionKey(ms.id), encodeServiceSnapshot(snap)); err != nil {
+			m.logf("service: persisting session %s: %v", ms.id, err)
+		}
 		return
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
@@ -771,6 +860,47 @@ func (m *Manager) persistLocked(ms *managed) {
 	if err := os.Rename(tmp, m.persistPath(ms.id)); err != nil {
 		m.logf("service: persisting session %s: %v", ms.id, err)
 	}
+}
+
+// restoreStore resumes every session record in the store. Records that
+// fail to decode or resume are skipped with a log line, never fatal — a
+// corrupt snapshot must not take the service down.
+func (m *Manager) restoreStore() error {
+	type rec struct {
+		id   string
+		data []byte
+	}
+	var recs []rec
+	err := m.opts.Store.Scan(store.SessionPrefix(), func(key, value []byte) bool {
+		id, err := store.SessionID(key)
+		if err != nil {
+			m.logf("service: restoring session record: %v", err)
+			return true
+		}
+		// Copy out: Resume replays whole transcripts, far too slow to run
+		// under the store's scan (whose buffers are per-call anyway).
+		recs = append(recs, rec{id: id, data: append([]byte(nil), value...)})
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("service: scanning store: %w", err)
+	}
+	for _, r := range recs {
+		snap, err := decodeServiceSnapshot(r.data)
+		if err != nil {
+			m.logf("service: decoding session %s: %v", r.id, err)
+			continue
+		}
+		if snap.ID != r.id {
+			m.logf("service: session record %s claims id %s; using the key", r.id, snap.ID)
+			snap.ID = r.id
+		}
+		if _, err := m.Resume(snap); err != nil {
+			m.logf("service: restoring session %s: %v", r.id, err)
+			continue
+		}
+	}
+	return nil
 }
 
 // restoreAll resumes every *.json snapshot in the persist dir. Files that

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	joininference "repro"
+	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/tpch"
 )
@@ -43,9 +44,18 @@ type regSlot struct {
 // Registry maps stable names to lazily-loaded instances. All methods are
 // safe for concurrent use; loading (and T-class precomputation) happens at
 // most once per name, concurrent first users block on the same load.
+//
+// With a store attached (AttachStore), a loaded entry — tuples plus
+// precomputed T-classes — is cached as one binary record keyed by name, and
+// later boots decode it instead of re-parsing CSV, re-generating TPC-H, or
+// re-scanning the product. Like the policy cache, a name must uniquely
+// identify the instance's data; registering different data under a name
+// the store has seen requires clearing the store or picking a new name.
 type Registry struct {
 	mu    sync.Mutex
 	slots map[string]*regSlot
+	kv    store.KV
+	logf  func(string, ...any)
 }
 
 // NewRegistry returns an empty registry.
@@ -107,21 +117,54 @@ func (r *Registry) RegisterSynth(name string, cfg synth.Config, seed int64) erro
 // ErrUnknownInstance is wrapped by Get for names never registered.
 var ErrUnknownInstance = fmt.Errorf("service: unknown instance")
 
-// Get loads (once) and returns the named entry.
+// AttachStore caches loaded entries in the KV store. Attach before first
+// use (wiring happens at boot); logf receives cache diagnostics, nil
+// discards them.
+func (r *Registry) AttachStore(kv store.KV, logf func(string, ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r.mu.Lock()
+	r.kv = kv
+	r.logf = logf
+	r.mu.Unlock()
+}
+
+// Get loads (once) and returns the named entry: from the store cache when
+// attached and populated, else from the source (and then into the cache).
 func (r *Registry) Get(name string) (*Entry, error) {
 	r.mu.Lock()
 	slot, ok := r.slots[name]
+	kv, logf := r.kv, r.logf
 	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, name)
 	}
 	slot.once.Do(func() {
+		if kv != nil {
+			if data, ok, err := kv.Get(store.RegistryKey(name)); err == nil && ok {
+				inst, cs, err := joininference.DecodeInstanceCache(data)
+				if err == nil {
+					slot.e = &Entry{Name: name, Inst: inst, Classes: cs}
+					return
+				}
+				// A corrupt cache record falls back to the source — it will
+				// be overwritten below.
+				logf("service: instance cache %q: %v", name, err)
+			}
+		}
 		inst, err := slot.src()
 		if err != nil {
 			slot.err = err
 			return
 		}
-		slot.e = &Entry{Name: name, Inst: inst, Classes: joininference.PrecomputeClasses(inst)}
+		cs := joininference.PrecomputeClasses(inst)
+		slot.e = &Entry{Name: name, Inst: inst, Classes: cs}
+		if kv != nil {
+			if err := kv.Put(store.RegistryKey(name), joininference.EncodeInstanceCache(inst, cs)); err != nil {
+				logf("service: caching instance %q: %v", name, err)
+			}
+		}
 	})
 	return slot.e, slot.err
 }

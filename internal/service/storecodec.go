@@ -1,0 +1,133 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	joininference "repro"
+	"repro/internal/store"
+)
+
+// Service snapshot binary form, the record the store keeps per session:
+//
+//	"JSRV" | 1B version | uvarint len(id) | id | uvarint len(instance) |
+//	instance | binary root snapshot (joininference.AppendBinary)
+//
+// The id is embedded (not only implied by the key) so a record is
+// self-describing and survives being copied between stores.
+var serviceSnapMagic = []byte("JSRV")
+
+const serviceSnapVersion = 1
+
+// maxServiceSnapName bounds the id/instance strings in a record.
+const maxServiceSnapName = 4096
+
+// encodeServiceSnapshot builds the binary store record for a session.
+func encodeServiceSnapshot(snap *SessionSnapshot) []byte {
+	buf := append([]byte(nil), serviceSnapMagic...)
+	buf = append(buf, serviceSnapVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(snap.ID)))
+	buf = append(buf, snap.ID...)
+	buf = binary.AppendUvarint(buf, uint64(len(snap.Instance)))
+	buf = append(buf, snap.Instance...)
+	return snap.Snapshot.AppendBinary(buf)
+}
+
+// decodeServiceSnapshot parses either wire form of a service snapshot:
+// the binary store record (by magic) or the legacy JSON file body. Errors
+// wrap joininference.ErrBadSnapshot.
+func decodeServiceSnapshot(data []byte) (*SessionSnapshot, error) {
+	if !strings.HasPrefix(string(data), string(serviceSnapMagic)) {
+		var snap SessionSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("%w: %v", joininference.ErrBadSnapshot, err)
+		}
+		if snap.Snapshot == nil {
+			return nil, fmt.Errorf("%w: service snapshot without session state", joininference.ErrBadSnapshot)
+		}
+		if err := snap.Snapshot.Validate(); err != nil {
+			return nil, err
+		}
+		return &snap, nil
+	}
+	b := data[len(serviceSnapMagic):]
+	if len(b) == 0 || b[0] != serviceSnapVersion {
+		return nil, fmt.Errorf("%w: service snapshot container version", joininference.ErrBadSnapshot)
+	}
+	b = b[1:]
+	id, b, err := readLenString(b)
+	if err != nil {
+		return nil, err
+	}
+	instance, b, err := readLenString(b)
+	if err != nil {
+		return nil, err
+	}
+	sn, err := joininference.DecodeBinarySnapshot(b)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionSnapshot{ID: id, Instance: instance, Snapshot: sn}, nil
+}
+
+func readLenString(b []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > maxServiceSnapName || uint64(len(b)-w) < n {
+		return "", nil, fmt.Errorf("%w: bad string in service snapshot", joininference.ErrBadSnapshot)
+	}
+	return string(b[w : w+int(n)]), b[w+int(n):], nil
+}
+
+// MigratePersistDir converts a legacy JSON persist dir into the store:
+// every *.json session file is decoded, re-encoded binary, written to the
+// store, and renamed to *.json.migrated so the next boot does not redo it
+// (renaming also keeps a stale JSON copy from shadowing newer store state).
+// Files that do not decode are left in place and logged, never fatal. It
+// returns how many sessions were migrated.
+func MigratePersistDir(kv store.KV, dir string, logf func(string, ...any)) (int, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("service: reading persist dir: %w", err)
+	}
+	migrated := 0
+	for _, de := range entries {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			logf("service: migrating %s: %v", path, err)
+			continue
+		}
+		snap, err := decodeServiceSnapshot(data)
+		if err != nil {
+			logf("service: migrating %s: %v", path, err)
+			continue
+		}
+		if !validID(snap.ID) {
+			logf("service: migrating %s: malformed session id %q", path, snap.ID)
+			continue
+		}
+		if err := kv.Put(store.SessionKey(snap.ID), encodeServiceSnapshot(snap)); err != nil {
+			return migrated, fmt.Errorf("service: migrating %s: %w", path, err)
+		}
+		if err := os.Rename(path, path+".migrated"); err != nil {
+			logf("service: marking %s migrated: %v", path, err)
+		}
+		migrated++
+	}
+	if migrated > 0 {
+		if err := kv.Sync(); err != nil {
+			return migrated, fmt.Errorf("service: syncing store after migration: %w", err)
+		}
+	}
+	return migrated, nil
+}

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStore measures the log backend's hot operations (the CI smoke
+// runs it at -benchtime=1x to catch wiring rot, not to time it).
+func BenchmarkStore(b *testing.B) {
+	val := make([]byte, 256)
+	for _, backend := range []string{"mem", "log"} {
+		open := func(b *testing.B) KV {
+			if backend == "mem" {
+				return NewMem()
+			}
+			s, err := OpenLog(b.TempDir(), LogOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { s.Close() })
+			return s
+		}
+		b.Run(backend+"/put", func(b *testing.B) {
+			kv := open(b)
+			b.SetBytes(int64(len(val)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := kv.Put([]byte(fmt.Sprintf("key%06d", i%10000)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(backend+"/get", func(b *testing.B) {
+			kv := open(b)
+			for i := 0; i < 1000; i++ {
+				if err := kv.Put([]byte(fmt.Sprintf("key%06d", i)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(val)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok, err := kv.Get([]byte(fmt.Sprintf("key%06d", i%1000))); err != nil || !ok {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(backend+"/scan1000", func(b *testing.B) {
+			kv := open(b)
+			for i := 0; i < 1000; i++ {
+				if err := kv.Put([]byte(fmt.Sprintf("key%06d", i)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if err := kv.Scan([]byte("key"), func(_, _ []byte) bool { n++; return true }); err != nil {
+					b.Fatal(err)
+				}
+				if n != 1000 {
+					b.Fatalf("scanned %d", n)
+				}
+			}
+		})
+	}
+	b.Run("log/reopen10k", func(b *testing.B) {
+		dir := b.TempDir()
+		s, err := OpenLog(dir, LogOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 10000; i++ {
+			if err := s.Put([]byte(fmt.Sprintf("key%06d", i)), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			re, err := OpenLog(dir, LogOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			re.Close()
+		}
+	})
+}

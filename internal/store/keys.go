@@ -1,0 +1,197 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Key layout. Every key starts with a one-byte table tag, then
+// order-preserving encodings of its components, so records of one family
+// are contiguous in key order and a bytewise prefix scan enumerates them:
+//
+//	0x01                          meta (format version)
+//	0x02 <id>                     session snapshot, binary service codec
+//	0x03 <inst> <strat> <seed8> <answer-prefix> <rngpos8>   policy node
+//	0x04 <name>                   registry instance + T-class cache
+//
+// Strings are escaped (0x00 → 0x00 0xFF) and 0x00 0x01-terminated, which
+// preserves bytewise order and keeps a shorter string before its
+// extensions. Seeds are big-endian with the sign bit flipped, ordering
+// int64s correctly. The answer prefix (policy.AppendEdge's uvarint stream)
+// is embedded raw: it is append-only, so a child node's key bytes extend
+// its parent's and "the subtree under this prefix" is exactly the bytewise
+// prefix range — the property the policy tier's page-in scan relies on.
+// The fixed-width RNG position comes last so it never breaks that
+// extension property, and the full key decodes unambiguously back to
+// (answer prefix, position).
+
+// Table tags.
+const (
+	tableMeta     = 0x01
+	tableSessions = 0x02
+	tablePolicy   = 0x03
+	tableRegistry = 0x04
+)
+
+// MetaKey is the store-format version record's key.
+func MetaKey() []byte { return []byte{tableMeta} }
+
+// FormatVersion is the store's key/value layout version, recorded under
+// MetaKey. It is bumped only when the layout changes incompatibly; a store
+// written by a newer build is rejected rather than misread.
+const FormatVersion = 1
+
+// EnsureFormat stamps an empty store with the current format version and
+// rejects a store stamped with a newer one.
+func EnsureFormat(kv KV) error {
+	v, ok, err := kv.Get(MetaKey())
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return kv.Put(MetaKey(), []byte{FormatVersion})
+	}
+	if len(v) != 1 || v[0] == 0 || v[0] > FormatVersion {
+		return fmt.Errorf("%w: store format version %v not supported (this build reads up to %d)", ErrCorrupt, v, FormatVersion)
+	}
+	return nil
+}
+
+// appendEscaped appends s with 0x00 escaped and a terminator, preserving
+// bytewise order across component boundaries.
+func appendEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, s[i])
+		}
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// readEscaped decodes one escaped component, returning the string and the
+// remainder after its terminator.
+func readEscaped(b []byte) (string, []byte, error) {
+	var out []byte
+	for i := 0; i < len(b); i++ {
+		if b[i] != 0x00 {
+			out = append(out, b[i])
+			continue
+		}
+		if i+1 >= len(b) {
+			return "", nil, fmt.Errorf("%w: unterminated key component", ErrCorrupt)
+		}
+		switch b[i+1] {
+		case 0xFF:
+			out = append(out, 0x00)
+			i++
+		case 0x01:
+			return string(out), b[i+2:], nil
+		default:
+			return "", nil, fmt.Errorf("%w: bad key escape", ErrCorrupt)
+		}
+	}
+	return "", nil, fmt.Errorf("%w: unterminated key component", ErrCorrupt)
+}
+
+// appendInt64 appends v big-endian with the sign bit flipped, so bytewise
+// order equals numeric order.
+func appendInt64(dst []byte, v int64) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(v)^(1<<63))
+}
+
+func readInt64(b []byte) (int64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: truncated key int", ErrCorrupt)
+	}
+	return int64(binary.BigEndian.Uint64(b) ^ (1 << 63)), b[8:], nil
+}
+
+// SessionKey addresses one persisted session snapshot.
+func SessionKey(id string) []byte {
+	return appendEscaped([]byte{tableSessions}, id)
+}
+
+// SessionPrefix is the scan prefix covering every persisted session.
+func SessionPrefix() []byte { return []byte{tableSessions} }
+
+// SessionID recovers the session id from a session key.
+func SessionID(key []byte) (string, error) {
+	if len(key) == 0 || key[0] != tableSessions {
+		return "", fmt.Errorf("%w: not a session key", ErrCorrupt)
+	}
+	id, rest, err := readEscaped(key[1:])
+	if err != nil {
+		return "", err
+	}
+	if len(rest) != 0 {
+		return "", fmt.Errorf("%w: trailing bytes in session key", ErrCorrupt)
+	}
+	return id, nil
+}
+
+// RegistryKey addresses one cached registry entry (instance + T-classes).
+func RegistryKey(name string) []byte {
+	return appendEscaped([]byte{tableRegistry}, name)
+}
+
+// PolicyTreePrefix is the scan prefix covering one decision tree: all
+// nodes of (instance, strategy, seed).
+func PolicyTreePrefix(instance, strategy string, seed int64) []byte {
+	k := appendEscaped([]byte{tablePolicy}, instance)
+	k = appendEscaped(k, strategy)
+	return appendInt64(k, seed)
+}
+
+// PolicyNodeKey addresses one policy node: the tree, the answer prefix,
+// and the RND stream position at fetch time.
+func PolicyNodeKey(instance, strategy string, seed int64, answerPrefix []byte, rngPos uint64) []byte {
+	k := PolicyTreePrefix(instance, strategy, seed)
+	k = append(k, answerPrefix...)
+	return binary.BigEndian.AppendUint64(k, rngPos)
+}
+
+// PolicySubtreePrefix is the scan prefix covering a node and its
+// descendants: every node whose answer prefix extends answerPrefix. (The
+// trailing fixed-width RNG position of each key means the scan may also
+// touch sibling variants whose position bytes happen to extend the prefix;
+// decoding the full key resolves each record to its true node.)
+func PolicySubtreePrefix(instance, strategy string, seed int64, answerPrefix []byte) []byte {
+	return append(PolicyTreePrefix(instance, strategy, seed), answerPrefix...)
+}
+
+// SplitPolicyNodeKey recovers (answer prefix, RNG position) from a policy
+// node key, given the tree prefix it was built with.
+func SplitPolicyNodeKey(treePrefix, key []byte) (answerPrefix []byte, rngPos uint64, err error) {
+	if !bytes.HasPrefix(key, treePrefix) {
+		return nil, 0, fmt.Errorf("%w: key outside tree", ErrCorrupt)
+	}
+	rest := key[len(treePrefix):]
+	if len(rest) < 8 {
+		return nil, 0, fmt.Errorf("%w: truncated policy node key", ErrCorrupt)
+	}
+	return rest[:len(rest)-8], binary.BigEndian.Uint64(rest[len(rest)-8:]), nil
+}
+
+// ParsePolicyTree recovers (instance, strategy, seed) plus the node
+// remainder from a full policy node key; used by diagnostics and tests.
+func ParsePolicyTree(key []byte) (instance, strategy string, seed int64, rest []byte, err error) {
+	if len(key) == 0 || key[0] != tablePolicy {
+		return "", "", 0, nil, fmt.Errorf("%w: not a policy key", ErrCorrupt)
+	}
+	instance, rest, err = readEscaped(key[1:])
+	if err != nil {
+		return "", "", 0, nil, err
+	}
+	strategy, rest, err = readEscaped(rest)
+	if err != nil {
+		return "", "", 0, nil, err
+	}
+	seed, rest, err = readInt64(rest)
+	if err != nil {
+		return "", "", 0, nil, err
+	}
+	return instance, strategy, seed, rest, nil
+}

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/policy"
+)
+
+// PolicyTier adapts a KV into the policy cache's second tier: published
+// decision nodes are written through as compact binary records under
+// sortable (instance, strategy, seed, answer-prefix) keys, and an LRU miss
+// pages the subtree rooted at the missed prefix back in with one prefix
+// scan. The byte-bounded LRU then holds only the working set; the full
+// tree — thousands of instances' worth — lives in the store.
+type PolicyTier struct {
+	kv KV
+	// readahead bounds how many nodes one PageIn streams into the LRU.
+	readahead int
+	// saveErrs counts Save failures (absorbed per the Tier2 contract).
+	saveErrs atomic.Int64
+}
+
+// DefaultPolicyReadahead is the subtree page-in bound: enough to cover the
+// next several levels of a walk without flooding the LRU on every miss.
+const DefaultPolicyReadahead = 512
+
+// NewPolicyTier builds a policy tier over the KV; readahead ≤ 0 selects
+// DefaultPolicyReadahead.
+func NewPolicyTier(kv KV, readahead int) *PolicyTier {
+	if readahead <= 0 {
+		readahead = DefaultPolicyReadahead
+	}
+	return &PolicyTier{kv: kv, readahead: readahead}
+}
+
+// SaveErrors reports how many Save calls failed (and were absorbed).
+func (t *PolicyTier) SaveErrors() int64 { return t.saveErrs.Load() }
+
+// Load implements policy.Tier2.
+func (t *PolicyTier) Load(k policy.Key, prefix []byte, rngPos uint64) (policy.Node, bool) {
+	v, ok, err := t.kv.Get(PolicyNodeKey(k.Instance, k.Strategy, k.Seed, prefix, rngPos))
+	if err != nil || !ok {
+		return policy.Node{}, false
+	}
+	n, err := DecodePolicyNode(v)
+	if err != nil {
+		return policy.Node{}, false // corrupt record: treat as a miss
+	}
+	return n, true
+}
+
+// PageIn implements policy.Tier2: one prefix scan streams the stored
+// subtree under the answer prefix into the LRU, in key order (the node at
+// the prefix itself first for deterministic trees, then descendants).
+func (t *PolicyTier) PageIn(k policy.Key, prefix []byte, insert func(prefix []byte, rngPos uint64, n policy.Node) bool) {
+	treePrefix := PolicyTreePrefix(k.Instance, k.Strategy, k.Seed)
+	scanPrefix := append(append([]byte(nil), treePrefix...), prefix...)
+	left := t.readahead
+	_ = t.kv.Scan(scanPrefix, func(key, value []byte) bool {
+		answerPrefix, rngPos, err := SplitPolicyNodeKey(treePrefix, key)
+		if err != nil {
+			return true // not a well-formed node key; skip
+		}
+		n, err := DecodePolicyNode(value)
+		if err != nil {
+			return true // corrupt record: skip, the walk recomputes it
+		}
+		if !insert(answerPrefix, rngPos, n) {
+			return false
+		}
+		left--
+		return left > 0
+	})
+}
+
+// Save implements policy.Tier2: write-through of one published node.
+func (t *PolicyTier) Save(k policy.Key, prefix []byte, rngPos uint64, n policy.Node) {
+	key := PolicyNodeKey(k.Instance, k.Strategy, k.Seed, prefix, rngPos)
+	if err := t.kv.Put(key, EncodePolicyNode(nil, n)); err != nil {
+		t.saveErrs.Add(1)
+	}
+}
+
+// Policy node value format (version-tagged, varint-packed):
+//
+//	[1B version=1][varint chosen][1B complete][uvarint rngAfter]
+//	[uvarint len(pivots)][varint pivot]...
+const policyNodeVersion = 1
+
+// maxPolicyPivots bounds the decoded pivot count: a batch never picks more
+// pivots than there are T-classes, and no real instance has a million —
+// anything above is corruption, not data.
+const maxPolicyPivots = 1 << 20
+
+// EncodePolicyNode appends the node's binary form to buf.
+func EncodePolicyNode(buf []byte, n policy.Node) []byte {
+	buf = append(buf, policyNodeVersion)
+	buf = binary.AppendVarint(buf, int64(n.Chosen))
+	if n.Complete {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, n.RNGAfter)
+	buf = binary.AppendUvarint(buf, uint64(len(n.Pivots)))
+	for _, p := range n.Pivots {
+		buf = binary.AppendVarint(buf, int64(p))
+	}
+	return buf
+}
+
+// DecodePolicyNode parses a node value. Corrupt, truncated, or
+// version-skewed input returns ErrCorrupt — never a panic, and never a
+// silently misparsed node.
+func DecodePolicyNode(data []byte) (policy.Node, error) {
+	var n policy.Node
+	if len(data) == 0 {
+		return n, fmt.Errorf("%w: empty policy node", ErrCorrupt)
+	}
+	if data[0] != policyNodeVersion {
+		return n, fmt.Errorf("%w: policy node version %d", ErrCorrupt, data[0])
+	}
+	b := data[1:]
+	chosen, b, err := readVarint(b)
+	if err != nil {
+		return n, err
+	}
+	if chosen < -1 || chosen > math.MaxInt32 {
+		return n, fmt.Errorf("%w: policy node chosen %d", ErrCorrupt, chosen)
+	}
+	if len(b) == 0 || b[0] > 1 {
+		return n, fmt.Errorf("%w: policy node complete flag", ErrCorrupt)
+	}
+	complete := b[0] == 1
+	b = b[1:]
+	rngAfter, b, err := readUvarint(b)
+	if err != nil {
+		return n, err
+	}
+	count, b, err := readUvarint(b)
+	if err != nil {
+		return n, err
+	}
+	if count > maxPolicyPivots || int64(count) > int64(len(b)) {
+		// Each pivot takes at least one byte, so count > len(b) is corrupt.
+		return n, fmt.Errorf("%w: policy node pivot count %d", ErrCorrupt, count)
+	}
+	var pivots []int
+	if count > 0 {
+		pivots = make([]int, count)
+		for i := range pivots {
+			var p int64
+			p, b, err = readVarint(b)
+			if err != nil {
+				return n, err
+			}
+			if p < 0 || p > math.MaxInt32 {
+				return n, fmt.Errorf("%w: policy node pivot %d", ErrCorrupt, p)
+			}
+			pivots[i] = int(p)
+		}
+	}
+	if len(b) != 0 {
+		return n, fmt.Errorf("%w: %d trailing bytes in policy node", ErrCorrupt, len(b))
+	}
+	n.Chosen = int(chosen)
+	n.Complete = complete
+	n.RNGAfter = rngAfter
+	n.Pivots = pivots
+	return n, nil
+}
+
+func readVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	return v, b[n:], nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	return v, b[n:], nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/pool"
+	"repro/internal/store"
 	"repro/internal/strategy"
 )
 
@@ -47,6 +48,16 @@ func NewPolicyCache(maxBytes int64) *PolicyCache {
 	return &PolicyCache{c: policy.New(maxBytes)}
 }
 
+// AttachStore backs the cache with a persistent store tier: every
+// published node is written through, an LRU miss pages the stored subtree
+// back in by prefix scan, and warm trees survive both eviction and process
+// restarts — the byte bound then sizes the working set, not the tree.
+// readahead bounds how many nodes one miss pages in (≤ 0 selects the
+// default). Attach before sharing the cache across sessions.
+func (pc *PolicyCache) AttachStore(kv store.KV, readahead int) {
+	pc.c.SetTier2(store.NewPolicyTier(kv, readahead))
+}
+
 // PolicyCacheStats is a point-in-time snapshot of a cache's counters.
 type PolicyCacheStats struct {
 	// Hits and Misses count lookups; Publishes counts nodes written;
@@ -55,6 +66,11 @@ type PolicyCacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Publishes uint64 `json:"publishes"`
 	Evictions uint64 `json:"evictions"`
+	// Tier2Hits counts lookups that missed the LRU but were served by the
+	// attached store tier; PageIns counts nodes the store streamed into the
+	// LRU (hits plus readahead). Both stay 0 without AttachStore.
+	Tier2Hits uint64 `json:"tier2_hits,omitempty"`
+	PageIns   uint64 `json:"page_ins,omitempty"`
 	// Nodes and Bytes are current residency; MaxBytes is the bound
 	// (0 = unbounded).
 	Nodes    int   `json:"nodes"`
@@ -70,6 +86,8 @@ func (pc *PolicyCache) Stats() PolicyCacheStats {
 		Misses:    st.Misses,
 		Publishes: st.Publishes,
 		Evictions: st.Evictions,
+		Tier2Hits: st.Tier2Hits,
+		PageIns:   st.PageIns,
 		Nodes:     st.Nodes,
 		Bytes:     st.Bytes,
 		MaxBytes:  st.MaxBytes,

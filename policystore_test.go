@@ -1,0 +1,131 @@
+package joininference
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/store"
+)
+
+// TestPolicyCacheStorePageIn is the acceptance proof for the store-backed
+// policy tier: with an LRU bound far too small to hold the decision tree,
+// cold sessions write nodes through to the store, warm sessions page them
+// back in on LRU misses, and every sequence stays bit-identical to the
+// uncached reference — including after a simulated restart (fresh cache,
+// same store).
+func TestPolicyCacheStorePageIn(t *testing.T) {
+	inst := paperdata.FlightHotel()
+	u := NewSession(inst).Universe()
+	goal, err := PredFromNames(u, [2]string{"To", "City"}, [2]string{"Airline", "Discount"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range KnownStrategies() {
+		t.Run(string(id), func(t *testing.T) {
+			base := []Option{WithStrategy(id), WithSeed(7)}
+			ref := questionSeq(t, NewSession(inst, base...), goal, 2)
+
+			kv := store.NewMem()
+			// ~2 nodes of residency: the walk constantly evicts, so the tree
+			// lives in the store, not the LRU.
+			const tinyLRU = 360
+			cache := NewPolicyCache(tinyLRU)
+			cache.AttachStore(kv, 0)
+			cached := append(append([]Option(nil), base...), WithPolicyCache(cache, "fh"))
+
+			cold := questionSeq(t, NewSession(inst, cached...), goal, 2)
+			sameSeq(t, "cold, store-backed", ref, cold)
+			if st := cache.Stats(); st.Evictions == 0 {
+				t.Fatalf("tree fits the %dB LRU — the test no longer exercises page-in: %+v", tinyLRU, st)
+			}
+			if st := kv.Stats(); st.Puts == 0 {
+				t.Fatal("cold session wrote nothing through to the store")
+			}
+
+			warm := questionSeq(t, NewSession(inst, cached...), goal, 2)
+			sameSeq(t, "warm via page-in", ref, warm)
+			if st := cache.Stats(); st.Tier2Hits == 0 {
+				t.Errorf("warm session never hit the store tier: %+v", st)
+			}
+
+			// Restart: a fresh, empty LRU over the same store must serve the
+			// whole walk from page-ins, still bit-identical.
+			cache2 := NewPolicyCache(tinyLRU)
+			cache2.AttachStore(kv, 0)
+			restarted := append(append([]Option(nil), base...), WithPolicyCache(cache2, "fh"))
+			again := questionSeq(t, NewSession(inst, restarted...), goal, 2)
+			sameSeq(t, "after restart", ref, again)
+			if st := cache2.Stats(); st.Tier2Hits == 0 || st.PageIns == 0 {
+				t.Errorf("restarted cache never paged in: %+v", st)
+			}
+		})
+	}
+}
+
+// TestPolicyCacheStoreSemijoin: the NP-hard semijoin picks survive a
+// restart through the store tier too.
+func TestPolicyCacheStoreSemijoin(t *testing.T) {
+	inst := paperdata.Example21()
+	u := NewSemijoinSession(inst).Universe()
+	goal, err := PredFromNames(u, [2]string{"A1", "B2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := questionSeq(t, NewSemijoinSession(inst), goal, 2)
+
+	kv := store.NewMem()
+	cache := NewPolicyCache(0)
+	cache.AttachStore(kv, 0)
+	cold := questionSeq(t, NewSemijoinSession(inst, WithPolicyCache(cache, "ex21")), goal, 2)
+	sameSeq(t, "cold semijoin", ref, cold)
+
+	cache2 := NewPolicyCache(0)
+	cache2.AttachStore(kv, 0)
+	warm := questionSeq(t, NewSemijoinSession(inst, WithPolicyCache(cache2, "ex21")), goal, 2)
+	sameSeq(t, "semijoin after restart", ref, warm)
+	if st := cache2.Stats(); st.Tier2Hits == 0 {
+		t.Errorf("restarted semijoin walk never hit the store: %+v", st)
+	}
+}
+
+// TestPolicyCacheStoreCorruptRecords: flipped bits in stored policy records
+// degrade to live recomputation — sequences stay correct, nothing panics.
+func TestPolicyCacheStoreCorruptRecords(t *testing.T) {
+	inst := paperdata.FlightHotel()
+	u := NewSession(inst).Universe()
+	goal, err := PredFromNames(u, [2]string{"To", "City"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []Option{WithStrategy(StrategyL2S), WithSeed(7)}
+	ref := questionSeq(t, NewSession(inst, base...), goal, 1)
+
+	kv := store.NewMem()
+	cache := NewPolicyCache(0)
+	cache.AttachStore(kv, 0)
+	cached := append(append([]Option(nil), base...), WithPolicyCache(cache, "fh"))
+	questionSeq(t, NewSession(inst, cached...), goal, 1)
+
+	// Corrupt every stored policy record in place.
+	var keys [][]byte
+	if err := kv.Scan(nil, func(k, v []byte) bool {
+		keys = append(keys, append([]byte(nil), k...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("no records written")
+	}
+	for i, k := range keys {
+		if err := kv.Put(k, []byte(fmt.Sprintf("garbage %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache2 := NewPolicyCache(0)
+	cache2.AttachStore(kv, 0)
+	restarted := append(append([]Option(nil), base...), WithPolicyCache(cache2, "fh"))
+	got := questionSeq(t, NewSession(inst, restarted...), goal, 1)
+	sameSeq(t, "all records corrupt", ref, got)
+}

@@ -131,6 +131,13 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	return &sn, nil
 }
 
+// Validate checks the snapshot's internal consistency — version range,
+// kind, RNG-position bound, transcript shape — without touching an
+// instance (that happens in ResumeSession). Decoders call it on every
+// parse; it is exported so callers holding a hand-built or deserialized
+// Snapshot can fail fast too. Errors wrap ErrBadSnapshot.
+func (sn *Snapshot) Validate() error { return sn.validate() }
+
 // MaxSnapshotRNGPos bounds Snapshot.RNGPos: restoring the position costs
 // one source draw per unit (math/rand sources cannot seek), so an
 // untrusted snapshot with a huge value would pin a CPU for the fast-forward
