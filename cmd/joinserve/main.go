@@ -13,6 +13,14 @@
 // The server starts with the paper's workloads registered (tpch-join1 …
 // tpch-join5, synth-1 … synth-6); -csv adds instances from CSV pairs.
 //
+// Instances are dynamic: POST /instances/{id}/rows ingests a delta (row
+// inserts and deletes), moving the instance to its next version. T-classes
+// are maintained incrementally, live sessions follow at their next question
+// boundary with bit-identical question sequences, the shared policy cache
+// migrates or retires exactly the affected decision subtrees, and with a
+// store the delta is appended to a per-instance log replayed on the next
+// boot. Ingest and invalidation counters appear in /debug/metrics.
+//
 // With -store-dir, everything durable lives in one crash-safe KV store
 // (see internal/store and README "Persistence"): sessions persist as
 // compact binary snapshots on eviction and shutdown and restore on boot

@@ -1,0 +1,122 @@
+package joininference
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// BenchmarkDelta measures moving a live session onto the next instance
+// version at Fig-7 scale (synth (3, 3, 100, 100)): each op applies a
+// one-row delta (alternating insert/delete, so the instance stays at ~100
+// rows while the version history grows) and carries the T-classes and a
+// mid-run session onto the new version.
+//
+//	incremental  ApplyDelta (maintained classes) + Session.ApplyUpdate
+//	recompute    the same delta followed by the static-instance flow:
+//	             full PrecomputeClasses + snapshot/resume of the session
+//
+// Both paths end with bit-identical session state (the differential suites
+// prove it); the gap is the cost of the incremental maintenance vs the
+// O(|R|·|P|) rebuild. BENCH_dynamic.json records the ratio.
+func BenchmarkDelta(b *testing.B) {
+	cfg := synth.PaperConfigs()[0] // (3, 3, 100, 100)
+	build := func(b *testing.B) (*Instance, *ClassSet, *Session) {
+		b.Helper()
+		inst, err := synth.Generate(cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs := PrecomputeClasses(inst)
+		u := NewSession(inst).Universe()
+		goal, err := PredFromNames(u, [2]string{"A1", "B1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := NewSession(inst, WithStrategy(StrategyBU), WithPrecomputedClasses(cs))
+		ctx := context.Background()
+		oracle := HonestOracle(goal)
+		for i := 0; i < 3; i++ {
+			qs, err := s.NextQuestions(ctx, 1)
+			if err != nil || len(qs) == 0 {
+				b.Fatalf("warm-up question %d: %v", i, err)
+			}
+			l, err := oracle.Label(ctx, qs[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Answer(qs[0], l); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return inst, cs, s
+	}
+	// One fresh value per inserted row keeps the delta from degenerating
+	// into a duplicate of an existing tuple.
+	row := func(i int) Tuple {
+		v := strconv.Itoa(cfg.Values + i)
+		return Tuple{v, v, v}
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		inst, cs, s := build(b)
+		lastIns := -1
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var d Delta
+			if lastIns < 0 {
+				d = Delta{InsertR: []Tuple{row(i)}}
+			} else {
+				d = Delta{DeleteR: []int{lastIns}}
+			}
+			upd, err := ApplyDelta(inst, cs, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.ApplyUpdate(upd); err != nil {
+				b.Fatal(err)
+			}
+			inst, cs = upd.To, upd.Classes
+			if lastIns < 0 {
+				lastIns = inst.R.Len() - 1
+			} else {
+				lastIns = -1
+			}
+		}
+	})
+
+	b.Run("recompute", func(b *testing.B) {
+		inst, _, s := build(b)
+		lastIns := -1
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var d Delta
+			if lastIns < 0 {
+				d = Delta{InsertR: []Tuple{row(i)}}
+			} else {
+				d = Delta{DeleteR: []int{lastIns}}
+			}
+			snap, err := s.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			next, err := inst.ApplyDelta(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cs := PrecomputeClasses(next)
+			s, err = ResumeSession(next, snap, WithPrecomputedClasses(cs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			inst = next
+			if lastIns < 0 {
+				lastIns = inst.R.Len() - 1
+			} else {
+				lastIns = -1
+			}
+		}
+	})
+}

@@ -15,10 +15,20 @@ import (
 // precomputed T-classes, as the registry stores it so boot skips both the
 // source (CSV parse, TPC-H generation) and the product scan. Layout:
 //
-//	"JICA" | 1B version | relation R | relation P | uvarint class count |
-//	classes: uvarint RI | uvarint PI | uvarint Count
+//	"JICA" | 1B version | relation R | relation P |
+//	uvarint instance version | tombstones R | tombstones P |
+//	uvarint class count | classes: uvarint RI | uvarint PI | uvarint Count
 //	relation: uvarint len(name) | name | uvarint arity |
 //	          attrs (uvarint len | bytes)... | uvarint rows | values...
+//	tombstones: uvarint count | uvarint row index... (ascending)
+//
+// Format 2 added the instance version and the tombstone lists, so a cached
+// dynamic instance restores at the version it was written (the registry
+// then replays any newer delta-log records on top). Relations serialize
+// every row including dead ones — row indexes are stable across versions
+// and the T-class representatives reference them. Format-1 records fail
+// decode with ErrBadSnapshot and fall back to the source, exactly like a
+// corrupt record.
 //
 // Class predicates (Theta) are not serialized: each is recomputed from its
 // representative tuple on decode — T(t) is deterministic and cheap, and it
@@ -31,7 +41,7 @@ import (
 // under an old name requires clearing the store (or a new name).
 var instanceCacheMagic = []byte("JICA")
 
-const instanceCacheVersion = 1
+const instanceCacheVersion = 2
 
 // maxInstanceCacheStr bounds any single string (schema name, attribute,
 // value) in the cache; generous for real data, small enough that corrupt
@@ -45,6 +55,9 @@ func EncodeInstanceCache(inst *Instance, cs *ClassSet) []byte {
 	buf = append(buf, instanceCacheVersion)
 	buf = appendRelation(buf, inst.R)
 	buf = appendRelation(buf, inst.P)
+	buf = binary.AppendUvarint(buf, uint64(inst.Version()))
+	buf = appendTombstones(buf, inst.DeadR())
+	buf = appendTombstones(buf, inst.DeadP())
 	buf = binary.AppendUvarint(buf, uint64(len(cs.classes)))
 	for _, c := range cs.classes {
 		buf = binary.AppendUvarint(buf, uint64(c.RI))
@@ -74,6 +87,24 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
+// appendTombstones writes a dead-row bitmap as a count plus the ascending
+// dead indexes — compact for the common sparse case.
+func appendTombstones(buf []byte, dead []bool) []byte {
+	n := 0
+	for _, d := range dead {
+		if d {
+			n++
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for i, d := range dead {
+		if d {
+			buf = binary.AppendUvarint(buf, uint64(i))
+		}
+	}
+	return buf
+}
+
 // DecodeInstanceCache parses a cache record back into an instance and its
 // class set, revalidating schemas, arities and representative indexes and
 // recomputing each class's Theta. Corrupt or version-skewed input fails
@@ -94,7 +125,19 @@ func DecodeInstanceCache(data []byte) (*Instance, *ClassSet, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	inst, err := relation.NewInstance(r, p)
+	version := int64(d.uvarintMax(math.MaxInt64))
+	deadR, err := decodeTombstones(&d, r.Len())
+	if err != nil {
+		return nil, nil, err
+	}
+	deadP, err := decodeTombstones(&d, p.Len())
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	inst, err := relation.RestoreInstance(r, p, version, deadR, deadP)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
@@ -111,7 +154,7 @@ func DecodeInstanceCache(data []byte) (*Instance, *ClassSet, error) {
 		if d.err != nil {
 			return nil, nil, d.err
 		}
-		if ri >= r.Len() || pi >= p.Len() || n <= 0 {
+		if ri >= r.Len() || pi >= p.Len() || n <= 0 || !inst.RAlive(ri) || !inst.PAlive(pi) {
 			return nil, nil, fmt.Errorf("%w: class %d: representative (%d,%d) count %d out of range", ErrBadSnapshot, i, ri, pi, n)
 		}
 		classes = append(classes, &product.Class{
@@ -162,4 +205,30 @@ func decodeRelation(d *snapDecoder) (*Relation, error) {
 		}
 	}
 	return rel, nil
+}
+
+// decodeTombstones reads a tombstone list back into a bitmap (nil when
+// empty), validating indexes are ascending and in range.
+func decodeTombstones(d *snapDecoder, rows int) ([]bool, error) {
+	n := d.uvarintMax(uint64(rows))
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	dead := make([]bool, rows)
+	prev := -1
+	for i := uint64(0); i < n; i++ {
+		idx := int(d.uvarintMax(math.MaxInt32))
+		if d.err != nil {
+			return nil, d.err
+		}
+		if idx <= prev || idx >= rows {
+			return nil, fmt.Errorf("%w: tombstone index %d out of order or range", ErrBadSnapshot, idx)
+		}
+		dead[idx] = true
+		prev = idx
+	}
+	return dead, nil
 }

@@ -1,0 +1,144 @@
+package inference
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/predicate"
+	"repro/internal/product"
+	"repro/internal/relation"
+	"repro/internal/sample"
+)
+
+func randInstance(rng *rand.Rand, nR, nP, vals int) *relation.Instance {
+	r := relation.NewRelation(relation.MustSchema("R", "A", "B"))
+	for i := 0; i < nR; i++ {
+		r.MustAddTuple(strconv.Itoa(rng.Intn(vals)), strconv.Itoa(rng.Intn(vals)))
+	}
+	p := relation.NewRelation(relation.MustSchema("P", "C", "D"))
+	for i := 0; i < nP; i++ {
+		p.MustAddTuple(strconv.Itoa(rng.Intn(vals)), strconv.Itoa(rng.Intn(vals)))
+	}
+	return relation.MustInstance(r, p)
+}
+
+func randTuples(rng *rand.Rand, n, arity, vals int) []relation.Tuple {
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		t := make(relation.Tuple, arity)
+		for k := range t {
+			t[k] = strconv.Itoa(rng.Intn(vals))
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// rebuildReplay builds a fresh engine on inst (with its classes) and
+// replays the surviving examples of the maintained engine, labeling by
+// class identity (theta).
+func rebuildReplay(t *testing.T, inst *relation.Instance, cs []*product.Class, examples []sample.Example) *Engine {
+	t.Helper()
+	fresh := New(inst, WithClasses(cs))
+	byKey := make(map[string]int, len(cs))
+	for ci, c := range cs {
+		byKey[c.Theta.Key()] = ci
+	}
+	for _, ex := range examples {
+		ci, ok := byKey[ex.Theta.Key()]
+		if !ok {
+			t.Fatalf("surviving example's class %v missing after delta", ex.Theta)
+		}
+		if err := fresh.Label(ci, ex.Label); err != nil {
+			t.Fatalf("replaying example on rebuilt engine: %v", err)
+		}
+	}
+	return fresh
+}
+
+func enginesEqual(t *testing.T, tag string, got, want *Engine) {
+	t.Helper()
+	if len(got.Classes()) != len(want.Classes()) {
+		t.Fatalf("%s: %d classes vs %d", tag, len(got.Classes()), len(want.Classes()))
+	}
+	for ci := range got.Classes() {
+		if got.Informative(ci) != want.Informative(ci) {
+			t.Fatalf("%s: class %d informative=%v, rebuilt says %v", tag, ci, got.Informative(ci), want.Informative(ci))
+		}
+		if got.IsLabeled(ci) != want.IsLabeled(ci) {
+			t.Fatalf("%s: class %d labeled=%v, rebuilt says %v", tag, ci, got.IsLabeled(ci), want.IsLabeled(ci))
+		}
+	}
+	if got.NumInformative() != want.NumInformative() {
+		t.Fatalf("%s: infCount %d vs %d", tag, got.NumInformative(), want.NumInformative())
+	}
+	if !got.TPos().Equal(want.TPos()) {
+		t.Fatalf("%s: T(S+) %v vs %v", tag, got.TPos(), want.TPos())
+	}
+	if got.Done() != want.Done() {
+		t.Fatalf("%s: Done %v vs %v", tag, got.Done(), want.Done())
+	}
+}
+
+// TestEngineApplyDeltaDifferential interleaves oracle-driven labeling with
+// random deltas and checks the maintained engine is state-identical to one
+// rebuilt from scratch at every version.
+func TestEngineApplyDeltaDifferential(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randInstance(rng, 4+rng.Intn(4), 4+rng.Intn(4), 2+rng.Intn(3))
+		u := predicate.NewUniverse(inst)
+		classes := product.ClassesIndexed(inst, u)
+		e := New(inst, WithClasses(classes))
+
+		// A fixed goal predicate keeps every answer consistent across
+		// deltas: pick a random class's theta.
+		goal := classes[rng.Intn(len(classes))].Theta
+
+		for step := 0; step < 10; step++ {
+			// Answer a couple of informative classes.
+			for q := 0; q < 2 && !e.Done(); q++ {
+				inf := e.InformativeClasses()
+				ci := inf[rng.Intn(len(inf))]
+				l := sample.Negative
+				if goal.MoreGeneralThan(e.Classes()[ci].Theta) {
+					l = sample.Positive
+				}
+				if err := e.Label(ci, l); err != nil {
+					t.Fatalf("seed %d step %d: label: %v", seed, step, err)
+				}
+			}
+			// Apply a random delta.
+			var d relation.Delta
+			d.InsertR = randTuples(rng, rng.Intn(2), 2, 3)
+			d.InsertP = randTuples(rng, rng.Intn(2), 2, 3)
+			if rng.Intn(2) == 0 {
+				for ri := 0; ri < inst.R.Len() && len(d.DeleteR) == 0; ri++ {
+					if inst.RAlive(ri) && rng.Intn(4) == 0 && inst.LiveR() > 1 {
+						d.DeleteR = append(d.DeleteR, ri)
+					}
+				}
+				for pi := 0; pi < inst.P.Len() && len(d.DeleteP) == 0; pi++ {
+					if inst.PAlive(pi) && rng.Intn(4) == 0 && inst.LiveP() > 1 {
+						d.DeleteP = append(d.DeleteP, pi)
+					}
+				}
+			}
+			next, err := inst.ApplyDelta(d)
+			if err != nil {
+				t.Fatalf("seed %d step %d: relation apply: %v", seed, step, err)
+			}
+			dr, err := product.ApplyDelta(inst, next, u, e.Classes(), d)
+			if err != nil {
+				t.Fatalf("seed %d step %d: product apply: %v", seed, step, err)
+			}
+			if _, err := e.ApplyDelta(next, dr); err != nil {
+				t.Fatalf("seed %d step %d: engine apply: %v", seed, step, err)
+			}
+			want := rebuildReplay(t, next, dr.Classes, e.Sample().Examples())
+			enginesEqual(t, "after delta", e, want)
+			inst, classes = next, dr.Classes
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package policy
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestInvalidateSubtreesPureRekey(t *testing.T) {
+	c := New(0)
+	old := Key{Instance: "inst", Version: 0, Strategy: "BU"}
+	nu := Key{Instance: "inst", Version: 1, Strategy: "BU"}
+	root := []byte(nil)
+	child := AppendEdge(nil, 3, true)
+	c.Publish(old, root, 0, Node{Chosen: 3, Pivots: []int{5, 7}, Complete: true})
+	c.Publish(old, child, 0, Node{Chosen: -1, Complete: true})
+
+	migrated, retired := c.InvalidateSubtrees(Migration{Old: old, New: nu})
+	if migrated != 2 || retired != 0 {
+		t.Fatalf("migrated, retired = %d, %d", migrated, retired)
+	}
+	if _, ok := c.Lookup(old, root, 0); ok {
+		t.Error("old-version node still resident")
+	}
+	n, ok := c.Lookup(nu, root, 0)
+	if !ok || n.Chosen != 3 || !reflect.DeepEqual(n.Pivots, []int{5, 7}) || !n.Complete {
+		t.Fatalf("re-keyed root = %+v, %v", n, ok)
+	}
+	if n, ok := c.Lookup(nu, child, 0); !ok || n.Chosen != -1 || !n.Complete {
+		t.Fatalf("re-keyed leaf = %+v, %v", n, ok)
+	}
+	if st := c.Stats(); st.Migrated != 2 || st.Invalidated != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInvalidateSubtreesDropDone(t *testing.T) {
+	c := New(0)
+	old := Key{Instance: "inst", Strategy: "BU"}
+	nu := Key{Instance: "inst", Version: 1, Strategy: "BU"}
+	c.Publish(old, nil, 0, Node{Chosen: 2, Pivots: []int{4}, Complete: true})
+	c.Publish(old, AppendEdge(nil, 2, false), 0, Node{Chosen: -1})
+
+	// Minted classes: "no question remains" no longer holds and batch scans
+	// are no longer exhaustive.
+	migrated, retired := c.InvalidateSubtrees(Migration{Old: old, New: nu, DropDone: true})
+	if migrated != 1 || retired != 1 {
+		t.Fatalf("migrated, retired = %d, %d", migrated, retired)
+	}
+	n, ok := c.Lookup(nu, nil, 0)
+	if !ok || n.Chosen != 2 || n.Complete {
+		t.Fatalf("surviving node = %+v, %v (Complete must clear)", n, ok)
+	}
+	if _, ok := c.Lookup(nu, AppendEdge(nil, 2, false), 0); ok {
+		t.Error("Chosen==-1 node survived a DropDone migration")
+	}
+}
+
+func TestInvalidateSubtreesRemap(t *testing.T) {
+	c := New(0)
+	old := Key{Instance: "inst", Strategy: "TD"}
+	nu := Key{Instance: "inst", Version: 1, Strategy: "TD"}
+	// Class 1 retires; classes 2, 3 shift down to 1, 2.
+	remap := []int{0, -1, 1, 2}
+
+	c.Publish(old, AppendEdge(nil, 2, true), 5, Node{Chosen: 3, Pivots: []int{0, 2}, Complete: true, RNGAfter: 6})
+	c.Publish(old, AppendEdge(nil, 1, true), 0, Node{Chosen: 0})                                       // prefix hits the retired class
+	c.Publish(old, nil, 0, Node{Chosen: 1, Pivots: []int{3}})                                          // chosen pick retired
+	c.Publish(old, AppendEdge(nil, 0, false), 0, Node{Chosen: 0, Pivots: []int{2, 1}, Complete: true}) // second pivot retired
+
+	migrated, retired := c.InvalidateSubtrees(Migration{Old: old, New: nu, Remap: remap})
+	if migrated != 2 || retired != 2 {
+		t.Fatalf("migrated, retired = %d, %d", migrated, retired)
+	}
+	// The fully-live node: prefix, chosen and pivots all rewritten; the RNG
+	// position is part of the node address and survives untouched.
+	n, ok := c.Lookup(nu, AppendEdge(nil, 1, true), 5)
+	if !ok || n.Chosen != 2 || !reflect.DeepEqual(n.Pivots, []int{0, 1}) || !n.Complete || n.RNGAfter != 6 {
+		t.Fatalf("remapped node = %+v, %v", n, ok)
+	}
+	// The pivot-retired node: pivots truncate at the first retired pick and
+	// Complete clears (the cut scan is no longer exhaustive).
+	n, ok = c.Lookup(nu, AppendEdge(nil, 0, false), 0)
+	if !ok || n.Chosen != 0 || !reflect.DeepEqual(n.Pivots, []int{1}) || n.Complete {
+		t.Fatalf("pivot-truncated node = %+v, %v", n, ok)
+	}
+	if _, ok := c.Lookup(nu, AppendEdge(nil, 1, true), 0); ok {
+		t.Error("node whose chosen pick retired survived (collides with remapped prefix at different rngPos is fine, same rngPos 0 must miss)")
+	}
+}
+
+func TestInvalidateDropsWholeTree(t *testing.T) {
+	c := New(0)
+	k := Key{Instance: "inst", Strategy: "⋉"}
+	other := Key{Instance: "inst", Strategy: "BU"}
+	c.Publish(k, nil, 0, Node{Chosen: 1})
+	c.Publish(k, AppendEdge(nil, 1, true), 0, Node{Chosen: 2})
+	c.Publish(other, nil, 0, Node{Chosen: 9})
+
+	if dropped := c.Invalidate(k); dropped != 2 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	if _, ok := c.Lookup(k, nil, 0); ok {
+		t.Error("invalidated node still resident")
+	}
+	if n, ok := c.Lookup(other, nil, 0); !ok || n.Chosen != 9 {
+		t.Error("unrelated tree was touched")
+	}
+	if st := c.Stats(); st.Invalidated != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTreesListsResidentVersionTrees(t *testing.T) {
+	c := New(0)
+	c.Publish(Key{Instance: "a", Version: 3, Strategy: "BU"}, nil, 0, Node{})
+	c.Publish(Key{Instance: "a", Version: 3, Strategy: "RND", Seed: 7}, nil, 0, Node{})
+	c.Publish(Key{Instance: "a", Version: 2, Strategy: "BU"}, nil, 0, Node{}) // older version
+	c.Publish(Key{Instance: "b", Version: 3, Strategy: "BU"}, nil, 0, Node{}) // other instance
+
+	keys := c.Trees("a", 3)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Strategy < keys[j].Strategy })
+	if len(keys) != 2 || keys[0].Strategy != "BU" || keys[1].Strategy != "RND" || keys[1].Seed != 7 {
+		t.Fatalf("Trees = %+v", keys)
+	}
+}
+
+func TestRemapPrefixRejectsMalformed(t *testing.T) {
+	if _, ok := remapPrefix(string([]byte{0x80}), []int{0}); ok {
+		t.Error("truncated uvarint accepted")
+	}
+	if _, ok := remapPrefix(string(AppendEdge(nil, 5, true)), []int{0, 1}); ok {
+		t.Error("out-of-range class accepted")
+	}
+	got, ok := remapPrefix(string(AppendEdge(AppendEdge(nil, 0, true), 2, false)), []int{1, -1, 0})
+	if !ok || got != string(AppendEdge(AppendEdge(nil, 1, true), 0, false)) {
+		t.Errorf("remap = %x, %v", got, ok)
+	}
+}

@@ -208,7 +208,13 @@ func (p Pred) Selects(u *Universe, tR, tP relation.Tuple) bool {
 func Join(inst *relation.Instance, u *Universe, p Pred) [][2]int {
 	var out [][2]int
 	for ri, tR := range inst.R.Tuples {
+		if !inst.RAlive(ri) {
+			continue
+		}
 		for pi, tP := range inst.P.Tuples {
+			if !inst.PAlive(pi) {
+				continue
+			}
 			if p.Selects(u, tR, tP) {
 				out = append(out, [2]int{ri, pi})
 			}
@@ -222,7 +228,13 @@ func Join(inst *relation.Instance, u *Universe, p Pred) [][2]int {
 func Semijoin(inst *relation.Instance, u *Universe, p Pred) []int {
 	var out []int
 	for ri, tR := range inst.R.Tuples {
-		for _, tP := range inst.P.Tuples {
+		if !inst.RAlive(ri) {
+			continue
+		}
+		for pi, tP := range inst.P.Tuples {
+			if !inst.PAlive(pi) {
+				continue
+			}
 			if p.Selects(u, tR, tP) {
 				out = append(out, ri)
 				break
@@ -235,8 +247,14 @@ func Semijoin(inst *relation.Instance, u *Universe, p Pred) []int {
 // NonNullable reports whether θ selects at least one tuple of the product
 // (Section 4.2). θ is non-nullable iff θ ⊆ T(t) for some product tuple t.
 func NonNullable(inst *relation.Instance, u *Universe, p Pred) bool {
-	for _, tR := range inst.R.Tuples {
-		for _, tP := range inst.P.Tuples {
+	for ri, tR := range inst.R.Tuples {
+		if !inst.RAlive(ri) {
+			continue
+		}
+		for pi, tP := range inst.P.Tuples {
+			if !inst.PAlive(pi) {
+				continue
+			}
 			if p.Selects(u, tR, tP) {
 				return true
 			}

@@ -45,7 +45,13 @@ func Classes(inst *relation.Instance, u *predicate.Universe) []*Class {
 	byKey := make(map[string]*Class)
 	var order []*Class
 	for ri, tR := range inst.R.Tuples {
+		if !inst.RAlive(ri) {
+			continue
+		}
 		for pi, tP := range inst.P.Tuples {
+			if !inst.PAlive(pi) {
+				continue
+			}
 			th := predicate.T(u, tR, tP)
 			k := th.Key()
 			if c, ok := byKey[k]; ok {
@@ -70,11 +76,16 @@ func Classes(inst *relation.Instance, u *predicate.Universe) []*Class {
 // the naive O(n·m) comparison sweep.
 func ClassesIndexed(inst *relation.Instance, u *predicate.Universe) []*Class {
 	nP := inst.P.Len()
-	// For each value, the P-row indexes containing it (deduped, ascending).
+	nPLive := inst.LiveP()
+	// For each value, the live P-row indexes containing it (deduped,
+	// ascending); dead rows are invisible to the index.
 	pIndex := make(map[relation.Value][]int)
 	// For each P row, its value → attribute positions table.
 	pPos := make([]map[relation.Value][]int, nP)
 	for pi, tP := range inst.P.Tuples {
+		if !inst.PAlive(pi) {
+			continue
+		}
 		pos := make(map[relation.Value][]int, len(tP))
 		for j, v := range tP {
 			if _, ok := pos[v]; !ok {
@@ -95,6 +106,9 @@ func ClassesIndexed(inst *relation.Instance, u *predicate.Universe) []*Class {
 	var pis []int
 
 	for ri, tR := range inst.R.Tuples {
+		if !inst.RAlive(ri) {
+			continue
+		}
 		cur++
 		pis = pis[:0]
 		for _, v := range tR {
@@ -117,15 +131,15 @@ func ClassesIndexed(inst *relation.Instance, u *predicate.Universe) []*Class {
 			byKey[k] = c
 			order = append(order, c)
 		}
-		// Every non-candidate pair has T = ∅.
-		rest := int64(nP - len(pis))
+		// Every live non-candidate pair has T = ∅.
+		rest := int64(nPLive - len(pis))
 		if rest > 0 {
 			if empty.Count == 0 {
-				// First occurrence: representative is the first
+				// First occurrence: representative is the first live
 				// non-candidate pi for this row.
 				empty.RI = ri
 				for pi := 0; pi < nP; pi++ {
-					if stamp[pi] != cur {
+					if inst.PAlive(pi) && stamp[pi] != cur {
 						empty.PI = pi
 						break
 					}

@@ -146,9 +146,24 @@ func (r *Relation) Project(ti int, cols []int) Tuple {
 
 // Instance is the paper's database instance I = (R^I, P^I): instances of
 // two relations with disjoint attribute sets.
+//
+// Instances are versioned: ApplyDelta (delta.go) returns the instance at
+// the next version, sharing tuple storage, with deletions recorded as
+// tombstones so row indexes stay stable across versions. The zero value of
+// the version machinery — a literal &Instance{R: r, P: p} — is version 0
+// with every row live.
 type Instance struct {
 	R *Relation
 	P *Relation
+
+	// version is the instance's position in its chain; log is the shared
+	// append-only delta history (lazily created, see delta.go).
+	version int64
+	log     *deltaLog
+	// deadR/deadP tombstone deleted rows (nil: all live); nDeadR/nDeadP
+	// cache their popcounts so LiveR/LiveP are O(1).
+	deadR, deadP   []bool
+	nDeadR, nDeadP int
 }
 
 // NewInstance pairs two relations, validating that their attribute sets are
@@ -180,10 +195,10 @@ func MustInstance(r, p *Relation) *Instance {
 	return i
 }
 
-// ProductSize returns |R| · |P|, the number of tuples in the Cartesian
-// product D = R × P.
+// ProductSize returns |R| · |P| over live rows, the number of tuples in
+// the Cartesian product D = R × P at this version.
 func (i *Instance) ProductSize() int64 {
-	return int64(i.R.Len()) * int64(i.P.Len())
+	return int64(i.LiveR()) * int64(i.LiveP())
 }
 
 // ReadCSV loads a relation from CSV. The first record is the header naming

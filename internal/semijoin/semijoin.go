@@ -50,7 +50,10 @@ func (s Sample) Validate(inst *relation.Instance) error {
 func witnesses(inst *relation.Instance, u *predicate.Universe, i int) []predicate.Pred {
 	seen := make(map[string]bool)
 	var out []predicate.Pred
-	for _, tP := range inst.P.Tuples {
+	for pi, tP := range inst.P.Tuples {
+		if !inst.PAlive(pi) {
+			continue
+		}
 		w := predicate.T(u, inst.R.Tuples[i], tP)
 		k := w.Key()
 		if !seen[k] {

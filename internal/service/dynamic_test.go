@@ -1,0 +1,419 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	joininference "repro"
+	"repro/internal/paperdata"
+	"repro/internal/store"
+)
+
+// answerSteps answers up to n questions of a managed session honestly, one
+// at a time.
+func answerSteps(t *testing.T, m *Manager, id string, goal joininference.Pred, n int) {
+	t.Helper()
+	ctx := context.Background()
+	oracle := joininference.HonestOracle(goal)
+	for i := 0; i < n; i++ {
+		qs, err := m.Questions(ctx, id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(qs) == 0 {
+			return
+		}
+		l, err := oracle.Label(ctx, qs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Answer(ctx, id, []Answer{{QuestionRef: qs[0].Ref(), Positive: bool(l)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestManagerIngestMigratesLiveSessions: a session answering across an
+// ingest is carried onto the new version at its next question boundary,
+// and asks the same remaining questions as a session resumed from its
+// pre-ingest snapshot directly on the new version.
+func TestManagerIngestMigratesLiveSessions(t *testing.T) {
+	reg := testRegistry(t)
+	m, err := NewManager(reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := flightGoal(t)
+	info, err := m.Create(Params{Instance: "flights", Strategy: joininference.StrategyBU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answerSteps(t, m, info.ID, goal, 2)
+	snap, err := m.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := m.Ingest("flights", joininference.Delta{
+		InsertR: []joininference.Tuple{{"NYC", "Lille", "BA"}},
+		InsertP: []joininference.Tuple{{"Lille", "BA"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instance != "flights" || res.Version != 1 || res.Classes == 0 {
+		t.Fatalf("ingest result: %+v", res)
+	}
+	entry, err := reg.Get("flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Inst.Version() != 1 {
+		t.Fatalf("registry serves version %d", entry.Inst.Version())
+	}
+
+	// The snapshot resumes directly on v1; the live session migrates lazily.
+	// From here on both must ask bit-identical questions.
+	snap.ID = "" // force a fresh id
+	resumed, err := m.Resume(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migratedRefs := driveToDone(t, m, info.ID, goal, 1)
+	resumedRefs := driveToDone(t, m, resumed.ID, goal, 1)
+	if len(migratedRefs) != len(resumedRefs) {
+		t.Fatalf("migrated asked %d questions, resumed %d", len(migratedRefs), len(resumedRefs))
+	}
+	for i := range migratedRefs {
+		if migratedRefs[i] != resumedRefs[i] {
+			t.Fatalf("question %d: migrated asks %v, resumed asks %v", i, migratedRefs[i], resumedRefs[i])
+		}
+	}
+
+	met := m.Metrics()
+	if met.DeltasIngested != 1 || met.Registry.Ingests != 1 {
+		t.Fatalf("ingest counters: %+v", met)
+	}
+	if met.SessionsMigrated == 0 {
+		t.Fatal("no session counted as migrated")
+	}
+}
+
+// TestManagerIngestDeleteDropsAnswers: deleting rows a session already
+// answered about drops those examples on migration; the session keeps
+// serving and completes on the new data.
+func TestManagerIngestDeleteDropsAnswers(t *testing.T) {
+	m, err := NewManager(testRegistry(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := flightGoal(t)
+	info, err := m.Create(Params{Instance: "flights", Strategy: joininference.StrategyBU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answerSteps(t, m, info.ID, goal, 3)
+	if _, err := m.Ingest("flights", joininference.Delta{DeleteR: []int{0}, DeleteP: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	driveToDone(t, m, info.ID, goal, 2)
+	p, err := m.Predicate(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done {
+		t.Fatalf("session did not finish after a delete migration: %+v", p)
+	}
+}
+
+// TestManagerIngestRetiresInconsistentSession: a semijoin positive whose
+// last witness is deleted cannot follow the instance — the session is
+// retired at its next question boundary and the caller sees the underlying
+// ErrInconsistent.
+func TestManagerIngestRetiresInconsistentSession(t *testing.T) {
+	m, err := NewManager(testRegistry(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	info, err := m.Create(Params{Instance: "ex21", Semijoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := m.Questions(ctx, info.ID, 1)
+	if err != nil || len(qs) == 0 {
+		t.Fatalf("questions: %v, %d", err, len(qs))
+	}
+	if _, err := m.Answer(ctx, info.ID, []Answer{{QuestionRef: qs[0].Ref(), Positive: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Ingest("ex21", joininference.Delta{DeleteP: []int{0, 1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Questions(ctx, info.ID, 1); !errors.Is(err, joininference.ErrInconsistent) {
+		t.Fatalf("migrating an orphaned positive: %v", err)
+	}
+	if _, err := m.Get(info.ID); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("retired session still resident: %v", err)
+	}
+	if met := m.Metrics(); met.SessionsRetired != 1 {
+		t.Fatalf("retire counter: %+v", met)
+	}
+}
+
+func TestManagerIngestRejectsBadDeltas(t *testing.T) {
+	m, err := NewManager(testRegistry(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Ingest("nope", joininference.Delta{DeleteR: []int{0}}); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("unknown instance: %v", err)
+	}
+	// Wrong arity and out-of-range deletes are client errors.
+	if _, err := m.Ingest("flights", joininference.Delta{InsertR: []joininference.Tuple{{"only-one"}}}); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+	if _, err := m.Ingest("flights", joininference.Delta{DeleteR: []int{99}}); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("out-of-range delete: %v", err)
+	}
+}
+
+// TestRegistryBootReplaysDeltaLog is the restart path: a store-backed
+// registry serves the cached instance without re-parsing when the cache is
+// at the tip, and rolls a stale cache forward by replaying the delta log —
+// as after a crash between the delta append and the cache write-back.
+func TestRegistryBootReplaysDeltaLog(t *testing.T) {
+	kv := store.NewMem()
+	boot := func() *Registry {
+		reg := NewRegistry()
+		if err := reg.RegisterInstance("flights", paperdata.FlightHotel()); err != nil {
+			t.Fatal(err)
+		}
+		reg.AttachStore(kv, nil)
+		return reg
+	}
+
+	reg1 := boot()
+	if _, err := reg1.Get("flights"); err != nil {
+		t.Fatal(err)
+	}
+	if st := reg1.Stats(); st.Reparses != 1 || st.CacheHits != 0 {
+		t.Fatalf("first boot: %+v", st)
+	}
+	upd, err := reg1.Ingest("flights", joininference.Delta{
+		InsertR: []joininference.Tuple{{"NYC", "Lille", "BA"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second boot: the cache was written back at the tip — no parse, no
+	// replay.
+	reg2 := boot()
+	e2, err := reg2.Get("flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Inst.Version() != 1 {
+		t.Fatalf("second boot serves version %d", e2.Inst.Version())
+	}
+	if st := reg2.Stats(); st.CacheHits != 1 || st.Reparses != 0 || st.DeltasReplayed != 0 {
+		t.Fatalf("second boot: %+v", st)
+	}
+	if want := joininference.PrecomputeClasses(e2.Inst).Len(); e2.Classes.Len() != want {
+		t.Fatalf("restored classes: %d, fresh compute %d", e2.Classes.Len(), want)
+	}
+
+	// Crash window: the delta reached the log but the cache write-back did
+	// not. Boot must decode the stale cache and roll it forward.
+	d2 := joininference.Delta{InsertP: []joininference.Tuple{{"Lille", "AA"}}}
+	if err := store.AppendDelta(kv, "flights", 2, d2); err != nil {
+		t.Fatal(err)
+	}
+	reg3 := boot()
+	e3, err := reg3.Get("flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Inst.Version() != 2 {
+		t.Fatalf("third boot serves version %d", e3.Inst.Version())
+	}
+	if st := reg3.Stats(); st.CacheHits != 1 || st.Reparses != 0 || st.DeltasReplayed != 1 {
+		t.Fatalf("third boot: %+v", st)
+	}
+	// The rolled-forward state matches what a live ingest chain produced.
+	fresh, err := joininference.ApplyDelta(upd.To, upd.Classes, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Classes.Len() != fresh.Classes.Len() {
+		t.Fatalf("replayed classes: %d, live chain %d", e3.Classes.Len(), fresh.Classes.Len())
+	}
+}
+
+// TestRegistryBootCorruptDeltaLogSticks: a corrupt delta log is the only
+// record of ingested rows — serving without it would fork history, so the
+// slot must fail (and keep failing) instead of falling back to the source.
+func TestRegistryBootCorruptDeltaLogSticks(t *testing.T) {
+	kv := store.NewMem()
+	reg1 := NewRegistry()
+	if err := reg1.RegisterInstance("flights", paperdata.FlightHotel()); err != nil {
+		t.Fatal(err)
+	}
+	reg1.AttachStore(kv, nil)
+	if _, err := reg1.Ingest("flights", joininference.Delta{
+		InsertR: []joininference.Tuple{{"NYC", "Lille", "BA"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put(store.DeltaKey("flights", 1), []byte{0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	// The cache is at the tip here, so corruption only bites when the log
+	// must actually replay — strip the cache to force it.
+	if err := kv.Delete(store.RegistryKey("flights")); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := NewRegistry()
+	if err := reg2.RegisterInstance("flights", paperdata.FlightHotel()); err != nil {
+		t.Fatal(err)
+	}
+	reg2.AttachStore(kv, nil)
+	if _, err := reg2.Get("flights"); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("corrupt log served: %v", err)
+	}
+	if _, err := reg2.Get("flights"); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("slot error not sticky: %v", err)
+	}
+}
+
+// TestHTTPIngest exercises POST /instances/{id}/rows and the new metrics
+// fields end to end.
+func TestHTTPIngest(t *testing.T) {
+	m, err := NewManager(testRegistry(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	client := srv.Client()
+
+	var res IngestResult
+	doJSON(t, client, "POST", srv.URL+"/instances/flights/rows",
+		map[string]any{"insert_r": [][]string{{"NYC", "Lille", "BA"}}, "insert_p": [][]string{{"Lille", "BA"}}},
+		200, &res)
+	if res.Version != 1 || res.Classes == 0 {
+		t.Fatalf("ingest response: %+v", res)
+	}
+	doJSON(t, client, "POST", srv.URL+"/instances/nope/rows",
+		map[string]any{"delete_r": []int{0}}, 404, nil)
+	doJSON(t, client, "POST", srv.URL+"/instances/flights/rows",
+		map[string]any{"insert_r": [][]string{{"wrong-arity"}}}, 400, nil)
+	doJSON(t, client, "POST", srv.URL+"/instances/flights/rows",
+		map[string]any{"delete_p": []int{99}}, 400, nil)
+
+	var met Metrics
+	doJSON(t, client, "GET", srv.URL+"/debug/metrics", nil, 200, &met)
+	if met.DeltasIngested != 1 || met.Registry.Ingests != 1 {
+		t.Fatalf("metrics after ingest: %+v", met)
+	}
+}
+
+// TestConcurrentIngestAndAnswering runs sessions and ingests concurrently;
+// under -race this is the proof that the versioned registry, lazy session
+// migration and policy-cache migration are safe together.
+func TestConcurrentIngestAndAnswering(t *testing.T) {
+	reg := testRegistry(t)
+	m, err := NewManager(reg, Options{PolicyCache: joininference.NewPolicyCache(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := flightGoal(t)
+	const ingests = 12
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			ctx := context.Background()
+			oracle := joininference.HonestOracle(goal)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				info, err := m.Create(Params{Instance: "flights", Strategy: joininference.StrategyBU, Seed: seed})
+				if err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				for {
+					qs, err := m.Questions(ctx, info.ID, 2)
+					if err != nil {
+						// A concurrent ingest can retire the session between
+						// calls; anything else is a bug.
+						if errors.Is(err, joininference.ErrInconsistent) || errors.Is(err, ErrSessionNotFound) {
+							break
+						}
+						t.Errorf("questions: %v", err)
+						return
+					}
+					if len(qs) == 0 {
+						if err := m.Delete(info.ID); err != nil && !errors.Is(err, ErrSessionNotFound) {
+							t.Errorf("delete: %v", err)
+						}
+						break
+					}
+					answers := make([]Answer, len(qs))
+					for i, q := range qs {
+						l, err := oracle.Label(ctx, q)
+						if err != nil {
+							t.Errorf("oracle: %v", err)
+							return
+						}
+						answers[i] = Answer{QuestionRef: q.Ref(), Positive: bool(l)}
+					}
+					if _, err := m.Answer(ctx, info.ID, answers); err != nil {
+						if errors.Is(err, joininference.ErrInconsistent) || errors.Is(err, ErrSessionNotFound) {
+							break
+						}
+						t.Errorf("answer: %v", err)
+						return
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	for i := 0; i < ingests; i++ {
+		_, err := m.Ingest("flights", joininference.Delta{
+			InsertR: []joininference.Tuple{{fmt.Sprintf("City%d", i), "NYC", "AA"}},
+			InsertP: []joininference.Tuple{{fmt.Sprintf("City%d", i), "AF"}},
+		})
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	met := m.Metrics()
+	if met.DeltasIngested != ingests || met.Registry.Ingests != ingests {
+		t.Fatalf("ingest counters: %+v", met)
+	}
+	entry, err := reg.Get("flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Inst.Version() != ingests {
+		t.Fatalf("final version %d, want %d", entry.Inst.Version(), ingests)
+	}
+}

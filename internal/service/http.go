@@ -25,10 +25,18 @@ import (
 //	GET    /sessions/{id}/snapshot    durable snapshot (resumable elsewhere)
 //	DELETE /sessions/{id}             discard the session
 //	GET    /instances                 registered instance names
+//	POST   /instances/{id}/rows       ingest one delta ({"insert_r": [[..]],
+//	                                  "insert_p": [[..]], "delete_r": [..],
+//	                                  "delete_p": [..]}) — the instance moves
+//	                                  to its next version, T-classes and live
+//	                                  sessions follow incrementally
 //	GET    /healthz                   liveness
 //	GET    /debug/metrics             operational counters (sessions
 //	                                  live/created/evicted, questions
-//	                                  served, policy-cache hits/misses)
+//	                                  served, deltas ingested, sessions
+//	                                  migrated/retired, policy-cache
+//	                                  hits/misses, registry cache hits vs
+//	                                  re-parses)
 //
 // Request contexts thread into the inference engine, so a client
 // disconnect cancels even a long L2S lookahead mid-computation.
@@ -125,6 +133,19 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /instances", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, instancesResponse{Instances: m.reg.Names()})
 	})
+	mux.HandleFunc("POST /instances/{id}/rows", func(w http.ResponseWriter, r *http.Request) {
+		var req ingestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		res, err := m.Ingest(r.PathValue("id"), req.delta())
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -159,6 +180,27 @@ type instancesResponse struct {
 	Instances []string `json:"instances"`
 }
 
+// ingestRequest is the body of POST /instances/{id}/rows: rows to append
+// and current row indexes to delete, applied as one atomic delta (one new
+// instance version).
+type ingestRequest struct {
+	InsertR [][]string `json:"insert_r,omitempty"`
+	InsertP [][]string `json:"insert_p,omitempty"`
+	DeleteR []int      `json:"delete_r,omitempty"`
+	DeleteP []int      `json:"delete_p,omitempty"`
+}
+
+func (req ingestRequest) delta() joininference.Delta {
+	d := joininference.Delta{DeleteR: req.DeleteR, DeleteP: req.DeleteP}
+	for _, t := range req.InsertR {
+		d.InsertR = append(d.InsertR, joininference.Tuple(t))
+	}
+	for _, t := range req.InsertP {
+		d.InsertP = append(d.InsertP, joininference.Tuple(t))
+	}
+	return d
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -177,12 +219,14 @@ func statusFor(err error) int {
 	case errors.Is(err, ErrSessionNotFound), errors.Is(err, ErrUnknownInstance):
 		return http.StatusNotFound
 	case errors.Is(err, joininference.ErrBudgetExhausted),
-		errors.Is(err, joininference.ErrInconsistent):
+		errors.Is(err, joininference.ErrInconsistent),
+		errors.Is(err, joininference.ErrStaleVersion):
 		return http.StatusConflict
 	case errors.Is(err, joininference.ErrUnknownStrategy),
 		errors.Is(err, joininference.ErrBadSnapshot),
 		errors.Is(err, joininference.ErrBadTranscript),
-		errors.Is(err, joininference.ErrBadQuestionRef):
+		errors.Is(err, joininference.ErrBadQuestionRef),
+		errors.Is(err, ErrBadDelta):
 		return http.StatusBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client went away (or timed out); the status is moot but a

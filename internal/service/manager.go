@@ -161,6 +161,7 @@ type Manager struct {
 type managerMetrics struct {
 	created, resumed, evicted, deleted expvar.Int
 	questions, answers                 expvar.Int
+	ingests, migrated, retired         expvar.Int
 }
 
 // Metrics is a point-in-time snapshot of the manager's operational
@@ -180,6 +181,16 @@ type Metrics struct {
 	// answers recorded (skipped answers excluded).
 	QuestionsServed int64 `json:"questions_served"`
 	AnswersApplied  int64 `json:"answers_applied"`
+	// DeltasIngested counts deltas applied through Ingest;
+	// SessionsMigrated counts live sessions carried onto a new instance
+	// version at a question boundary; SessionsRetired counts sessions
+	// dropped because their answers turned inconsistent under the new data.
+	DeltasIngested   int64 `json:"deltas_ingested"`
+	SessionsMigrated int64 `json:"sessions_migrated"`
+	SessionsRetired  int64 `json:"sessions_retired"`
+	// Registry reports how instances reached serving state (cache hits vs
+	// re-parses, delta-log replays).
+	Registry RegistryStats `json:"registry"`
 	// PolicyCache reports the shared policy cache's counters when one is
 	// configured.
 	PolicyCache *joininference.PolicyCacheStats `json:"policy_cache,omitempty"`
@@ -194,13 +205,17 @@ func (m *Manager) Metrics() Metrics {
 	live := len(m.sessions)
 	m.mu.Unlock()
 	out := Metrics{
-		SessionsLive:    live,
-		SessionsCreated: m.met.created.Value(),
-		SessionsResumed: m.met.resumed.Value(),
-		SessionsEvicted: m.met.evicted.Value(),
-		SessionsDeleted: m.met.deleted.Value(),
-		QuestionsServed: m.met.questions.Value(),
-		AnswersApplied:  m.met.answers.Value(),
+		SessionsLive:     live,
+		SessionsCreated:  m.met.created.Value(),
+		SessionsResumed:  m.met.resumed.Value(),
+		SessionsEvicted:  m.met.evicted.Value(),
+		SessionsDeleted:  m.met.deleted.Value(),
+		QuestionsServed:  m.met.questions.Value(),
+		AnswersApplied:   m.met.answers.Value(),
+		DeltasIngested:   m.met.ingests.Value(),
+		SessionsMigrated: m.met.migrated.Value(),
+		SessionsRetired:  m.met.retired.Value(),
+		Registry:         m.reg.Stats(),
 	}
 	if m.opts.PolicyCache != nil {
 		st := m.opts.PolicyCache.Stats()
@@ -552,6 +567,110 @@ func (m *Manager) List() []Info {
 	return out
 }
 
+// IngestResult reports what one delta did across the service: the new
+// instance version and class counts, plus what happened to the shared
+// policy cache's memoized decision trees.
+type IngestResult struct {
+	Instance string `json:"instance"`
+	// Version is the instance version the delta produced; Classes the
+	// T-class count at that version.
+	Version int64 `json:"version"`
+	Classes int   `json:"classes"`
+	// ClassesMinted / ClassesRetired count T-classes the delta created and
+	// emptied.
+	ClassesMinted  int `json:"classes_minted"`
+	ClassesRetired int `json:"classes_retired"`
+	// PolicyTrees* / PolicyNodes* count what the update did to the shared
+	// policy cache's resident trees (all zero without a cache).
+	PolicyTreesMigrated int `json:"policy_trees_migrated,omitempty"`
+	PolicyTreesDropped  int `json:"policy_trees_dropped,omitempty"`
+	PolicyNodesMigrated int `json:"policy_nodes_migrated,omitempty"`
+	PolicyNodesRetired  int `json:"policy_nodes_retired,omitempty"`
+}
+
+// Ingest applies one delta to a registered instance: the registry advances
+// the data and its T-classes to the next version (persisting the delta when
+// a store is attached), the shared policy cache migrates or retires its
+// memoized trees, and live sessions follow at their next question boundary
+// — a session resumed on the new version and one migrated onto it ask
+// bit-identical questions.
+func (m *Manager) Ingest(name string, d joininference.Delta) (IngestResult, error) {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return IngestResult{}, ErrClosed
+	}
+	upd, err := m.reg.Ingest(name, d)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	m.met.ingests.Add(1)
+	res := IngestResult{
+		Instance:       name,
+		Version:        upd.Version(),
+		Classes:        upd.Classes.Len(),
+		ClassesMinted:  upd.ClassesMinted(),
+		ClassesRetired: upd.ClassesRetired(),
+	}
+	if m.opts.PolicyCache != nil {
+		inv := m.opts.PolicyCache.ApplyUpdate(name, upd)
+		res.PolicyTreesMigrated = inv.TreesMigrated
+		res.PolicyTreesDropped = inv.TreesDropped
+		res.PolicyNodesMigrated = inv.NodesMigrated
+		res.PolicyNodesRetired = inv.NodesRetired
+	}
+	return res, nil
+}
+
+// migrateLocked carries the session onto its instance's current version
+// when ingests have advanced it, applying the pending updates in order
+// through the incremental maintenance path. Sessions migrate at question
+// boundaries (Questions, Answer) — status, predicate and snapshot reads
+// serve the version the session last interacted on. A session whose
+// surviving answers turn inconsistent under the new data (a semijoin
+// positive losing its last witness) is retired: removed from the manager
+// with its persisted copy, and the caller's request fails with the
+// underlying ErrInconsistent. Callers hold ms.mu.
+func (m *Manager) migrateLocked(ms *managed) error {
+	upds, err := m.reg.UpdatesSince(ms.params.Instance, ms.sess.InstanceVersion())
+	if err != nil || len(upds) == 0 {
+		return err
+	}
+	for _, upd := range upds {
+		if err := ms.sess.ApplyUpdate(upd); err != nil {
+			m.retireLocked(ms)
+			return fmt.Errorf("service: session %s cannot follow instance %q to version %d: %w",
+				ms.id, ms.params.Instance, upd.Version(), err)
+		}
+	}
+	ms.done = nil
+	ms.info()
+	m.met.migrated.Add(1)
+	m.storePersist(ms)
+	return nil
+}
+
+// retireLocked removes a session that can no longer serve, deleting its
+// persisted copy so it does not resurrect on the next boot. Callers hold
+// ms.mu (which stays held — the caller's release unlocks it).
+func (m *Manager) retireLocked(ms *managed) {
+	ms.gone = true
+	m.mu.Lock()
+	delete(m.sessions, ms.id)
+	m.mu.Unlock()
+	m.met.retired.Add(1)
+	if m.opts.Store != nil {
+		if err := m.opts.Store.Delete(store.SessionKey(ms.id)); err != nil {
+			m.logf("service: removing persisted session %s: %v", ms.id, err)
+		}
+	} else if m.opts.PersistDir != "" {
+		if err := os.Remove(m.persistPath(ms.id)); err != nil && !os.IsNotExist(err) {
+			m.logf("service: removing persisted session %s: %v", ms.id, err)
+		}
+	}
+}
+
 // Questions returns up to k pairwise-informative questions for parallel
 // dispatch. The context cancels mid-computation (including inside an L2S
 // lookahead). An empty slice means the session is done.
@@ -561,6 +680,9 @@ func (m *Manager) Questions(ctx context.Context, id string, k int) ([]joininfere
 		return nil, err
 	}
 	defer m.release(ms)
+	if err := m.migrateLocked(ms); err != nil {
+		return nil, err
+	}
 	qs, err := ms.sess.NextQuestions(ctx, k)
 	if err == nil {
 		// NextQuestions just answered the done question for free.
@@ -582,6 +704,9 @@ func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (Answ
 		return AnswerResult{}, err
 	}
 	defer m.release(ms)
+	if err := m.migrateLocked(ms); err != nil {
+		return AnswerResult{}, err
+	}
 	var res AnswerResult
 	// Store-backed sessions persist on every applied answer, not just at
 	// eviction/shutdown: a kill -9 then restart loses nothing that was

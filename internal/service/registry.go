@@ -7,6 +7,8 @@
 package service
 
 import (
+	"errors"
+	"expvar"
 	"fmt"
 	"os"
 	"sort"
@@ -18,15 +20,20 @@ import (
 	"repro/internal/tpch"
 )
 
-// Entry is a loaded, ready-to-serve instance: the relations plus T-classes
-// precomputed once and shared by every join session over it.
+// Entry is a loaded, ready-to-serve snapshot of an instance at one version:
+// the relations plus T-classes precomputed once and shared by every join
+// session over it. Entries are immutable — an ingest replaces the slot's
+// entry with a new one rather than mutating it, so a caller holding an
+// Entry always sees a consistent (instance, classes) pair.
 type Entry struct {
 	// Name is the registry key.
 	Name string
-	// Inst is the two-relation instance.
+	// Inst is the two-relation instance, at the version current when the
+	// entry was fetched.
 	Inst *joininference.Instance
-	// Classes are the precomputed T-classes (join sessions adopt them via
-	// WithPrecomputedClasses, skipping the product scan per session).
+	// Classes are the precomputed T-classes of that version (join sessions
+	// adopt them via WithPrecomputedClasses, skipping the product scan per
+	// session).
 	Classes *joininference.ClassSet
 }
 
@@ -35,10 +42,19 @@ type Entry struct {
 type Source func() (*joininference.Instance, error)
 
 type regSlot struct {
-	src  Source
-	once sync.Once
-	e    *Entry
-	err  error
+	src Source
+
+	// mu serializes loading and ingests for this slot; concurrent first
+	// users block on the same load.
+	mu     sync.Mutex
+	loaded bool
+	e      *Entry
+	err    error
+	// updates is the in-process version history since load, oldest first:
+	// updates[k] transforms version base+k into base+k+1, where base is the
+	// version the slot loaded at. Live sessions pinned to an older version
+	// migrate forward through it (UpdatesSince). Append-only.
+	updates []*joininference.InstanceUpdate
 }
 
 // Registry maps stable names to lazily-loaded instances. All methods are
@@ -48,7 +64,10 @@ type regSlot struct {
 // With a store attached (AttachStore), a loaded entry — tuples plus
 // precomputed T-classes — is cached as one binary record keyed by name, and
 // later boots decode it instead of re-parsing CSV, re-generating TPC-H, or
-// re-scanning the product. Like the policy cache, a name must uniquely
+// re-scanning the product. Ingested deltas (Ingest) are appended to the
+// store's delta log, so a boot whose cached record predates the tip replays
+// the missing deltas through the incremental maintenance path instead of
+// recomputing anything. Like the policy cache, a name must uniquely
 // identify the instance's data; registering different data under a name
 // the store has seen requires clearing the store or picking a new name.
 type Registry struct {
@@ -56,6 +75,41 @@ type Registry struct {
 	slots map[string]*regSlot
 	kv    store.KV
 	logf  func(string, ...any)
+
+	met registryMetrics
+}
+
+// registryMetrics counts how entries were brought to serving state:
+// cacheHits decoded the store's instance cache, reparses ran the source
+// (CSV parse, TPC-H generation, product scan), deltasReplayed counts
+// delta-log records rolled forward at load, ingests counts live deltas
+// applied.
+type registryMetrics struct {
+	cacheHits, reparses, deltasReplayed, ingests expvar.Int
+}
+
+// RegistryStats is a point-in-time snapshot of a registry's counters,
+// served under /debug/metrics.
+type RegistryStats struct {
+	// CacheHits counts entries served from the store's instance cache;
+	// Reparses counts entries built from their source (first ever load, or
+	// a corrupt/version-skewed cache record).
+	CacheHits int64 `json:"cache_hits"`
+	Reparses  int64 `json:"reparses"`
+	// DeltasReplayed counts delta-log records rolled forward at load time;
+	// Ingests counts deltas applied live.
+	DeltasReplayed int64 `json:"deltas_replayed"`
+	Ingests        int64 `json:"ingests"`
+}
+
+// Stats returns the registry's counters.
+func (r *Registry) Stats() RegistryStats {
+	return RegistryStats{
+		CacheHits:      r.met.cacheHits.Value(),
+		Reparses:       r.met.reparses.Value(),
+		DeltasReplayed: r.met.deltasReplayed.Value(),
+		Ingests:        r.met.ingests.Value(),
+	}
 }
 
 // NewRegistry returns an empty registry.
@@ -117,6 +171,10 @@ func (r *Registry) RegisterSynth(name string, cfg synth.Config, seed int64) erro
 // ErrUnknownInstance is wrapped by Get for names never registered.
 var ErrUnknownInstance = fmt.Errorf("service: unknown instance")
 
+// ErrBadDelta wraps delta validation failures (arity mismatch, out-of-range
+// or double deletes) reported by Ingest.
+var ErrBadDelta = errors.New("service: bad delta")
+
 // AttachStore caches loaded entries in the KV store. Attach before first
 // use (wiring happens at boot); logf receives cache diagnostics, nil
 // discards them.
@@ -130,43 +188,165 @@ func (r *Registry) AttachStore(kv store.KV, logf func(string, ...any)) {
 	r.mu.Unlock()
 }
 
-// Get loads (once) and returns the named entry: from the store cache when
-// attached and populated, else from the source (and then into the cache).
-func (r *Registry) Get(name string) (*Entry, error) {
+// slot resolves a name to its slot plus the store wiring, without loading.
+func (r *Registry) slot(name string) (*regSlot, store.KV, func(string, ...any), error) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	slot, ok := r.slots[name]
-	kv, logf := r.kv, r.logf
-	r.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, name)
+		return nil, nil, nil, fmt.Errorf("%w: %q", ErrUnknownInstance, name)
 	}
-	slot.once.Do(func() {
-		if kv != nil {
-			if data, ok, err := kv.Get(store.RegistryKey(name)); err == nil && ok {
-				inst, cs, err := joininference.DecodeInstanceCache(data)
-				if err == nil {
-					slot.e = &Entry{Name: name, Inst: inst, Classes: cs}
-					return
-				}
+	logf := r.logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return slot, r.kv, logf, nil
+}
+
+// Get loads (once) and returns the named entry at its current version: from
+// the store cache when attached and populated, else from the source (and
+// then into the cache) — in both cases rolled forward through any delta-log
+// records newer than the loaded version.
+func (r *Registry) Get(name string) (*Entry, error) {
+	slot, kv, logf, err := r.slot(name)
+	if err != nil {
+		return nil, err
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	r.loadLocked(slot, name, kv, logf)
+	return slot.e, slot.err
+}
+
+// loadLocked brings a slot to serving state; callers hold slot.mu. The
+// load is attempted once: a source or delta-log failure sticks (retrying
+// cannot help and hammering a broken source per request helps less).
+func (r *Registry) loadLocked(slot *regSlot, name string, kv store.KV, logf func(string, ...any)) {
+	if slot.loaded {
+		return
+	}
+	slot.loaded = true
+	var inst *joininference.Instance
+	var cs *joininference.ClassSet
+	if kv != nil {
+		if data, ok, err := kv.Get(store.RegistryKey(name)); err == nil && ok {
+			if i, c, err := joininference.DecodeInstanceCache(data); err == nil {
+				inst, cs = i, c
+				r.met.cacheHits.Add(1)
+			} else {
 				// A corrupt cache record falls back to the source — it will
 				// be overwritten below.
 				logf("service: instance cache %q: %v", name, err)
 			}
 		}
-		inst, err := slot.src()
+	}
+	fromCache := inst != nil
+	if inst == nil {
+		i, err := slot.src()
 		if err != nil {
 			slot.err = err
 			return
 		}
-		cs := joininference.PrecomputeClasses(inst)
-		slot.e = &Entry{Name: name, Inst: inst, Classes: cs}
-		if kv != nil {
-			if err := kv.Put(store.RegistryKey(name), joininference.EncodeInstanceCache(inst, cs)); err != nil {
-				logf("service: caching instance %q: %v", name, err)
+		inst, cs = i, joininference.PrecomputeClasses(i)
+		r.met.reparses.Add(1)
+	}
+	// Roll forward through delta-log records past the loaded version. Each
+	// replay runs the same incremental maintenance path a live ingest does,
+	// so a restored instance is bit-identical to the one that served before
+	// the restart. A gap or corrupt record is an error, not a fallback: the
+	// log is the only record of ingested rows, and serving without them
+	// would silently fork the history.
+	replayed := 0
+	if kv != nil {
+		err := store.ReplayDeltaLog(kv, name, inst.Version(), func(version int64, d joininference.Delta) error {
+			upd, err := joininference.ApplyDelta(inst, cs, d)
+			if err != nil {
+				return err
 			}
+			inst, cs = upd.To, upd.Classes
+			replayed++
+			return nil
+		})
+		if err != nil {
+			slot.err = fmt.Errorf("service: replaying delta log for %q: %w", name, err)
+			return
 		}
-	})
-	return slot.e, slot.err
+		r.met.deltasReplayed.Add(int64(replayed))
+	}
+	slot.e = &Entry{Name: name, Inst: inst, Classes: cs}
+	if kv != nil && (!fromCache || replayed > 0) {
+		// Advance the cached record to the tip so the next boot decodes and
+		// replays nothing.
+		if err := kv.Put(store.RegistryKey(name), joininference.EncodeInstanceCache(inst, cs)); err != nil {
+			logf("service: caching instance %q: %v", name, err)
+		}
+	}
+}
+
+// Ingest applies one delta to the named instance: the data moves to the
+// next version, the T-classes are maintained incrementally, the delta is
+// appended to the store's log (when one is attached) and the cached entry
+// record is advanced. The returned update carries everything downstream
+// layers need to follow — Session.ApplyUpdate for live sessions,
+// PolicyCache.ApplyUpdate for memoized decision trees. Validation failures
+// wrap ErrBadDelta; nothing changes on error.
+func (r *Registry) Ingest(name string, d joininference.Delta) (*joininference.InstanceUpdate, error) {
+	slot, kv, logf, err := r.slot(name)
+	if err != nil {
+		return nil, err
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	r.loadLocked(slot, name, kv, logf)
+	if slot.err != nil {
+		return nil, slot.err
+	}
+	upd, err := joininference.ApplyDelta(slot.e.Inst, slot.e.Classes, d)
+	if err != nil {
+		if errors.Is(err, joininference.ErrStaleVersion) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadDelta, err)
+	}
+	if kv != nil {
+		// Store failures are logged, not fatal: the in-memory chain has
+		// already advanced (the version history is linear and cannot be
+		// rewound), and wedging the slot over a persistence error would take
+		// live serving down with it.
+		if err := store.AppendDelta(kv, name, upd.Version(), upd.Delta); err != nil {
+			logf("service: persisting delta for %q: %v", name, err)
+		}
+		if err := kv.Put(store.RegistryKey(name), joininference.EncodeInstanceCache(upd.To, upd.Classes)); err != nil {
+			logf("service: caching instance %q: %v", name, err)
+		}
+	}
+	slot.e = &Entry{Name: name, Inst: upd.To, Classes: upd.Classes}
+	slot.updates = append(slot.updates, upd)
+	r.met.ingests.Add(1)
+	return upd, nil
+}
+
+// UpdatesSince returns the updates transforming version v of the named
+// instance into its current tip, oldest first (empty when v is the tip).
+// The history window starts at the version the slot loaded at; asking for
+// anything outside [base, tip] is an error.
+func (r *Registry) UpdatesSince(name string, v int64) ([]*joininference.InstanceUpdate, error) {
+	slot, _, _, err := r.slot(name)
+	if err != nil {
+		return nil, err
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if !slot.loaded || slot.err != nil || slot.e == nil {
+		return nil, nil
+	}
+	tip := slot.e.Inst.Version()
+	base := tip - int64(len(slot.updates))
+	if v < base || v > tip {
+		return nil, fmt.Errorf("service: instance %q version %d outside the update window [%d, %d]", name, v, base, tip)
+	}
+	// slot.updates is append-only, so handing out a sub-slice is safe.
+	return slot.updates[v-base:], nil
 }
 
 // Names returns the registered names, sorted.

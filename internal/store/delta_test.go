@@ -1,0 +1,185 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func sampleDelta(i int) relation.Delta {
+	return relation.Delta{
+		InsertR: []relation.Tuple{{fmt.Sprintf("r%d", i), "x"}},
+		InsertP: []relation.Tuple{{"p", fmt.Sprintf("%d", i), ""}},
+		DeleteR: []int{i},
+		DeleteP: []int{i, i + 1},
+	}
+}
+
+func TestDeltaCodecRoundtrip(t *testing.T) {
+	cases := []relation.Delta{
+		{},
+		{InsertR: []relation.Tuple{{"a", "b"}, {"", ""}}},
+		{InsertP: []relation.Tuple{{"only p"}}},
+		{DeleteR: []int{0, 5, 2}},
+		{DeleteP: []int{7}},
+		sampleDelta(3),
+		{InsertR: []relation.Tuple{{"nul\x00byte", "uni☃code"}}},
+	}
+	for i, d := range cases {
+		got, err := DecodeDelta(EncodeDelta(nil, d))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		// Encode normalizes nothing, so a round trip must be exact (modulo
+		// nil vs empty slices, which reflect.DeepEqual distinguishes — use
+		// the encoded form as the canonical comparison).
+		if string(EncodeDelta(nil, got)) != string(EncodeDelta(nil, d)) {
+			t.Fatalf("case %d: round trip diverged: %+v vs %+v", i, got, d)
+		}
+	}
+}
+
+func TestDecodeDeltaRejectsCorrupt(t *testing.T) {
+	valid := EncodeDelta(nil, sampleDelta(1))
+	cases := [][]byte{
+		nil,
+		{},
+		{99},                 // unknown version
+		valid[:1],            // truncated after version byte
+		valid[:len(valid)-1], // truncated tail
+		append(append([]byte(nil), valid...), 0xAB),                                      // trailing bytes
+		{deltaRecordVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, // huge count
+	}
+	for i, data := range cases {
+		if _, err := DecodeDelta(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("case %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestDeltaLogAppendReplay(t *testing.T) {
+	kv := NewMem()
+	for v := int64(1); v <= 4; v++ {
+		if err := AppendDelta(kv, "inst", v, sampleDelta(int(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A same-prefix name must not leak into the scan.
+	if err := AppendDelta(kv, "inst2", 1, sampleDelta(9)); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []int64
+	err := ReplayDeltaLog(kv, "inst", 0, func(version int64, d relation.Delta) error {
+		got = append(got, version)
+		want := sampleDelta(int(version))
+		if !reflect.DeepEqual(d.DeleteP, want.DeleteP) || len(d.InsertR) != 1 || d.InsertR[0][0] != want.InsertR[0][0] {
+			t.Errorf("version %d: replayed %+v", version, d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int64{1, 2, 3, 4}) {
+		t.Fatalf("replayed versions %v", got)
+	}
+
+	// Replay from a mid-log version skips what the caller already has.
+	got = nil
+	if err := ReplayDeltaLog(kv, "inst", 2, func(version int64, d relation.Delta) error {
+		got = append(got, version)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int64{3, 4}) {
+		t.Fatalf("replay from 2: versions %v", got)
+	}
+
+	// A callback error aborts the replay and surfaces.
+	sentinel := errors.New("stop")
+	if err := ReplayDeltaLog(kv, "inst", 0, func(int64, relation.Delta) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("callback error: %v", err)
+	}
+}
+
+func TestReplayDeltaLogDetectsGap(t *testing.T) {
+	kv := NewMem()
+	if err := AppendDelta(kv, "inst", 1, sampleDelta(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendDelta(kv, "inst", 3, sampleDelta(3)); err != nil {
+		t.Fatal(err)
+	}
+	err := ReplayDeltaLog(kv, "inst", 0, func(int64, relation.Delta) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("gap not detected: %v", err)
+	}
+}
+
+func TestDeltaKeyRoundtripAndOrder(t *testing.T) {
+	inst, ver, err := ParseDeltaKey(DeltaKey("my\x00inst", 42))
+	if err != nil || inst != "my\x00inst" || ver != 42 {
+		t.Fatalf("ParseDeltaKey = %q, %d, %v", inst, ver, err)
+	}
+	// Version order must be bytewise key order (the replay scan relies on
+	// it).
+	prev := DeltaKey("i", 1)
+	for v := int64(2); v < 300; v += 7 {
+		k := DeltaKey("i", v)
+		if string(prev) >= string(k) {
+			t.Fatalf("key order broken at version %d", v)
+		}
+		prev = k
+	}
+}
+
+// TestEnsureFormatUpgradeFromV1 checks the v1→v2 upgrade path: the policy
+// and registry tables (whose key layout changed, and which are pure caches)
+// are dropped, session snapshots survive, and the store is restamped.
+func TestEnsureFormatUpgradeFromV1(t *testing.T) {
+	kv := NewMem()
+	if err := kv.Put(MetaKey(), []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	// A version-1 policy key (no version component) plus registry and
+	// session records.
+	v1Policy := appendEscaped([]byte{tablePolicy}, "inst")
+	v1Policy = appendEscaped(v1Policy, "TD")
+	v1Policy = appendInt64(v1Policy, 0)
+	for _, k := range [][]byte{v1Policy, RegistryKey("inst"), SessionKey("0123456789abcdef")} {
+		if err := kv.Put(k, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := EnsureFormat(kv); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := kv.Get(MetaKey()); !ok || len(v) != 1 || v[0] != FormatVersion {
+		t.Fatalf("meta after upgrade = %v, %v", v, ok)
+	}
+	if _, ok, _ := kv.Get(v1Policy); ok {
+		t.Error("v1 policy record survived the upgrade")
+	}
+	if _, ok, _ := kv.Get(RegistryKey("inst")); ok {
+		t.Error("v1 registry record survived the upgrade")
+	}
+	if _, ok, _ := kv.Get(SessionKey("0123456789abcdef")); !ok {
+		t.Error("session record did not survive the upgrade")
+	}
+	// Idempotent on a current-version store.
+	if err := EnsureFormat(kv); err != nil {
+		t.Fatal(err)
+	}
+	// A store from the future is rejected.
+	if err := kv.Put(MetaKey(), []byte{FormatVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureFormat(kv); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future store accepted: %v", err)
+	}
+}

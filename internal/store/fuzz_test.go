@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/policy"
+	"repro/internal/relation"
 )
 
 // FuzzDecodePolicyNode: arbitrary bytes must decode to a node or fail with
@@ -35,6 +36,42 @@ func FuzzDecodePolicyNode(f *testing.F) {
 			t.Fatalf("round trip diverged: %+v vs %+v", again, n)
 		}
 	})
+}
+
+// FuzzDecodeDelta: arbitrary bytes must decode to a delta or fail with
+// ErrCorrupt — never panic, never misparse silently (a successful decode
+// must survive a re-encode/re-decode round trip).
+func FuzzDecodeDelta(f *testing.F) {
+	f.Add(EncodeDelta(nil, relationDelta()))
+	f.Add([]byte{deltaRecordVersion})
+	f.Add([]byte{deltaRecordVersion, 0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDelta(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		enc := EncodeDelta(nil, d)
+		again, err := DecodeDelta(enc)
+		if err != nil {
+			t.Fatalf("re-decode of a decoded delta failed: %v", err)
+		}
+		if !bytes.Equal(enc, EncodeDelta(nil, again)) {
+			t.Fatalf("round trip diverged: %+v vs %+v", d, again)
+		}
+	})
+}
+
+func relationDelta() relation.Delta {
+	return relation.Delta{
+		InsertR: []relation.Tuple{{"a", "b"}},
+		InsertP: []relation.Tuple{{"c"}},
+		DeleteR: []int{1, 2},
+		DeleteP: []int{0},
+	}
 }
 
 // FuzzKeyEscape: the string escape round-trips arbitrary bytes, and

@@ -12,8 +12,9 @@ import (
 //
 //	0x01                          meta (format version)
 //	0x02 <id>                     session snapshot, binary service codec
-//	0x03 <inst> <strat> <seed8> <answer-prefix> <rngpos8>   policy node
+//	0x03 <inst> <ver8> <strat> <seed8> <answer-prefix> <rngpos8>   policy node
 //	0x04 <name>                   registry instance + T-class cache
+//	0x05 <inst> <ver8>            delta-log record (the delta producing <ver>)
 //
 // Strings are escaped (0x00 → 0x00 0xFF) and 0x00 0x01-terminated, which
 // preserves bytewise order and keeps a shorter string before its
@@ -32,6 +33,7 @@ const (
 	tableSessions = 0x02
 	tablePolicy   = 0x03
 	tableRegistry = 0x04
+	tableDeltas   = 0x05
 )
 
 // MetaKey is the store-format version record's key.
@@ -40,10 +42,20 @@ func MetaKey() []byte { return []byte{tableMeta} }
 // FormatVersion is the store's key/value layout version, recorded under
 // MetaKey. It is bumped only when the layout changes incompatibly; a store
 // written by a newer build is rejected rather than misread.
-const FormatVersion = 1
+//
+// Version history: 1 = initial layout; 2 = policy node keys gained the
+// instance version component and the delta-log table appeared.
+const FormatVersion = 2
 
-// EnsureFormat stamps an empty store with the current format version and
-// rejects a store stamped with a newer one.
+// EnsureFormat stamps an empty store with the current format version,
+// upgrades a store stamped with an older one, and rejects a store stamped
+// with a newer one.
+//
+// Upgrading from version 1 drops the policy and registry tables: both are
+// caches (their loss costs recomputation, never data), and version-1 policy
+// keys lack the instance-version component so reading them with the
+// version-2 parser would misattribute prefix bytes. Session snapshots are
+// untouched — their codec did not change.
 func EnsureFormat(kv KV) error {
 	v, ok, err := kv.Get(MetaKey())
 	if err != nil {
@@ -55,7 +67,24 @@ func EnsureFormat(kv KV) error {
 	if len(v) != 1 || v[0] == 0 || v[0] > FormatVersion {
 		return fmt.Errorf("%w: store format version %v not supported (this build reads up to %d)", ErrCorrupt, v, FormatVersion)
 	}
-	return nil
+	if v[0] == FormatVersion {
+		return nil
+	}
+	for _, table := range [][]byte{{tablePolicy}, {tableRegistry}} {
+		var stale [][]byte
+		if err := kv.Scan(table, func(key, _ []byte) bool {
+			stale = append(stale, append([]byte(nil), key...))
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, key := range stale {
+			if err := kv.Delete(key); err != nil {
+				return err
+			}
+		}
+	}
+	return kv.Put(MetaKey(), []byte{FormatVersion})
 }
 
 // appendEscaped appends s with 0x00 escaped and a terminator, preserving
@@ -138,17 +167,20 @@ func RegistryKey(name string) []byte {
 }
 
 // PolicyTreePrefix is the scan prefix covering one decision tree: all
-// nodes of (instance, strategy, seed).
-func PolicyTreePrefix(instance, strategy string, seed int64) []byte {
+// nodes of (instance, version, strategy, seed). The version sits right
+// after the instance, so one scan over the instance component covers every
+// version in version order — the shape a version-garbage sweep wants.
+func PolicyTreePrefix(instance string, version int64, strategy string, seed int64) []byte {
 	k := appendEscaped([]byte{tablePolicy}, instance)
+	k = appendInt64(k, version)
 	k = appendEscaped(k, strategy)
 	return appendInt64(k, seed)
 }
 
 // PolicyNodeKey addresses one policy node: the tree, the answer prefix,
 // and the RND stream position at fetch time.
-func PolicyNodeKey(instance, strategy string, seed int64, answerPrefix []byte, rngPos uint64) []byte {
-	k := PolicyTreePrefix(instance, strategy, seed)
+func PolicyNodeKey(instance string, version int64, strategy string, seed int64, answerPrefix []byte, rngPos uint64) []byte {
+	k := PolicyTreePrefix(instance, version, strategy, seed)
 	k = append(k, answerPrefix...)
 	return binary.BigEndian.AppendUint64(k, rngPos)
 }
@@ -158,8 +190,8 @@ func PolicyNodeKey(instance, strategy string, seed int64, answerPrefix []byte, r
 // trailing fixed-width RNG position of each key means the scan may also
 // touch sibling variants whose position bytes happen to extend the prefix;
 // decoding the full key resolves each record to its true node.)
-func PolicySubtreePrefix(instance, strategy string, seed int64, answerPrefix []byte) []byte {
-	return append(PolicyTreePrefix(instance, strategy, seed), answerPrefix...)
+func PolicySubtreePrefix(instance string, version int64, strategy string, seed int64, answerPrefix []byte) []byte {
+	return append(PolicyTreePrefix(instance, version, strategy, seed), answerPrefix...)
 }
 
 // SplitPolicyNodeKey recovers (answer prefix, RNG position) from a policy
@@ -175,23 +207,59 @@ func SplitPolicyNodeKey(treePrefix, key []byte) (answerPrefix []byte, rngPos uin
 	return rest[:len(rest)-8], binary.BigEndian.Uint64(rest[len(rest)-8:]), nil
 }
 
-// ParsePolicyTree recovers (instance, strategy, seed) plus the node
-// remainder from a full policy node key; used by diagnostics and tests.
-func ParsePolicyTree(key []byte) (instance, strategy string, seed int64, rest []byte, err error) {
+// ParsePolicyTree recovers (instance, version, strategy, seed) plus the
+// node remainder from a full policy node key; used by diagnostics and
+// tests.
+func ParsePolicyTree(key []byte) (instance string, version int64, strategy string, seed int64, rest []byte, err error) {
 	if len(key) == 0 || key[0] != tablePolicy {
-		return "", "", 0, nil, fmt.Errorf("%w: not a policy key", ErrCorrupt)
+		return "", 0, "", 0, nil, fmt.Errorf("%w: not a policy key", ErrCorrupt)
 	}
 	instance, rest, err = readEscaped(key[1:])
 	if err != nil {
-		return "", "", 0, nil, err
+		return "", 0, "", 0, nil, err
+	}
+	version, rest, err = readInt64(rest)
+	if err != nil {
+		return "", 0, "", 0, nil, err
 	}
 	strategy, rest, err = readEscaped(rest)
 	if err != nil {
-		return "", "", 0, nil, err
+		return "", 0, "", 0, nil, err
 	}
 	seed, rest, err = readInt64(rest)
 	if err != nil {
-		return "", "", 0, nil, err
+		return "", 0, "", 0, nil, err
 	}
-	return instance, strategy, seed, rest, nil
+	return instance, version, strategy, seed, rest, nil
+}
+
+// DeltaKey addresses the delta-log record whose application produced the
+// given instance version (so the log for an instance starts at version 1).
+func DeltaKey(instance string, version int64) []byte {
+	return appendInt64(appendEscaped([]byte{tableDeltas}, instance), version)
+}
+
+// DeltaLogPrefix is the scan prefix covering an instance's whole delta
+// log, in version order.
+func DeltaLogPrefix(instance string) []byte {
+	return appendEscaped([]byte{tableDeltas}, instance)
+}
+
+// ParseDeltaKey recovers (instance, version) from a delta-log key.
+func ParseDeltaKey(key []byte) (instance string, version int64, err error) {
+	if len(key) == 0 || key[0] != tableDeltas {
+		return "", 0, fmt.Errorf("%w: not a delta-log key", ErrCorrupt)
+	}
+	instance, rest, err := readEscaped(key[1:])
+	if err != nil {
+		return "", 0, err
+	}
+	version, rest, err = readInt64(rest)
+	if err != nil {
+		return "", 0, err
+	}
+	if len(rest) != 0 {
+		return "", 0, fmt.Errorf("%w: trailing bytes in delta-log key", ErrCorrupt)
+	}
+	return instance, version, nil
 }

@@ -11,7 +11,7 @@ import (
 
 // PolicyTier adapts a KV into the policy cache's second tier: published
 // decision nodes are written through as compact binary records under
-// sortable (instance, strategy, seed, answer-prefix) keys, and an LRU miss
+// sortable (instance, version, strategy, seed, answer-prefix) keys, and an LRU miss
 // pages the subtree rooted at the missed prefix back in with one prefix
 // scan. The byte-bounded LRU then holds only the working set; the full
 // tree — thousands of instances' worth — lives in the store.
@@ -41,7 +41,7 @@ func (t *PolicyTier) SaveErrors() int64 { return t.saveErrs.Load() }
 
 // Load implements policy.Tier2.
 func (t *PolicyTier) Load(k policy.Key, prefix []byte, rngPos uint64) (policy.Node, bool) {
-	v, ok, err := t.kv.Get(PolicyNodeKey(k.Instance, k.Strategy, k.Seed, prefix, rngPos))
+	v, ok, err := t.kv.Get(PolicyNodeKey(k.Instance, k.Version, k.Strategy, k.Seed, prefix, rngPos))
 	if err != nil || !ok {
 		return policy.Node{}, false
 	}
@@ -56,7 +56,7 @@ func (t *PolicyTier) Load(k policy.Key, prefix []byte, rngPos uint64) (policy.No
 // subtree under the answer prefix into the LRU, in key order (the node at
 // the prefix itself first for deterministic trees, then descendants).
 func (t *PolicyTier) PageIn(k policy.Key, prefix []byte, insert func(prefix []byte, rngPos uint64, n policy.Node) bool) {
-	treePrefix := PolicyTreePrefix(k.Instance, k.Strategy, k.Seed)
+	treePrefix := PolicyTreePrefix(k.Instance, k.Version, k.Strategy, k.Seed)
 	scanPrefix := append(append([]byte(nil), treePrefix...), prefix...)
 	left := t.readahead
 	_ = t.kv.Scan(scanPrefix, func(key, value []byte) bool {
@@ -78,7 +78,7 @@ func (t *PolicyTier) PageIn(k policy.Key, prefix []byte, insert func(prefix []by
 
 // Save implements policy.Tier2: write-through of one published node.
 func (t *PolicyTier) Save(k policy.Key, prefix []byte, rngPos uint64, n policy.Node) {
-	key := PolicyNodeKey(k.Instance, k.Strategy, k.Seed, prefix, rngPos)
+	key := PolicyNodeKey(k.Instance, k.Version, k.Strategy, k.Seed, prefix, rngPos)
 	if err := t.kv.Put(key, EncodePolicyNode(nil, n)); err != nil {
 		t.saveErrs.Add(1)
 	}

@@ -185,22 +185,23 @@ func TestKeyOrdering(t *testing.T) {
 	// is exactly the bytewise prefix range.
 	parent := policy.AppendEdge(nil, 3, true)
 	child := policy.AppendEdge(append([]byte(nil), parent...), 7, false)
-	pk := PolicySubtreePrefix("inst", "L2S", 0, parent)
-	ck := PolicyNodeKey("inst", "L2S", 0, child, 9)
+	pk := PolicySubtreePrefix("inst", 2, "L2S", 0, parent)
+	ck := PolicyNodeKey("inst", 2, "L2S", 0, child, 9)
 	if !bytes.HasPrefix(ck, pk) {
 		t.Error("child policy key does not extend the parent subtree prefix")
 	}
-	tree := PolicyTreePrefix("inst", "L2S", 0)
+	tree := PolicyTreePrefix("inst", 2, "L2S", 0)
 	ap, rng, err := SplitPolicyNodeKey(tree, ck)
 	if err != nil || !bytes.Equal(ap, child) || rng != 9 {
 		t.Errorf("SplitPolicyNodeKey = (%v, %d, %v), want (%v, 9, nil)", ap, rng, err, child)
 	}
-	inst, strat, seed, rest, err := ParsePolicyTree(ck)
-	if err != nil || inst != "inst" || strat != "L2S" || seed != 0 || !bytes.Equal(rest, ck[len(tree):]) {
-		t.Errorf("ParsePolicyTree = (%q, %q, %d, %v, %v)", inst, strat, seed, rest, err)
+	inst, ver, strat, seed, rest, err := ParsePolicyTree(ck)
+	if err != nil || inst != "inst" || ver != 2 || strat != "L2S" || seed != 0 || !bytes.Equal(rest, ck[len(tree):]) {
+		t.Errorf("ParsePolicyTree = (%q, %d, %q, %d, %v, %v)", inst, ver, strat, seed, rest, err)
 	}
-	// Trees with different (instance, strategy, seed) never share a prefix.
-	other := PolicyTreePrefix("inst", "L2S", 1)
+	// Trees with different (instance, version, strategy, seed) never share
+	// a prefix.
+	other := PolicyTreePrefix("inst", 2, "L2S", 1)
 	if bytes.HasPrefix(other, tree) || bytes.HasPrefix(tree, other) {
 		t.Error("distinct trees share a prefix")
 	}

@@ -71,6 +71,10 @@ type PolicyCacheStats struct {
 	// LRU (hits plus readahead). Both stay 0 without AttachStore.
 	Tier2Hits uint64 `json:"tier2_hits,omitempty"`
 	PageIns   uint64 `json:"page_ins,omitempty"`
+	// Migrated counts nodes carried across instance updates (ApplyUpdate);
+	// Invalidated counts nodes retired by them.
+	Migrated    uint64 `json:"migrated,omitempty"`
+	Invalidated uint64 `json:"invalidated,omitempty"`
 	// Nodes and Bytes are current residency; MaxBytes is the bound
 	// (0 = unbounded).
 	Nodes    int   `json:"nodes"`
@@ -82,15 +86,17 @@ type PolicyCacheStats struct {
 func (pc *PolicyCache) Stats() PolicyCacheStats {
 	st := pc.c.Stats()
 	return PolicyCacheStats{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Publishes: st.Publishes,
-		Evictions: st.Evictions,
-		Tier2Hits: st.Tier2Hits,
-		PageIns:   st.PageIns,
-		Nodes:     st.Nodes,
-		Bytes:     st.Bytes,
-		MaxBytes:  st.MaxBytes,
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Publishes:   st.Publishes,
+		Evictions:   st.Evictions,
+		Tier2Hits:   st.Tier2Hits,
+		PageIns:     st.PageIns,
+		Migrated:    st.Migrated,
+		Invalidated: st.Invalidated,
+		Nodes:       st.Nodes,
+		Bytes:       st.Bytes,
+		MaxBytes:    st.MaxBytes,
 	}
 }
 
@@ -118,14 +124,17 @@ func (s *Session) policyActive() *policy.Cache {
 	return s.cfg.policy.c
 }
 
-// policyTreeKey identifies this session's decision tree. The seed is
-// normalized to 0 for everything but RND, so deterministic-strategy
-// sessions share one tree regardless of the configured seed.
+// policyTreeKey identifies this session's decision tree. The instance
+// version is in the key — a session migrated onto a new version
+// (ApplyUpdate) automatically reads and writes the new version's tree.
+// The seed is normalized to 0 for everything but RND, so
+// deterministic-strategy sessions share one tree regardless of the
+// configured seed.
 func (s *Session) policyTreeKey() policy.Key {
 	if s.sj != nil {
-		return policy.Key{Instance: s.cfg.policyInstance, Strategy: policySemijoinStrategy}
+		return policy.Key{Instance: s.cfg.policyInstance, Version: s.inst.Version(), Strategy: policySemijoinStrategy}
 	}
-	k := policy.Key{Instance: s.cfg.policyInstance, Strategy: string(s.cfg.stratID)}
+	k := policy.Key{Instance: s.cfg.policyInstance, Version: s.inst.Version(), Strategy: string(s.cfg.stratID)}
 	if s.cfg.stratID == StrategyRND {
 		k.Seed = s.cfg.seed
 	}

@@ -110,6 +110,9 @@ func PrecomputeClasses(inst *Instance) *ClassSet {
 	return &ClassSet{classes: product.ClassesIndexed(inst, u)}
 }
 
+// Len returns the number of T-classes in the set.
+func (cs *ClassSet) Len() int { return len(cs.classes) }
+
 // Strategy is a caller-implemented questioning strategy (the Υ of
 // Algorithm 1), plugged in with WithCustomStrategy. Next is called only
 // while informative classes remain and must return the index of an
