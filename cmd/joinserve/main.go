@@ -36,6 +36,15 @@
 // With -persist-dir (the legacy scheme), sessions are instead snapshotted
 // to one JSON file each; it is ignored when a store is configured.
 //
+// Sessions created with "soft_threshold" or "error_budget" params run
+// error-tolerant soft inference: answers carry optional worker ids and
+// weights, labels commit only when accumulated belief clears the
+// threshold, and contradictions within the error budget retract the
+// offending answers instead of failing with a conflict.
+// GET /sessions/{id}/explain reports per-answer Banzhaf attribution
+// scores, and /debug/metrics gains a "crowd" section with per-worker
+// reliability counters (votes, agreements, retractions).
+//
 // All sessions share one policy cache (-policy-cache-bytes, 0 disables):
 // the strategy decision tree of every (instance, strategy, seed) is
 // memoized across sessions, so on popular instances only the first user

@@ -136,6 +136,12 @@ func (s *Session) ApplyUpdate(upd *InstanceUpdate) error {
 	s.strat, s.stratErr = nil, nil
 	s.strats = make(map[StrategyID]inference.Strategy)
 	s.classIdx = nil
+	// Beliefs are keyed by class index; surviving classes carry their
+	// evidence across the remap, retired classes lose it (their tuples are
+	// gone, so the votes describe nothing).
+	if s.soft != nil {
+		s.soft.Remap(upd.res.Remap)
+	}
 	return nil
 }
 
@@ -174,6 +180,11 @@ func (s *Session) semijoinApplyUpdate(upd *InstanceUpdate) error {
 	s.sj = st
 	s.inst = upd.To
 	s.asked = len(st.entries)
+	// Row indexes are stable across versions; only dead rows lose their
+	// accumulated evidence.
+	if s.soft != nil {
+		s.soft.Drop(func(ri int) bool { return ri < upd.To.R.Len() && upd.To.RAlive(ri) })
+	}
 	return nil
 }
 

@@ -4,11 +4,14 @@
 // (same entities, different vendors, no shared keys), pricing every
 // question and exploiting T-class grouping (one answer can decide many
 // equivalent pairs at once). It then simulates *unreliable* workers with
-// the public CrowdOracle and shows how majority panels trade money for
-// reliability, and finally dispatches questions in parallel batches:
-// NextQuestions(ctx, k) returns pairwise-informative questions, so a whole
-// batch can be posted to the crowd at once and every answer that comes
-// back still carries information.
+// the reliability-weighted oracle: named workers accumulate Beta-posterior
+// accuracy estimates, votes are weighted by estimated reliability, and the
+// soft session absorbs wrong answers within an error budget instead of
+// failing. The inferred predicate comes with a Banzhaf-style explanation —
+// which answers actually determined it. Finally questions dispatch in
+// parallel batches: NextQuestions(ctx, k) returns pairwise-informative
+// questions, so a whole batch can be posted to the crowd at once and every
+// answer that comes back still carries information.
 //
 // Run with:
 //
@@ -75,39 +78,72 @@ func main() {
 	batchDispatch(ctx, inst, classes, goal)
 }
 
-// noisyCrowd reruns the inference through error-prone workers with
-// majority voting, reporting success rates and total microtask cost.
+// noisyCrowd reruns the inference through a named worker pool with
+// per-worker reliability tracking: a careful worker, two sloppy ones, and
+// one outright adversarial. Votes are weighted by each worker's
+// Beta-posterior accuracy, the soft session commits a label only once
+// belief clears the threshold, and up to three wrong commits can be
+// retracted instead of aborting the run. The commit/retraction events feed
+// the posteriors, so the adversary is identified and down-weighted.
 func noisyCrowd(ctx context.Context, inst *joininference.Instance,
 	classes *joininference.ClassSet, goal joininference.Pred) {
-	const errorRate = 0.2
-	fmt.Printf("\nNow with unreliable workers (each wrong with probability %.0f%%):\n", errorRate*100)
-	for _, workers := range []int{1, 3, 7} {
-		wins, tasks := 0, 0
-		const trials = 50
-		for seed := int64(0); seed < trials; seed++ {
-			panel, err := joininference.CrowdOracle(joininference.HonestOracle(goal),
-				workers, errorRate, centsPerQuestion, seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			s := joininference.NewSession(inst,
-				joininference.WithStrategy(joininference.StrategyTD),
-				joininference.WithPrecomputedClasses(classes))
-			res, err := joininference.Run(ctx, s, panel)
-			tasks += panel.Microtasks()
-			if err != nil {
-				continue // inconsistency detected — a failed crowd run
-			}
-			if len(joininference.Join(inst, res.Inferred)) == len(joininference.Join(inst, goal)) {
-				wins++
-			}
-		}
-		fmt.Printf("  %d worker(s)/question: %2d/%d successful runs, avg cost $%.2f  (theoretical per-question error %.1f%%)\n",
-			workers, wins, trials,
-			float64(tasks)/trials*centsPerQuestion/100,
-			joininference.CrowdErrorRate(workers, errorRate)*100)
+	workers := []joininference.WorkerSpec{
+		{ID: "alice", ErrorRate: 0.05},
+		{ID: "bob", ErrorRate: 0.25},
+		{ID: "carol", ErrorRate: 0.25},
+		{ID: "mallory", ErrorRate: 0.05, Adversarial: true},
 	}
-	fmt.Println("Redundancy buys reliability: the panel's per-question error shrinks exponentially.")
+	fmt.Println("\nNow with a tracked worker pool (reliability-weighted votes, 4 votes/round):")
+	for _, w := range workers {
+		role := fmt.Sprintf("honest, %.0f%% error rate", w.ErrorRate*100)
+		if w.Adversarial {
+			role = "adversarial (answers inverted)"
+		}
+		fmt.Printf("  %-8s %s\n", w.ID, role)
+	}
+	crowd, err := joininference.ReliabilityOracle(
+		joininference.HonestOracle(goal), workers, 4, centsPerQuestion, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := joininference.NewSession(inst,
+		joininference.WithStrategy(joininference.StrategyTD),
+		joininference.WithPrecomputedClasses(classes),
+		joininference.WithSoftInference(2),
+		joininference.WithErrorBudget(3))
+	res, err := joininference.Run(ctx, s, crowd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	match := "✓"
+	if len(joininference.Join(inst, res.Inferred)) != len(joininference.Join(inst, goal)) {
+		match = "✗"
+	}
+	stats := s.SoftStats()
+	fmt.Printf("Inferred %s %s after %d questions (%d microtasks, $%.2f, %d retraction(s)).\n",
+		match, res.Inferred.Format(s.Universe()), s.Questions(),
+		crowd.Microtasks(), crowd.TotalCost()/100, stats.Retractions)
+
+	fmt.Println("Learned worker reliabilities (Beta-posterior accuracy):")
+	for _, r := range crowd.Reliabilities() {
+		fmt.Printf("  %-8s %.2f  (%d agreed / %d graded)\n",
+			r.Worker, r.Accuracy, r.Correct, r.Correct+r.Wrong)
+	}
+
+	fmt.Println("Why this join? Banzhaf attribution of the committed answers:")
+	for _, a := range s.Explain() {
+		label := "No "
+		if a.Positive {
+			label = "Yes"
+		}
+		critical := ""
+		if a.Critical {
+			critical = "  [critical]"
+		}
+		fmt.Printf("  pair (R[%d], P[%d]) → %s  score %.2f%s\n",
+			a.Ref.RIndex, a.Ref.PIndex, label, a.Score, critical)
+	}
+	fmt.Println("High-score answers carried the inference; score-0 answers were redundant.")
 }
 
 // batchDispatch shows the parallel deployment: instead of one question per

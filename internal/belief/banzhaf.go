@@ -1,0 +1,150 @@
+package belief
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/inference"
+	"repro/internal/predicate"
+)
+
+// LabeledPred is one committed answer as the attribution module sees it:
+// the most specific predicate of the answered class (or row) and the
+// committed label.
+type LabeledPred struct {
+	Theta    predicate.Pred
+	Positive bool
+}
+
+// exactAttributionMax bounds the coalition count for exact Banzhaf
+// enumeration: with n−1 other answers the exact score averages over
+// 2^(n−1) coalitions, so 12 caps the work at 4096 outcome evaluations per
+// answer. Larger transcripts fall back to seeded Monte-Carlo sampling.
+const exactAttributionMax = 12
+
+// attributionSamples is the Monte-Carlo sample count per answer when exact
+// enumeration is too expensive. 128 coalitions resolves scores to ~0.008
+// granularity — plenty to rank answers and spot dead weight.
+const attributionSamples = 128
+
+// Attribution computes a Banzhaf-style contribution score for each answer:
+// the fraction of coalitions of the *other* answers whose inferred outcome
+// changes when this answer joins. An answer whose removal never changes
+// what the version space concludes scores 0; an answer that alone pins the
+// result scores 1. classThetas are the most specific predicates of every
+// T-class (used to count settled classes in the outcome signature); u is
+// the pair universe. The computation is deterministic: the Monte-Carlo
+// fallback derives its stream from seed alone.
+func Attribution(u *predicate.Universe, classThetas []predicate.Pred, answers []LabeledPred, seed int64) []float64 {
+	n := len(answers)
+	scores := make([]float64, n)
+	if n == 0 {
+		return scores
+	}
+	ev := &outcomeEval{u: u, classThetas: classThetas, answers: answers}
+	if n-1 <= exactAttributionMax {
+		coalitions := 1 << (n - 1)
+		for i := range answers {
+			flips := 0
+			for mask := 0; mask < coalitions; mask++ {
+				with, without := ev.pair(i, insertBit(mask, i))
+				if with != without {
+					flips++
+				}
+			}
+			scores[i] = float64(flips) / float64(coalitions)
+		}
+		return scores
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range answers {
+		flips := 0
+		for s := 0; s < attributionSamples; s++ {
+			mask := 0
+			for j := 0; j < n; j++ {
+				if j != i && rng.Intn(2) == 1 {
+					mask |= 1 << j
+				}
+			}
+			with, without := ev.pair(i, mask)
+			if with != without {
+				flips++
+			}
+		}
+		scores[i] = float64(flips) / float64(attributionSamples)
+	}
+	return scores
+}
+
+// insertBit spreads a mask over the n−1 positions excluding i: bits below i
+// keep their place, bits at or above i shift up one, leaving bit i clear.
+func insertBit(mask, i int) int {
+	low := mask & ((1 << i) - 1)
+	high := mask &^ ((1 << i) - 1)
+	return low | high<<1
+}
+
+// outcomeEval evaluates the version-space outcome of an answer coalition.
+type outcomeEval struct {
+	u           *predicate.Universe
+	classThetas []predicate.Pred
+	answers     []LabeledPred
+	negScratch  []predicate.Pred
+}
+
+// pair returns the outcome signatures with and without answer i, given the
+// coalition mask over the other answers (bit i must be clear in mask).
+func (ev *outcomeEval) pair(i, mask int) (with, without string) {
+	without = ev.outcome(mask)
+	with = ev.outcome(mask | 1<<i)
+	return with, without
+}
+
+// outcome computes the signature of the coalition selected by mask: the
+// key of T(S+) together with the count of classes certain under Lemmas
+// 3.3/3.4. Two coalitions with equal signatures conclude the same facts
+// about every tuple, so an answer flips the outcome iff it changes this
+// string.
+func (ev *outcomeEval) outcome(mask int) string {
+	tpos := predicate.Omega(ev.u)
+	negs := ev.negScratch[:0]
+	for j, a := range ev.answers {
+		if mask&(1<<j) == 0 {
+			continue
+		}
+		if a.Positive {
+			tpos = tpos.Intersect(a.Theta)
+		} else {
+			negs = append(negs, a.Theta)
+		}
+	}
+	ev.negScratch = negs
+	settled := 0
+	for _, theta := range ev.classThetas {
+		if inference.CertainUnder(tpos, negs, theta) {
+			settled++
+		}
+	}
+	return tpos.Key() + "|" + strconv.Itoa(settled)
+}
+
+// DropOneCritical reports, for each answer, whether removing just that
+// answer (keeping all others) changes the outcome — the cheapest useful
+// explanation for large transcripts, and the semijoin criticality test.
+func DropOneCritical(u *predicate.Universe, classThetas []predicate.Pred, answers []LabeledPred) []bool {
+	n := len(answers)
+	crit := make([]bool, n)
+	if n == 0 {
+		return crit
+	}
+	ev := &outcomeEval{u: u, classThetas: classThetas, answers: answers}
+	full := 0
+	for j := 0; j < n; j++ {
+		full |= 1 << j
+	}
+	base := ev.outcome(full)
+	for i := 0; i < n; i++ {
+		crit[i] = ev.outcome(full&^(1<<i)) != base
+	}
+	return crit
+}

@@ -1,0 +1,117 @@
+package belief
+
+import (
+	"testing"
+
+	"repro/internal/inference"
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+	"repro/internal/synth"
+)
+
+// attributionFixture builds the class thetas and universe of the paper's
+// running example.
+func attributionFixture(t *testing.T) (*predicate.Universe, []predicate.Pred) {
+	t.Helper()
+	inst := paperdata.FlightHotel()
+	eng := inference.New(inst)
+	classes := eng.Classes()
+	thetas := make([]predicate.Pred, len(classes))
+	for i, c := range classes {
+		thetas[i] = c.Theta
+	}
+	return eng.U, thetas
+}
+
+func TestAttributionExact(t *testing.T) {
+	u, thetas := attributionFixture(t)
+	answers := []LabeledPred{
+		{Theta: thetas[0], Positive: true},
+		{Theta: thetas[1], Positive: false},
+		{Theta: thetas[2], Positive: false},
+	}
+	a := Attribution(u, thetas, answers, 1)
+	b := Attribution(u, thetas, answers, 999) // exact path ignores the seed
+	if len(a) != len(answers) {
+		t.Fatalf("len = %d, want %d", len(a), len(answers))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("exact attribution not deterministic: %v vs %v", a, b)
+		}
+		if a[i] < 0 || a[i] > 1 {
+			t.Fatalf("score %d = %v outside [0, 1]", i, a[i])
+		}
+	}
+	// A lone answer is pivotal against the empty coalition, so at least one
+	// score must be nonzero.
+	nonzero := false
+	for _, s := range a {
+		nonzero = nonzero || s > 0
+	}
+	if !nonzero {
+		t.Fatalf("all scores zero: %v", a)
+	}
+	if got := Attribution(u, thetas, nil, 1); len(got) != 0 {
+		t.Fatalf("empty answers gave %v", got)
+	}
+}
+
+// A duplicated answer is never drop-one critical — its twin keeps the
+// outcome — while Banzhaf still credits each copy on coalitions that
+// exclude the other.
+func TestDuplicateAnswerNotCritical(t *testing.T) {
+	u, thetas := attributionFixture(t)
+	answers := []LabeledPred{
+		{Theta: thetas[0], Positive: true},
+		{Theta: thetas[0], Positive: true},
+		{Theta: thetas[1], Positive: false},
+	}
+	crit := DropOneCritical(u, thetas, answers)
+	if crit[0] || crit[1] {
+		t.Fatalf("duplicated answers flagged critical: %v", crit)
+	}
+	scores := Attribution(u, thetas, answers, 1)
+	if scores[0] == 0 || scores[0] != scores[1] {
+		t.Fatalf("duplicated answers should share a nonzero score, got %v", scores)
+	}
+}
+
+// Past exactAttributionMax answers the Monte-Carlo fallback kicks in; it
+// must still be deterministic for a fixed seed.
+func TestAttributionSampledDeterministic(t *testing.T) {
+	inst := synth.MustGenerate(synth.Config{AttrsR: 9, AttrsP: 8, Rows: 5, Values: 3}, 1)
+	eng := inference.New(inst)
+	u := eng.U
+	classes := eng.Classes()
+	thetas := make([]predicate.Pred, len(classes))
+	for i, c := range classes {
+		thetas[i] = c.Theta
+	}
+	n := exactAttributionMax + 3
+	if len(thetas) < n {
+		t.Fatalf("fixture has only %d classes, need %d", len(thetas), n)
+	}
+	answers := make([]LabeledPred, n)
+	answers[0] = LabeledPred{Theta: thetas[0], Positive: true}
+	for i := 1; i < n; i++ {
+		answers[i] = LabeledPred{Theta: thetas[i], Positive: false}
+	}
+	a := Attribution(u, thetas, answers, 42)
+	b := Attribution(u, thetas, answers, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampled attribution not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] > 1 {
+			t.Fatalf("score %d = %v outside [0, 1]", i, a[i])
+		}
+	}
+}
+
+func TestDropOneCriticalEmpty(t *testing.T) {
+	u, thetas := attributionFixture(t)
+	if got := DropOneCritical(u, thetas, nil); len(got) != 0 {
+		t.Fatalf("empty answers gave %v", got)
+	}
+}

@@ -47,6 +47,39 @@ type Majority struct {
 	Questions int
 	// WrongAnswers counts aggregated labels that differ from the truth.
 	WrongAnswers int
+
+	// rounds accumulates per-worker-round counters: rounds[i] covers the
+	// i-th vote cast on each question, so indexes ≥ Workers are tie-breaks.
+	rounds []RoundStats
+}
+
+// RoundStats is the cost/accuracy breakdown for one worker round — the
+// i-th vote position across all questions. The old aggregate counters
+// (Microtasks, TotalCost) hid where the money went: a panel of 4 that
+// constantly ties pays for a 5th round on most questions, and only a
+// per-round breakdown shows it.
+type RoundStats struct {
+	// Round is the vote position (0-based); positions ≥ the panel size are
+	// tie-break rounds.
+	Round int `json:"round"`
+	// Asked counts questions on which this round was consulted.
+	Asked int `json:"asked"`
+	// Correct counts this round's votes that matched the true label.
+	Correct int `json:"correct"`
+	// Cost is Asked · CostPerTask.
+	Cost float64 `json:"cost"`
+}
+
+// Stats returns the per-worker-round breakdown, one entry per vote
+// position that was ever consulted, in round order. The returned slice is
+// a copy with costs filled in from the current CostPerTask.
+func (m *Majority) Stats() []RoundStats {
+	out := make([]RoundStats, len(m.rounds))
+	copy(out, m.rounds)
+	for i := range out {
+		out[i].Cost = float64(out[i].Asked) * m.CostPerTask
+	}
+	return out
 }
 
 // NewMajority builds a majority-vote oracle with a seeded generator.
@@ -79,13 +112,20 @@ func (m *Majority) LabelFor(ri, pi int) sample.Label {
 func (m *Majority) Vote(truth sample.Label) sample.Label {
 	m.Questions++
 	votesFor, votesAgainst := 0, 0
+	round := 0
 	ask := func() {
 		m.Microtasks++
+		for len(m.rounds) <= round {
+			m.rounds = append(m.rounds, RoundStats{Round: len(m.rounds)})
+		}
+		m.rounds[round].Asked++
 		if m.rng.Float64() < m.ErrorRate {
 			votesAgainst++
 		} else {
 			votesFor++
+			m.rounds[round].Correct++
 		}
+		round++
 	}
 	for i := 0; i < m.Workers; i++ {
 		ask()

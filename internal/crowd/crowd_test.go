@@ -163,6 +163,50 @@ func TestInferenceThroughCrowd(t *testing.T) {
 	}
 }
 
+// TestMajorityStats: the per-round breakdown accounts for every microtask —
+// base rounds are consulted on every question, tie-break rounds only when an
+// even panel splits, and costs follow CostPerTask.
+func TestMajorityStats(t *testing.T) {
+	inst := paperdata.Example21()
+	u := predicate.NewUniverse(inst)
+	truth := oracle.NewHonest(inst, u, predicate.Empty())
+	m, err := NewMajority(truth, 2, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CostPerTask = 5
+	const questions = 200
+	for i := 0; i < questions; i++ {
+		m.LabelFor(i%4, i%3)
+	}
+	st := m.Stats()
+	if len(st) < 3 {
+		t.Fatalf("2-worker panel at 40%% error never tied in %d questions: %d rounds", questions, len(st))
+	}
+	total := 0
+	for i, r := range st {
+		if r.Round != i {
+			t.Errorf("round %d labeled %d", i, r.Round)
+		}
+		if r.Correct > r.Asked {
+			t.Errorf("round %d: correct %d > asked %d", i, r.Correct, r.Asked)
+		}
+		if r.Cost != float64(r.Asked)*m.CostPerTask {
+			t.Errorf("round %d: cost %v, want %v", i, r.Cost, float64(r.Asked)*m.CostPerTask)
+		}
+		total += r.Asked
+	}
+	if st[0].Asked != questions || st[1].Asked != questions {
+		t.Errorf("base rounds asked %d/%d times, want %d each", st[0].Asked, st[1].Asked, questions)
+	}
+	if st[2].Asked >= questions {
+		t.Errorf("tie-break round asked %d times, want < %d", st[2].Asked, questions)
+	}
+	if total != m.Microtasks {
+		t.Errorf("per-round asks sum to %d, Microtasks = %d", total, m.Microtasks)
+	}
+}
+
 // TestVoteMatchesLabelFor: LabelFor is exactly Vote over the truth's
 // answer — the same seed must produce the same label sequence and the same
 // statistics whichever entry point is used, so callers that resolve the

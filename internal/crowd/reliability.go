@@ -1,0 +1,196 @@
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sample"
+)
+
+// Posterior is a Beta posterior over one worker's accuracy: Correct and
+// Wrong count graded answers, and the estimate uses Laplace smoothing
+// (a Beta(1,1) prior), so a fresh worker starts at accuracy ½ — zero vote
+// weight — and earns influence as answers are confirmed.
+type Posterior struct {
+	Correct int `json:"correct"`
+	Wrong   int `json:"wrong"`
+}
+
+// Mean returns the posterior mean accuracy (Correct+1)/(Correct+Wrong+2).
+func (p Posterior) Mean() float64 {
+	return float64(p.Correct+1) / float64(p.Correct+p.Wrong+2)
+}
+
+// Reliability tracks a Beta posterior per worker id. The zero value is
+// ready to use.
+type Reliability struct {
+	m map[string]*Posterior
+}
+
+// Observe grades one answer from worker id: correct answers raise the
+// posterior, wrong ones lower it. Grading normally comes from downstream
+// agreement (did the committed label survive?) rather than ground truth.
+func (r *Reliability) Observe(id string, correct bool) {
+	if r.m == nil {
+		r.m = make(map[string]*Posterior)
+	}
+	p := r.m[id]
+	if p == nil {
+		p = &Posterior{}
+		r.m[id] = p
+	}
+	if correct {
+		p.Correct++
+	} else {
+		p.Wrong++
+	}
+}
+
+// Posterior returns the current posterior for worker id (zero counts for
+// an unseen worker).
+func (r *Reliability) Posterior(id string) Posterior {
+	if p := r.m[id]; p != nil {
+		return *p
+	}
+	return Posterior{}
+}
+
+// Accuracy returns the posterior-mean accuracy estimate for worker id.
+func (r *Reliability) Accuracy(id string) float64 { return r.Posterior(id).Mean() }
+
+// Snapshot returns every tracked worker id with its posterior, sorted by
+// id for deterministic reporting.
+func (r *Reliability) Snapshot() []WorkerPosterior {
+	out := make([]WorkerPosterior, 0, len(r.m))
+	for id, p := range r.m {
+		out = append(out, WorkerPosterior{Worker: id, Posterior: *p, Accuracy: p.Mean()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// WorkerPosterior is one worker's reliability estimate for reporting.
+type WorkerPosterior struct {
+	Worker    string  `json:"worker"`
+	Accuracy  float64 `json:"accuracy"`
+	Posterior Posterior
+}
+
+// WorkerSpec describes one simulated worker for a Panel.
+type WorkerSpec struct {
+	// ID names the worker in votes and reliability posteriors.
+	ID string
+	// ErrorRate is the probability of flipping the correct label while the
+	// worker is behaving; must be in [0, 1].
+	ErrorRate float64
+	// Adversarial inverts the behavior: the worker answers wrong with
+	// probability 1−ErrorRate (a reliable liar — exactly the worker a
+	// signed reliability weight learns to invert).
+	Adversarial bool
+	// SleeperAfter, when positive, turns the worker adversarial after that
+	// many answered microtasks: a sleeper builds up a good posterior and
+	// then starts lying.
+	SleeperAfter int
+}
+
+// RoundVote is one worker's answer within a panel round.
+type RoundVote struct {
+	Worker string
+	Label  sample.Label
+}
+
+// Panel simulates a roster of named workers with individual error profiles.
+// Unlike Majority it does not aggregate: it returns the raw per-worker
+// votes so the caller can weight them by learned reliability.
+type Panel struct {
+	// CostPerTask prices one microtask for TotalCost.
+	CostPerTask float64
+
+	specs       []WorkerSpec
+	perQuestion int
+	rng         *rand.Rand
+	next        int
+	answered    map[string]int
+
+	// Microtasks counts every individual vote; Questions counts rounds.
+	Microtasks int
+	Questions  int
+}
+
+// NewPanel builds a worker panel. perQuestion workers answer each round,
+// assigned deterministically round-robin over the roster; values < 1
+// behave as 1, and values above the roster size use every worker.
+func NewPanel(specs []WorkerSpec, perQuestion int, costPerTask float64, seed int64) (*Panel, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("crowd: panel needs at least one worker")
+	}
+	seen := make(map[string]bool, len(specs))
+	for i, w := range specs {
+		if w.ID == "" {
+			return nil, fmt.Errorf("crowd: worker %d has empty id", i)
+		}
+		if seen[w.ID] {
+			return nil, fmt.Errorf("crowd: duplicate worker id %q", w.ID)
+		}
+		seen[w.ID] = true
+		if w.ErrorRate < 0 || w.ErrorRate > 1 {
+			return nil, fmt.Errorf("crowd: worker %q error rate %v outside [0, 1]", w.ID, w.ErrorRate)
+		}
+	}
+	if perQuestion < 1 {
+		perQuestion = 1
+	}
+	if perQuestion > len(specs) {
+		perQuestion = len(specs)
+	}
+	return &Panel{
+		CostPerTask: costPerTask,
+		specs:       append([]WorkerSpec(nil), specs...),
+		perQuestion: perQuestion,
+		rng:         rand.New(rand.NewSource(seed)),
+		answered:    make(map[string]int, len(specs)),
+	}, nil
+}
+
+// Workers returns the roster's ids in assignment order.
+func (p *Panel) Workers() []string {
+	ids := make([]string, len(p.specs))
+	for i, w := range p.specs {
+		ids[i] = w.ID
+	}
+	return ids
+}
+
+// Round asks the next perQuestion workers the question whose true label is
+// truth and returns their individual (possibly wrong) votes. Deterministic
+// given the seed and call sequence; not safe for concurrent use.
+func (p *Panel) Round(truth sample.Label) []RoundVote {
+	p.Questions++
+	votes := make([]RoundVote, 0, p.perQuestion)
+	for i := 0; i < p.perQuestion; i++ {
+		w := p.specs[p.next]
+		p.next = (p.next + 1) % len(p.specs)
+		p.Microtasks++
+		p.answered[w.ID]++
+		adversarial := w.Adversarial
+		if w.SleeperAfter > 0 && p.answered[w.ID] > w.SleeperAfter {
+			adversarial = true
+		}
+		wrong := p.rng.Float64() < w.ErrorRate
+		if adversarial {
+			wrong = !wrong
+		}
+		l := truth
+		if wrong {
+			l = !l
+		}
+		votes = append(votes, RoundVote{Worker: w.ID, Label: l})
+	}
+	return votes
+}
+
+// TotalCost returns Microtasks · CostPerTask.
+func (p *Panel) TotalCost() float64 {
+	return float64(p.Microtasks) * p.CostPerTask
+}

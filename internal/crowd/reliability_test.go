@@ -1,0 +1,114 @@
+package crowd
+
+import "testing"
+
+func TestPosteriorMean(t *testing.T) {
+	if got := (Posterior{}).Mean(); got != 0.5 {
+		t.Errorf("fresh posterior mean = %v, want 0.5", got)
+	}
+	if got := (Posterior{Correct: 8}).Mean(); got != 0.9 {
+		t.Errorf("8/0 mean = %v, want 0.9", got)
+	}
+	if got := (Posterior{Wrong: 3}).Mean(); got != 0.2 {
+		t.Errorf("0/3 mean = %v, want 0.2", got)
+	}
+}
+
+func TestReliabilityObserve(t *testing.T) {
+	var r Reliability
+	r.Observe("b", true)
+	r.Observe("b", true)
+	r.Observe("a", false)
+	if got := r.Posterior("b"); got.Correct != 2 || got.Wrong != 0 {
+		t.Errorf("posterior b = %+v", got)
+	}
+	if got := r.Accuracy("a"); got != 1.0/3 {
+		t.Errorf("accuracy a = %v, want 1/3", got)
+	}
+	if got := r.Accuracy("unseen"); got != 0.5 {
+		t.Errorf("unseen accuracy = %v, want 0.5", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Worker != "a" || snap[1].Worker != "b" {
+		t.Errorf("snapshot not sorted by id: %+v", snap)
+	}
+	if snap[1].Accuracy != r.Accuracy("b") {
+		t.Errorf("snapshot accuracy %v != Accuracy %v", snap[1].Accuracy, r.Accuracy("b"))
+	}
+}
+
+func TestNewPanelValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []WorkerSpec
+	}{
+		{"empty roster", nil},
+		{"empty id", []WorkerSpec{{ID: ""}}},
+		{"duplicate id", []WorkerSpec{{ID: "a"}, {ID: "a"}}},
+		{"bad error rate", []WorkerSpec{{ID: "a", ErrorRate: 1.5}}},
+	}
+	for _, c := range cases {
+		if _, err := NewPanel(c.specs, 1, 0, 1); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+// TestPanelRoundRobin: workers are assigned round-robin deterministically;
+// error-free workers echo the truth, adversarial ones invert it, and a
+// sleeper flips once past its trigger.
+func TestPanelRoundRobin(t *testing.T) {
+	specs := []WorkerSpec{
+		{ID: "honest"},
+		{ID: "liar", Adversarial: true},
+		{ID: "sleeper", SleeperAfter: 1},
+	}
+	p, err := NewPanel(specs, 2, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Workers(); len(got) != 3 || got[0] != "honest" || got[2] != "sleeper" {
+		t.Fatalf("Workers = %v", got)
+	}
+	r1 := p.Round(true) // honest, liar
+	r2 := p.Round(true) // sleeper (first answer: still honest), honest
+	r3 := p.Round(true) // liar, sleeper (second answer: turned)
+	if r1[0].Worker != "honest" || !bool(r1[0].Label) {
+		t.Errorf("round 1 vote 0 = %+v, want honest/true", r1[0])
+	}
+	if r1[1].Worker != "liar" || bool(r1[1].Label) {
+		t.Errorf("round 1 vote 1 = %+v, want liar/false", r1[1])
+	}
+	if r2[0].Worker != "sleeper" || !bool(r2[0].Label) {
+		t.Errorf("round 2 vote 0 = %+v, want still-honest sleeper", r2[0])
+	}
+	if r3[1].Worker != "sleeper" || bool(r3[1].Label) {
+		t.Errorf("round 3 vote 1 = %+v, want turned sleeper", r3[1])
+	}
+	if p.Questions != 3 || p.Microtasks != 6 {
+		t.Errorf("Questions = %d, Microtasks = %d, want 3 and 6", p.Questions, p.Microtasks)
+	}
+	if p.TotalCost() != 30 {
+		t.Errorf("TotalCost = %v, want 30", p.TotalCost())
+	}
+
+	// Same seed, same call sequence: identical votes.
+	a, _ := NewPanel([]WorkerSpec{{ID: "w", ErrorRate: 0.5}}, 1, 0, 11)
+	b, _ := NewPanel([]WorkerSpec{{ID: "w", ErrorRate: 0.5}}, 1, 0, 11)
+	for i := 0; i < 50; i++ {
+		if x, y := a.Round(true)[0].Label, b.Round(true)[0].Label; x != y {
+			t.Fatalf("same-seed panels diverged at round %d", i)
+		}
+	}
+
+	// perQuestion above the roster size clamps to every worker; below 1
+	// clamps to 1.
+	big, _ := NewPanel(specs, 10, 0, 1)
+	if got := len(big.Round(true)); got != 3 {
+		t.Errorf("oversized perQuestion gave %d votes, want 3", got)
+	}
+	one, _ := NewPanel(specs, 0, 0, 1)
+	if got := len(one.Round(true)); got != 1 {
+		t.Errorf("perQuestion 0 gave %d votes, want 1", got)
+	}
+}

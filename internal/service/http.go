@@ -22,6 +22,9 @@ import (
 //	                                  questions for parallel crowd dispatch
 //	POST   /sessions/{id}/answers     {"answers": [{"r":..,"p":..,"positive":..}]}
 //	GET    /sessions/{id}/predicate   current inferred predicate (text + SQL)
+//	GET    /sessions/{id}/explain     per-answer Banzhaf attribution scores
+//	                                  ("why this join?") plus soft-layer
+//	                                  counters for error-tolerant sessions
 //	GET    /sessions/{id}/snapshot    durable snapshot (resumable elsewhere)
 //	DELETE /sessions/{id}             discard the session
 //	GET    /instances                 registered instance names
@@ -36,7 +39,8 @@ import (
 //	                                  served, deltas ingested, sessions
 //	                                  migrated/retired, policy-cache
 //	                                  hits/misses, registry cache hits vs
-//	                                  re-parses)
+//	                                  re-parses, per-worker crowd
+//	                                  reliability counters)
 //
 // Request contexts thread into the inference engine, so a client
 // disconnect cancels even a long L2S lookahead mid-computation.
@@ -114,6 +118,14 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("GET /sessions/{id}/explain", func(w http.ResponseWriter, r *http.Request) {
+		ex, err := m.Explain(r.PathValue("id"))
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ex)
 	})
 	mux.HandleFunc("GET /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		snap, err := m.Snapshot(r.PathValue("id"))

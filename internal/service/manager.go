@@ -39,6 +39,13 @@ type Params struct {
 	Seed        int64                    `json:"seed,omitempty"`
 	Budget      int                      `json:"budget,omitempty"`
 	Parallelism int                      `json:"parallelism,omitempty"`
+	// SoftThreshold > 0 enables error-tolerant soft inference with that
+	// belief threshold (WithSoftInference); ErrorBudget > 0 allows that
+	// many committed answers to be retracted on contradiction
+	// (WithErrorBudget — which implies soft inference at the default
+	// threshold when SoftThreshold is unset).
+	SoftThreshold float64 `json:"soft_threshold,omitempty"`
+	ErrorBudget   int     `json:"error_budget,omitempty"`
 }
 
 // Info is a session's public status.
@@ -54,12 +61,20 @@ type Info struct {
 	Classes int `json:"classes,omitempty"`
 	// Done reports the halt condition Γ: the predicate is determined.
 	Done bool `json:"done"`
+	// Soft carries the soft layer's counters for error-tolerant sessions;
+	// nil for hard sessions.
+	Soft *joininference.SoftStats `json:"soft,omitempty"`
 }
 
-// Answer is one labeled question coming back from a worker.
+// Answer is one labeled question coming back from a worker. Worker and
+// Weight are meaningful only for soft sessions: they attribute the vote to
+// a worker id and scale its belief contribution (0 means unit weight).
+// Hard sessions ignore them.
 type Answer struct {
 	joininference.QuestionRef
-	Positive bool `json:"positive"`
+	Positive bool    `json:"positive"`
+	Worker   string  `json:"worker,omitempty"`
+	Weight   float64 `json:"weight,omitempty"`
 }
 
 // AnswerResult reports what a batch of answers did to the session.
@@ -153,6 +168,115 @@ type Manager struct {
 	mu       sync.Mutex
 	sessions map[string]*managed
 	closed   bool
+
+	// crowdMu guards the service-wide worker-reliability counters, fed by
+	// the soft-inference commit/retraction events sessions emit.
+	crowdMu sync.Mutex
+	crowd   crowdCounters
+}
+
+// crowdCounters aggregates soft-inference vote outcomes across every
+// session the manager serves.
+type crowdCounters struct {
+	votes       int64
+	commits     int64
+	retractions int64
+	workers     map[string]*workerTally
+}
+
+type workerTally struct {
+	votes, agreed, retracted int64
+}
+
+// WorkerCounters is one worker's service-wide vote record: votes behind
+// committed answers, how many of those agreed with the committed label,
+// and how many were later retracted. The ratio agreed/votes is an
+// empirical reliability estimate.
+type WorkerCounters struct {
+	Worker    string `json:"worker"`
+	Votes     int64  `json:"votes"`
+	Agreed    int64  `json:"agreed"`
+	Retracted int64  `json:"retracted"`
+}
+
+// CrowdMetrics is the "crowd" section of /debug/metrics: soft-inference
+// totals plus the per-worker breakdown.
+type CrowdMetrics struct {
+	// Votes counts worker votes behind committed answers; Commits and
+	// Retractions count soft commit and retraction events.
+	Votes       int64            `json:"votes"`
+	Commits     int64            `json:"commits"`
+	Retractions int64            `json:"retractions"`
+	Workers     []WorkerCounters `json:"workers,omitempty"`
+}
+
+// absorbSoftEvents drains a session's soft commit/retraction events into
+// the service-wide crowd counters; callers hold ms.mu.
+func (m *Manager) absorbSoftEvents(ms *managed) {
+	if !ms.sess.Soft() {
+		return
+	}
+	events := ms.sess.SoftEvents()
+	if len(events) == 0 {
+		return
+	}
+	m.crowdMu.Lock()
+	defer m.crowdMu.Unlock()
+	if m.crowd.workers == nil {
+		m.crowd.workers = make(map[string]*workerTally)
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case joininference.SoftCommit:
+			m.crowd.commits++
+			m.crowd.votes += int64(len(ev.Votes))
+			for _, v := range ev.Votes {
+				w := m.tallyLocked(v.Worker)
+				w.votes++
+				if v.Positive == ev.Positive {
+					w.agreed++
+				}
+			}
+		case joininference.SoftRetract:
+			m.crowd.retractions++
+			for _, v := range ev.Votes {
+				m.tallyLocked(v.Worker).retracted++
+			}
+		}
+	}
+}
+
+// tallyLocked returns the tally for a worker id (anonymous votes pool
+// under ""); callers hold crowdMu.
+func (m *Manager) tallyLocked(worker string) *workerTally {
+	w := m.crowd.workers[worker]
+	if w == nil {
+		w = &workerTally{}
+		m.crowd.workers[worker] = w
+	}
+	return w
+}
+
+// crowdMetrics snapshots the crowd counters, workers sorted by id; nil
+// when no soft events were ever absorbed.
+func (m *Manager) crowdMetrics() *CrowdMetrics {
+	m.crowdMu.Lock()
+	defer m.crowdMu.Unlock()
+	if m.crowd.commits == 0 && m.crowd.retractions == 0 {
+		return nil
+	}
+	out := &CrowdMetrics{
+		Votes:       m.crowd.votes,
+		Commits:     m.crowd.commits,
+		Retractions: m.crowd.retractions,
+	}
+	for id, w := range m.crowd.workers {
+		out.Workers = append(out.Workers, WorkerCounters{
+			Worker: id, Votes: w.votes, Agreed: w.agreed, Retracted: w.retracted,
+		})
+	}
+	sort.Slice(out.Workers, func(i, j int) bool { return out.Workers[i].Worker < out.Workers[j].Worker })
+	return out
 }
 
 // managerMetrics are the manager's monotonic counters, expvar-typed
@@ -197,6 +321,9 @@ type Metrics struct {
 	// Store reports the persistent store's counters (gets/puts/scans,
 	// live/dead bytes, compactions) when one is configured.
 	Store *store.Stats `json:"store,omitempty"`
+	// Crowd reports soft-inference vote outcomes per worker (present once
+	// any soft session has committed or retracted an answer).
+	Crowd *CrowdMetrics `json:"crowd,omitempty"`
 }
 
 // Metrics returns the manager's current counters.
@@ -225,6 +352,7 @@ func (m *Manager) Metrics() Metrics {
 		st := m.opts.Store.Stats()
 		out.Store = &st
 	}
+	out.Crowd = m.crowdMetrics()
 	return out
 }
 
@@ -334,6 +462,12 @@ func (m *Manager) sessionOptions(p Params) []joininference.Option {
 	if p.Parallelism != 0 {
 		opts = append(opts, joininference.WithParallelism(p.Parallelism))
 	}
+	if p.SoftThreshold > 0 {
+		opts = append(opts, joininference.WithSoftInference(p.SoftThreshold))
+	}
+	if p.ErrorBudget > 0 {
+		opts = append(opts, joininference.WithErrorBudget(p.ErrorBudget))
+	}
 	if m.opts.PolicyCache != nil {
 		opts = append(opts, joininference.WithPolicyCache(m.opts.PolicyCache, p.Instance))
 	}
@@ -390,6 +524,12 @@ func (m *Manager) Resume(snap *SessionSnapshot) (Info, error) {
 		Seed:        snap.Snapshot.Seed,
 		Budget:      snap.Snapshot.Budget,
 		Parallelism: snap.Snapshot.Parallelism,
+	}
+	if snap.Snapshot.Soft != nil {
+		// ResumeSession already re-enabled the soft layer from the
+		// snapshot; mirror it in the params so Info reports it.
+		p.SoftThreshold = snap.Snapshot.Soft.Threshold
+		p.ErrorBudget = snap.Snapshot.Soft.ErrorBudget
 	}
 	info, err := m.add(snap.ID, p, sess)
 	if err == nil {
@@ -495,6 +635,10 @@ func (ms *managed) info() Info {
 		Budget:   ms.sess.Budget(),
 		Classes:  ms.sess.Classes(),
 		Done:     ms.isDone(),
+	}
+	if ms.sess.Soft() {
+		st := ms.sess.SoftStats()
+		in.Soft = &st
 	}
 	ms.infoMu.Lock()
 	ms.lastInfo = in
@@ -729,6 +873,14 @@ func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (Answ
 		}
 		qs[i] = q
 	}
+	soft := ms.sess.Soft()
+	// Soft sessions emit commit/retraction events as votes apply; fold
+	// them into the service-wide crowd counters even when the batch fails
+	// partway (the applied prefix produced real events). Registered while
+	// ms.mu is still held.
+	if soft {
+		defer m.absorbSoftEvents(ms)
+	}
 	for i, a := range answers {
 		if err := ctx.Err(); err != nil {
 			return res, err
@@ -741,7 +893,15 @@ func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (Answ
 		if a.Positive {
 			label = joininference.Positive
 		}
-		if err := ms.sess.Answer(qs[i], label); err != nil {
+		var err error
+		if soft {
+			// Route through the belief layer: the vote accumulates and
+			// commits only when the class's belief clears the threshold.
+			err = ms.sess.AnswerVote(qs[i], label, joininference.Vote{Worker: a.Worker, Weight: a.Weight})
+		} else {
+			err = ms.sess.Answer(qs[i], label)
+		}
+		if err != nil {
 			return res, err
 		}
 		res.Applied++
@@ -756,6 +916,31 @@ func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (Answ
 	res.Done = ms.isDone()
 	ms.info()
 	return res, nil
+}
+
+// Explanation is a session's answer-attribution report: a Banzhaf-style
+// contribution score per committed answer ("why did you infer this
+// join?"), plus the soft layer's counters when the session is error-
+// tolerant. Served by GET /sessions/{id}/explain.
+type Explanation struct {
+	ID           string                            `json:"id"`
+	Attributions []joininference.AnswerAttribution `json:"attributions"`
+	Soft         *joininference.SoftStats          `json:"soft,omitempty"`
+}
+
+// Explain returns the session's per-answer attribution report.
+func (m *Manager) Explain(id string) (*Explanation, error) {
+	ms, err := m.acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	defer m.release(ms)
+	out := &Explanation{ID: id, Attributions: ms.sess.Explain()}
+	if ms.sess.Soft() {
+		st := ms.sess.SoftStats()
+		out.Soft = &st
+	}
+	return out, nil
 }
 
 // Predicate returns the current inferred predicate (text and SQL).

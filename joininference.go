@@ -191,7 +191,7 @@ func (s *Session) NextQuestion(id StrategyID) (q Question, ok bool) {
 	if s.sj != nil || s.engine.Done() {
 		return Question{}, false
 	}
-	if s.cfg.budget > 0 && s.asked >= s.cfg.budget {
+	if s.cfg.budget > 0 && s.interactions() >= s.cfg.budget {
 		return Question{}, false
 	}
 	strat, err := s.legacyStrategyFor(id)

@@ -1,0 +1,100 @@
+package joininference
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// BenchmarkNoise measures what the soft layer costs on top of the exact
+// engine. Two axes, recorded in BENCH_noise.json:
+//
+//	hard / soft-clean    full honest BU inference at Fig-7 scale
+//	                     (synth (3, 3, 100, 100)): identical question
+//	                     sequences — the differential suites prove it — so
+//	                     the gap is pure belief bookkeeping overhead.
+//	batch-honest /       batched feed-all runs on the cold-path fixture
+//	batch-recovery       (synth (9, 8, 5, 3)); recovery plants a wrong
+//	                     answer at position 1, which triggers the
+//	                     retraction search and two replay rebuilds — the
+//	                     gap is the cost of absorbing an error instead of
+//	                     failing with ErrInconsistent.
+func BenchmarkNoise(b *testing.B) {
+	ctx := context.Background()
+
+	runHonest := func(b *testing.B, s *Session, goal Pred) {
+		b.Helper()
+		oracle := HonestOracle(goal)
+		for {
+			qs, err := s.NextQuestions(ctx, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(qs) == 0 {
+				return
+			}
+			l, err := oracle.Label(ctx, qs[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Answer(qs[0], l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	fig7 := synth.MustGenerate(synth.PaperConfigs()[0], 1) // (3, 3, 100, 100)
+	fig7Classes := PrecomputeClasses(fig7)
+	fig7Goal, err := PredFromNames(NewSession(fig7).Universe(), [2]string{"A1", "B1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("hard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := NewSession(fig7, WithStrategy(StrategyBU), WithPrecomputedClasses(fig7Classes))
+			runHonest(b, s, fig7Goal)
+		}
+	})
+
+	b.Run("soft-clean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := NewSession(fig7, WithStrategy(StrategyBU), WithPrecomputedClasses(fig7Classes),
+				WithSoftInference(1))
+			runHonest(b, s, fig7Goal)
+		}
+	})
+
+	cold := coldPathInstance(b)
+	coldClasses := PrecomputeClasses(cold)
+	coldGoal := coldPathGoal(cold)
+
+	b.Run("batch-honest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := NewSession(cold, WithStrategy(StrategyBU), WithSeed(7),
+				WithPrecomputedClasses(coldClasses), WithErrorBudget(3))
+			if err := runBatched(ctx, s, HonestOracle(coldGoal), lieBatch); err != nil {
+				b.Fatal(err)
+			}
+			if st := s.SoftStats(); st.Retractions != 0 {
+				b.Fatalf("honest run retracted %d times", st.Retractions)
+			}
+		}
+	})
+
+	b.Run("batch-recovery", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := NewSession(cold, WithStrategy(StrategyBU), WithSeed(7),
+				WithPrecomputedClasses(coldClasses), WithErrorBudget(3))
+			err := runBatched(ctx, s,
+				&lyingOracle{honest: HonestOracle(coldGoal), flipAt: 1}, lieBatch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st := s.SoftStats(); st.Retractions == 0 {
+				b.Fatal("planted lie did not trigger a retraction")
+			}
+		}
+	})
+}

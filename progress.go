@@ -62,9 +62,10 @@ type Explanation struct {
 	CandidatesIfYes, CandidatesIfNo *big.Int
 }
 
-// Explain computes the impact of both possible answers to a question,
-// without recording anything.
-func (s *Session) Explain(q Question) Explanation {
+// ExplainQuestion computes the impact of both possible answers to a
+// question, without recording anything. (Session.Explain attributes the
+// inferred predicate to the answers already committed.)
+func (s *Session) ExplainQuestion(q Question) Explanation {
 	if s.sj != nil || q.classIndex < 0 || q.classIndex >= len(s.engine.Classes()) {
 		return Explanation{}
 	}

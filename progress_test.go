@@ -73,7 +73,7 @@ func TestExplainFigure5(t *testing.T) {
 		t.Fatalf("no question: %v", err)
 	}
 	q := qs[0]
-	ex := s.Explain(q)
+	ex := s.ExplainQuestion(q)
 	if ex.DecidedIfYes != 11 || ex.DecidedIfNo != 0 {
 		t.Errorf("decided = (%d, %d), want (11, 0)", ex.DecidedIfYes, ex.DecidedIfNo)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/belief"
 	"repro/internal/inference"
 	"repro/internal/policy"
 	"repro/internal/predicate"
@@ -47,6 +48,9 @@ type sessionConfig struct {
 	parallelism    int
 	policy         *PolicyCache
 	policyInstance string
+	soft           bool
+	softThreshold  float64
+	errorBudget    int
 }
 
 // WithStrategy selects the questioning strategy the session uses for
@@ -194,6 +198,11 @@ type Session struct {
 
 	asked int
 
+	// soft is the error-tolerant belief layer (nil for hard sessions);
+	// softEvents queues its commit/retraction events until drained.
+	soft       *belief.State
+	softEvents []SoftEvent
+
 	// batchTPos/batchNegs/batchInter are the scratch of the batch pairwise
 	// scan (mutuallyInformative).
 	batchTPos  Pred
@@ -223,7 +232,16 @@ func NewSession(inst *Instance, opts ...Option) *Session {
 		cfg:    cfg,
 		engine: inference.New(inst, engOpts...),
 		strats: make(map[StrategyID]inference.Strategy),
+		soft:   newSoftState(cfg),
 	}
+}
+
+// newSoftState builds the belief layer when the config asks for it.
+func newSoftState(cfg sessionConfig) *belief.State {
+	if !cfg.soft {
+		return nil
+	}
+	return belief.New(cfg.softThreshold, cfg.errorBudget)
 }
 
 // semijoinState is the semijoin-mode counterpart of the engine: the labeled
@@ -263,6 +281,7 @@ func NewSemijoinSession(inst *Instance, opts ...Option) *Session {
 			solver:  semijoin.NewSolver(inst),
 			labeled: make([]bool, inst.R.Len()),
 		},
+		soft: newSoftState(cfg),
 	}
 }
 
@@ -380,7 +399,7 @@ func (s *Session) NextQuestions(ctx context.Context, k int) ([]Question, error) 
 		return nil, fmt.Errorf("joininference: %w", err)
 	}
 	if s.cfg.budget > 0 {
-		remaining := s.cfg.budget - s.asked
+		remaining := s.cfg.budget - s.interactions()
 		if remaining <= 0 {
 			if s.sj != nil {
 				done, err := s.semijoinDone(ctx)
@@ -398,6 +417,13 @@ func (s *Session) NextQuestions(ctx context.Context, k int) ([]Question, error) 
 		if k > remaining {
 			k = remaining
 		}
+	}
+	// Disputed questions — evidence set aside by a retraction repair — are
+	// re-served before anything else: their classes are already decided by
+	// the committed sample, so no strategy would ever pick them again, yet
+	// resolving them is what corrects a repair that guessed wrong.
+	if qs := s.disputedQuestions(k); len(qs) > 0 {
+		return qs, nil
 	}
 	if s.sj != nil {
 		return s.semijoinNextQuestions(ctx, k)
@@ -762,8 +788,13 @@ func (s *Session) semijoinQuestion(ri int) Question {
 // Answer records the oracle's label for a question returned by
 // NextQuestions (or the deprecated NextQuestion). It returns
 // ErrBudgetExhausted when the budget is already spent and ErrInconsistent
-// (wrapped) if the labels contradict every candidate predicate.
+// (wrapped) if the labels contradict every candidate predicate. On a soft
+// session (WithSoftInference) the answer is one unit-weight vote — see
+// AnswerVote for the weighted form.
 func (s *Session) Answer(q Question, l Label) error {
+	if s.soft != nil {
+		return s.AnswerVote(q, l, Vote{})
+	}
 	if s.cfg.budget > 0 && s.asked >= s.cfg.budget {
 		return ErrBudgetExhausted
 	}

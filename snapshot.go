@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+
+	"repro/internal/belief"
 )
 
 // SnapshotVersion is the current snapshot wire-format version.
@@ -27,7 +30,12 @@ import (
 // shape and different values may silently replay to a different state;
 // pairing snapshots with a stable instance name is the caller's job (the
 // internal/service layer does exactly that).
-const SnapshotVersion = 1
+//
+// Version history: 1 is the original format; 2 adds the optional Soft
+// section (error-tolerant sessions). Hard sessions still write version 1,
+// so their snapshots remain readable by older builds; version-1 snapshots
+// decode forever.
+const SnapshotVersion = 2
 
 // Snapshot kinds.
 const (
@@ -77,11 +85,42 @@ type Snapshot struct {
 	// fast-forwarding a fresh source, so values above MaxSnapshotRNGPos are
 	// rejected as corrupt rather than burning CPU (ErrBadSnapshot).
 	RNGPos uint64 `json:"rng_pos,omitempty"`
-	// Asked is the number of answers recorded; always equal to
+	// Asked is the number of committed answers; always equal to
 	// len(Transcript) in a well-formed snapshot (checked on resume).
 	Asked int `json:"asked"`
-	// Transcript is the answered questions, in order.
+	// Transcript is the committed answers, in order. Soft sessions commit
+	// only threshold-clearing labels, so pending votes live in Soft, not
+	// here.
 	Transcript []TranscriptEntry `json:"transcript"`
+	// Soft is the error-tolerant layer's state (nil for hard sessions);
+	// requires Version ≥ 2.
+	Soft *SoftSnapshot `json:"soft,omitempty"`
+}
+
+// SoftSnapshot is the durable state of the belief layer: configuration,
+// counters, and the per-class accumulated evidence — including votes on
+// classes that have not committed yet, so a resumed session picks up
+// mid-threshold exactly where it stopped.
+type SoftSnapshot struct {
+	Threshold   float64 `json:"threshold"`
+	ErrorBudget int     `json:"error_budget,omitempty"`
+	// Retractions is the budget spent; Votes the total votes recorded.
+	Retractions int `json:"retractions,omitempty"`
+	Votes       int `json:"votes,omitempty"`
+	// Beliefs carries each voted-on class's evidence, addressed by the
+	// class's representative tuple (PIndex -1 for semijoin rows).
+	Beliefs []BeliefEntry `json:"beliefs,omitempty"`
+}
+
+// BeliefEntry is one class's accumulated evidence in a SoftSnapshot.
+type BeliefEntry struct {
+	RIndex int `json:"r"`
+	PIndex int `json:"p"`
+	// Pos and Neg are the summed positive/negative vote weights.
+	Pos float64 `json:"pos"`
+	Neg float64 `json:"neg"`
+	// Votes is the per-vote log (worker attribution survives resume).
+	Votes []WorkerVote `json:"votes,omitempty"`
 }
 
 // Snapshot captures the session's resumable state as of the last recorded
@@ -96,8 +135,10 @@ func (s *Session) Snapshot() (*Snapshot, error) {
 	if s.sj != nil {
 		kind = SnapshotKindSemijoin
 	}
-	return &Snapshot{
-		Version:     SnapshotVersion,
+	sn := &Snapshot{
+		// Hard sessions keep writing version 1 so older builds can still
+		// read them; only the Soft section needs version 2.
+		Version:     1,
 		Kind:        kind,
 		Strategy:    s.cfg.stratID,
 		Seed:        s.cfg.seed,
@@ -106,7 +147,34 @@ func (s *Session) Snapshot() (*Snapshot, error) {
 		RNGPos:      s.rngMark,
 		Asked:       s.asked,
 		Transcript:  s.Transcript(),
-	}, nil
+	}
+	if s.soft != nil {
+		sn.Version = SnapshotVersion
+		sn.Soft = s.softSnapshot()
+	}
+	return sn, nil
+}
+
+// softSnapshot captures the belief layer's state.
+func (s *Session) softSnapshot() *SoftSnapshot {
+	soft := &SoftSnapshot{
+		Threshold:   s.soft.Threshold,
+		ErrorBudget: s.soft.Budget,
+		Retractions: s.soft.Spent,
+		Votes:       s.soft.Votes,
+	}
+	for _, k := range s.soft.Keys() {
+		e := BeliefEntry{RIndex: k, PIndex: -1}
+		if s.sj == nil {
+			c := s.engine.Classes()[k]
+			e.RIndex, e.PIndex = c.RI, c.PI
+		}
+		b := s.soft.Get(k)
+		e.Pos, e.Neg = b.Pos, b.Neg
+		e.Votes = s.workerVotes(k)
+		soft.Beliefs = append(soft.Beliefs, e)
+	}
+	return soft
 }
 
 // Encode writes the snapshot as JSON.
@@ -169,7 +237,46 @@ func (sn *Snapshot) validate() error {
 				ErrBadSnapshot, i+1, entryKind(semijoinEntry), e.RIndex, e.PIndex, sn.Kind)
 		}
 	}
+	return sn.validateSoft()
+}
+
+// validateSoft checks the Soft section's internal consistency.
+func (sn *Snapshot) validateSoft() error {
+	soft := sn.Soft
+	if soft == nil {
+		return nil
+	}
+	if sn.Version < 2 {
+		return fmt.Errorf("%w: soft section requires version ≥ 2, got %d", ErrBadSnapshot, sn.Version)
+	}
+	if !finiteNonNeg(soft.Threshold) {
+		return fmt.Errorf("%w: soft threshold %v", ErrBadSnapshot, soft.Threshold)
+	}
+	if soft.ErrorBudget < 0 || soft.Retractions < 0 || soft.Retractions > soft.ErrorBudget {
+		return fmt.Errorf("%w: %d retractions against error budget %d", ErrBadSnapshot, soft.Retractions, soft.ErrorBudget)
+	}
+	if soft.Votes < 0 {
+		return fmt.Errorf("%w: negative vote count %d", ErrBadSnapshot, soft.Votes)
+	}
+	for i, b := range soft.Beliefs {
+		if semijoinEntry := b.PIndex < 0; semijoinEntry != (sn.Kind == SnapshotKindSemijoin) {
+			return fmt.Errorf("%w: belief %d: %s entry (%d,%d) in a %q snapshot",
+				ErrBadSnapshot, i+1, entryKind(semijoinEntry), b.RIndex, b.PIndex, sn.Kind)
+		}
+		if b.RIndex < 0 || !finiteNonNeg(b.Pos) || !finiteNonNeg(b.Neg) {
+			return fmt.Errorf("%w: belief %d: bad entry (%d,%d) pos %v neg %v", ErrBadSnapshot, i+1, b.RIndex, b.PIndex, b.Pos, b.Neg)
+		}
+		for _, v := range b.Votes {
+			if math.IsNaN(v.Weight) || math.IsInf(v.Weight, 0) {
+				return fmt.Errorf("%w: belief %d: non-finite vote weight", ErrBadSnapshot, i+1)
+			}
+		}
+	}
 	return nil
+}
+
+func finiteNonNeg(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
 }
 
 func entryKind(semijoin bool) string {
@@ -209,11 +316,51 @@ func ResumeSession(inst *Instance, snap *Snapshot, opts ...Option) (*Session, er
 	if snap.Strategy != "" {
 		base = append(base, WithStrategy(snap.Strategy))
 	}
-	all := append(base, opts...)
-	if snap.Kind == SnapshotKindSemijoin {
-		return resumeSemijoin(inst, snap, all)
+	if snap.Soft != nil {
+		base = append(base, WithSoftInference(snap.Soft.Threshold), WithErrorBudget(snap.Soft.ErrorBudget))
 	}
-	return resumeJoin(inst, snap, all)
+	all := append(base, opts...)
+	var s *Session
+	var err error
+	if snap.Kind == SnapshotKindSemijoin {
+		s, err = resumeSemijoin(inst, snap, all)
+	} else {
+		s, err = resumeJoin(inst, snap, all)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.restoreSoft(snap.Soft); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// restoreSoft reinstates the belief layer's counters and per-class
+// evidence from the snapshot section; refs that do not fit the instance
+// fail with ErrBadTranscript, like transcript replay.
+func (s *Session) restoreSoft(soft *SoftSnapshot) error {
+	if soft == nil || s.soft == nil {
+		return nil
+	}
+	s.soft.Spent = soft.Retractions
+	s.soft.Votes = soft.Votes
+	for i, b := range soft.Beliefs {
+		key := b.RIndex
+		if s.sj == nil {
+			if key = s.classIndexFor(b.RIndex, b.PIndex); key < 0 {
+				return fmt.Errorf("%w: belief %d: tuple (%d,%d) has no class in this instance", ErrBadTranscript, i+1, b.RIndex, b.PIndex)
+			}
+		} else if b.RIndex >= len(s.sj.labeled) {
+			return fmt.Errorf("%w: belief %d: row %d outside instance", ErrBadTranscript, i+1, b.RIndex)
+		}
+		recs := make([]belief.VoteRecord, len(b.Votes))
+		for j, v := range b.Votes {
+			recs[j] = belief.VoteRecord{Worker: v.Worker, Weight: v.Weight, Positive: v.Positive}
+		}
+		s.soft.Restore(key, belief.Belief{Pos: b.Pos, Neg: b.Neg}, recs)
+	}
+	return nil
 }
 
 func resumeJoin(inst *Instance, snap *Snapshot, opts []Option) (*Session, error) {

@@ -18,24 +18,45 @@ import (
 //	varint Parallelism | uvarint RNGPos | uvarint len(Transcript) |
 //	entries: uvarint RIndex | varint PIndex | 1B Positive
 //
+// Container version 2 appends, after the transcript, a one-byte soft flag;
+// when the flag is 1 a soft section follows:
+//
+//	8B Threshold (IEEE-754 big-endian) | uvarint ErrorBudget |
+//	uvarint Retractions | uvarint Votes | uvarint len(Beliefs) |
+//	beliefs: uvarint RIndex | varint PIndex | 8B Pos | 8B Neg |
+//	         uvarint len(Votes) | votes: uvarint len(Worker) | Worker |
+//	         8B Weight | 1B Positive
+//
+// Snapshots without a soft section keep writing container version 1, so
+// the store's existing records and older readers are both unaffected; the
+// decoder accepts versions 1 and 2.
+//
 // The container version covers the framing above; the embedded Version
 // field carries the same SnapshotVersion compatibility policy as the JSON
 // form (see Snapshot), so the two forms stay semantically interchangeable:
 // DecodeSnapshotBytes accepts either and both validate identically.
 var snapshotMagic = []byte("JSNB")
 
-// snapshotContainerVersion is the binary framing version; bumped only if
-// the layout above changes incompatibly.
-const snapshotContainerVersion = 1
+// snapshotContainerVersion is the newest binary framing version the
+// decoder understands (see the layout above for the history).
+const snapshotContainerVersion = 2
 
 // maxSnapshotStrategyLen bounds the strategy id length in a binary
 // snapshot; real ids are a few bytes, anything huge is corruption.
 const maxSnapshotStrategyLen = 256
 
+// maxSnapshotWorkerLen bounds a worker id's length in a binary snapshot.
+const maxSnapshotWorkerLen = 256
+
 // AppendBinary appends the snapshot's binary form to buf.
 func (sn *Snapshot) AppendBinary(buf []byte) []byte {
 	buf = append(buf, snapshotMagic...)
-	buf = append(buf, snapshotContainerVersion)
+	if sn.Soft != nil {
+		buf = append(buf, snapshotContainerVersion)
+	} else {
+		// Hard snapshots keep the version-1 framing for old readers.
+		buf = append(buf, 1)
+	}
 	buf = binary.AppendUvarint(buf, uint64(sn.Version))
 	if sn.Kind == SnapshotKindSemijoin {
 		buf = append(buf, 2)
@@ -56,6 +77,40 @@ func (sn *Snapshot) AppendBinary(buf []byte) []byte {
 			buf = append(buf, 1)
 		} else {
 			buf = append(buf, 0)
+		}
+	}
+	if sn.Soft != nil {
+		buf = append(buf, 1)
+		buf = appendSoftBinary(buf, sn.Soft)
+	}
+	return buf
+}
+
+func appendFloat64(buf []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func appendSoftBinary(buf []byte, soft *SoftSnapshot) []byte {
+	buf = appendFloat64(buf, soft.Threshold)
+	buf = binary.AppendUvarint(buf, uint64(soft.ErrorBudget))
+	buf = binary.AppendUvarint(buf, uint64(soft.Retractions))
+	buf = binary.AppendUvarint(buf, uint64(soft.Votes))
+	buf = binary.AppendUvarint(buf, uint64(len(soft.Beliefs)))
+	for _, b := range soft.Beliefs {
+		buf = binary.AppendUvarint(buf, uint64(b.RIndex))
+		buf = binary.AppendVarint(buf, int64(b.PIndex))
+		buf = appendFloat64(buf, b.Pos)
+		buf = appendFloat64(buf, b.Neg)
+		buf = binary.AppendUvarint(buf, uint64(len(b.Votes)))
+		for _, v := range b.Votes {
+			buf = binary.AppendUvarint(buf, uint64(len(v.Worker)))
+			buf = append(buf, v.Worker...)
+			buf = appendFloat64(buf, v.Weight)
+			if v.Positive {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
 		}
 	}
 	return buf
@@ -80,7 +135,7 @@ func DecodeBinarySnapshot(data []byte) (*Snapshot, error) {
 	}
 	d.b = d.b[len(snapshotMagic):]
 	cv := d.byte()
-	if cv != snapshotContainerVersion && d.err == nil {
+	if (cv < 1 || cv > snapshotContainerVersion) && d.err == nil {
 		return nil, fmt.Errorf("%w: binary container version %d not supported", ErrBadSnapshot, cv)
 	}
 	var sn Snapshot
@@ -113,6 +168,11 @@ func DecodeBinarySnapshot(data []byte) (*Snapshot, error) {
 		}
 	}
 	sn.Asked = len(sn.Transcript)
+	if cv >= 2 {
+		if d.byte() == 1 {
+			sn.Soft = decodeSoftBinary(&d)
+		}
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -133,6 +193,36 @@ func DecodeSnapshotBytes(data []byte) (*Snapshot, error) {
 		return DecodeBinarySnapshot(data)
 	}
 	return DecodeSnapshot(bytes.NewReader(data))
+}
+
+// decodeSoftBinary parses the container-v2 soft section; malformed input
+// degrades to the decoder's sticky ErrBadSnapshot.
+func decodeSoftBinary(d *snapDecoder) *SoftSnapshot {
+	soft := &SoftSnapshot{
+		Threshold:   d.float64(),
+		ErrorBudget: int(d.uvarintMax(math.MaxInt32)),
+		Retractions: int(d.uvarintMax(math.MaxInt32)),
+		Votes:       int(d.uvarintMax(math.MaxInt32)),
+	}
+	count := d.uvarintMax(uint64(len(d.b)) + 1) // each belief takes ≥ 19 bytes
+	for i := uint64(0); i < count && d.err == nil; i++ {
+		b := BeliefEntry{
+			RIndex: int(d.uvarintMax(math.MaxInt32)),
+			PIndex: int(d.varintRange(-1, math.MaxInt32)),
+			Pos:    d.float64(),
+			Neg:    d.float64(),
+		}
+		votes := d.uvarintMax(uint64(len(d.b)) + 1) // each vote takes ≥ 10 bytes
+		for j := uint64(0); j < votes && d.err == nil; j++ {
+			b.Votes = append(b.Votes, WorkerVote{
+				Worker:   d.str(maxSnapshotWorkerLen),
+				Weight:   d.float64(),
+				Positive: d.byte() == 1,
+			})
+		}
+		soft.Beliefs = append(soft.Beliefs, b)
+	}
+	return soft
 }
 
 // snapDecoder is a cursor with sticky error state; every read is bounds-
@@ -197,6 +287,19 @@ func (d *snapDecoder) varintRange(lo, hi int64) int64 {
 		d.fail("value %d out of range [%d,%d]", v, lo, hi)
 		return 0
 	}
+	return v
+}
+
+func (d *snapDecoder) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.b))
+	d.b = d.b[8:]
 	return v
 }
 

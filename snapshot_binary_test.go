@@ -180,8 +180,18 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(sessionSnapshot(f, sjInst, sjGoal, true).AppendBinary(nil))
+	// Soft sessions exercise the version-2 container and the Soft section:
+	// threshold 2 leaves the final vote pending, so the seed carries both
+	// committed beliefs and undecided evidence.
+	soft := sessionSnapshot(f, inst, goal, false, WithSoftInference(2), WithErrorBudget(1))
+	f.Add(soft.AppendBinary(nil))
+	var softJSON bytes.Buffer
+	soft.Encode(&softJSON)
+	f.Add(softJSON.Bytes())
+	f.Add(sessionSnapshot(f, sjInst, sjGoal, true, WithSoftInference(2)).AppendBinary(nil))
 	f.Add([]byte("JSNB"))
 	f.Add([]byte(`{"version":1,"kind":"join","seed":1,"asked":0,"transcript":[]}`))
+	f.Add([]byte(`{"version":2,"kind":"join","seed":1,"asked":0,"soft":{"threshold":1}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sn, err := DecodeSnapshotBytes(data)
 		if err != nil {
@@ -201,6 +211,16 @@ func FuzzDecodeSnapshot(f *testing.F) {
 			again.Seed != sn.Seed || again.Budget != sn.Budget || again.Parallelism != sn.Parallelism ||
 			again.RNGPos != sn.RNGPos || len(again.Transcript) != len(sn.Transcript) {
 			t.Fatalf("round trip diverged: %+v vs %+v", again, sn)
+		}
+		if (again.Soft == nil) != (sn.Soft == nil) {
+			t.Fatalf("round trip toggled the soft section: %+v vs %+v", again.Soft, sn.Soft)
+		}
+		if sn.Soft != nil {
+			if again.Soft.Threshold != sn.Soft.Threshold || again.Soft.ErrorBudget != sn.Soft.ErrorBudget ||
+				again.Soft.Retractions != sn.Soft.Retractions || again.Soft.Votes != sn.Soft.Votes ||
+				len(again.Soft.Beliefs) != len(sn.Soft.Beliefs) {
+				t.Fatalf("soft section diverged: %+v vs %+v", again.Soft, sn.Soft)
+			}
 		}
 	})
 }

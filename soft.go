@@ -1,0 +1,696 @@
+package joininference
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/belief"
+	"repro/internal/inference"
+	"repro/internal/predicate"
+	"repro/internal/semijoin"
+)
+
+// WithSoftInference turns on the error-tolerant soft layer: answers become
+// weighted votes accumulating per-class log-odds belief, and a label
+// commits to the exact version-space engine only when the net belief
+// magnitude reaches threshold. A non-positive threshold means 1 — a single
+// unit vote decides, which (with a zero error budget) makes the session's
+// question sequence bit-identical to the hard path. Combine with
+// WithErrorBudget to absorb and later correct wrong commits instead of
+// surfacing ErrInconsistent.
+func WithSoftInference(threshold float64) Option {
+	return func(c *sessionConfig) {
+		c.soft = true
+		c.softThreshold = threshold
+	}
+}
+
+// WithErrorBudget allows up to n committed answers to be retracted over the
+// session's lifetime: when a commit contradicts the version space, the
+// session searches the committed transcript for a minimal set of answers
+// (lowest belief first, violated negatives first) whose removal restores
+// consistency, replays the engine without them, and re-opens their
+// questions — instead of rejecting the new answer with ErrInconsistent.
+// The option implies soft inference (at the default threshold unless
+// WithSoftInference also appears). Contradictions beyond the budget fall
+// back to the hard path's behavior: the offending answer is rejected, the
+// session stays intact.
+func WithErrorBudget(n int) Option {
+	return func(c *sessionConfig) {
+		c.soft = true
+		c.errorBudget = n
+	}
+}
+
+// Vote identifies the provenance of one soft answer: the worker who cast
+// it and the weight of their voice (a log-odds reliability estimate;
+// non-positive or non-finite weights count as 1 unit vote).
+type Vote struct {
+	Worker string
+	Weight float64
+}
+
+// WorkerVote is one recorded vote behind a committed (or retracted)
+// answer, reported by SoftEvents and Explain.
+type WorkerVote struct {
+	Worker   string  `json:"worker,omitempty"`
+	Weight   float64 `json:"weight"`
+	Positive bool    `json:"positive"`
+}
+
+// SoftEventKind labels a SoftEvent.
+type SoftEventKind string
+
+const (
+	// SoftCommit records a label crossing the belief threshold into the
+	// hard engine.
+	SoftCommit SoftEventKind = "commit"
+	// SoftRetract records a committed label being withdrawn to restore
+	// consistency; its question re-opens.
+	SoftRetract SoftEventKind = "retract"
+)
+
+// SoftEvent is one commit or retraction, with the votes that backed the
+// answer — the feedback signal for worker-reliability models (a retracted
+// answer's supporters were probably wrong).
+type SoftEvent struct {
+	Kind     SoftEventKind `json:"kind"`
+	Ref      QuestionRef   `json:"ref"`
+	Positive bool          `json:"positive"`
+	Votes    []WorkerVote  `json:"votes,omitempty"`
+}
+
+// maxSoftEvents bounds the undrained event queue so a caller that never
+// reads SoftEvents cannot leak memory; the oldest events drop first.
+const maxSoftEvents = 1024
+
+// SoftEventAbsorber is implemented by oracles that learn from commit and
+// retraction events (ReliabilityOracle does); Run feeds them automatically.
+type SoftEventAbsorber interface {
+	Absorb(events []SoftEvent)
+}
+
+// SoftStats reports the soft layer's state.
+type SoftStats struct {
+	// Enabled is false for hard sessions (all other fields are zero).
+	Enabled bool `json:"enabled"`
+	// Threshold and ErrorBudget echo the options (after normalization).
+	Threshold   float64 `json:"threshold"`
+	ErrorBudget int     `json:"error_budget"`
+	// Votes counts every recorded vote; with a budget set, this is the
+	// quantity the budget caps.
+	Votes int `json:"votes"`
+	// Pending counts classes holding votes that have not committed yet.
+	Pending int `json:"pending"`
+	// Retractions counts committed answers withdrawn so far (budget spent).
+	Retractions int `json:"retractions"`
+}
+
+// Soft reports whether the session runs the error-tolerant soft layer.
+func (s *Session) Soft() bool { return s.soft != nil }
+
+// SoftStats returns the soft layer's counters (zero value for hard
+// sessions).
+func (s *Session) SoftStats() SoftStats {
+	if s.soft == nil {
+		return SoftStats{}
+	}
+	pending := 0
+	for _, k := range s.soft.Keys() {
+		if b := s.soft.Get(k); b != (belief.Belief{}) && !s.softKeyCommitted(k) {
+			pending++
+		}
+	}
+	return SoftStats{
+		Enabled:     true,
+		Threshold:   s.soft.Threshold,
+		ErrorBudget: s.soft.Budget,
+		Votes:       s.soft.Votes,
+		Pending:     pending,
+		Retractions: s.soft.Spent,
+	}
+}
+
+// softKeyCommitted reports whether key's class (or row) carries a
+// committed label.
+func (s *Session) softKeyCommitted(key int) bool {
+	if s.sj != nil {
+		return key >= 0 && key < len(s.sj.labeled) && s.sj.labeled[key]
+	}
+	return key >= 0 && key < len(s.engine.Classes()) && s.engine.IsLabeled(key)
+}
+
+// SoftEvents drains the queued commit/retraction events (oldest first).
+func (s *Session) SoftEvents() []SoftEvent {
+	evs := s.softEvents
+	s.softEvents = nil
+	return evs
+}
+
+func (s *Session) pushEvent(ev SoftEvent) {
+	s.softEvents = append(s.softEvents, ev)
+	if over := len(s.softEvents) - maxSoftEvents; over > 0 {
+		s.softEvents = append(s.softEvents[:0], s.softEvents[over:]...)
+	}
+}
+
+// interactions is the quantity WithBudget caps: recorded votes for soft
+// sessions (every vote costs money in the crowdsourcing deployment),
+// committed answers otherwise.
+func (s *Session) interactions() int {
+	if s.soft != nil {
+		return s.soft.Votes
+	}
+	return s.asked
+}
+
+// softKey maps a question to its belief key (class index for join, row
+// index for semijoin) or an error when the question does not belong to
+// this session.
+func (s *Session) softKey(q Question) (int, error) {
+	if s.sj != nil {
+		if !q.Semijoin() || q.RIndex < 0 || q.RIndex >= len(s.sj.labeled) {
+			return 0, fmt.Errorf("joininference: question was not produced by this semijoin session")
+		}
+		return q.RIndex, nil
+	}
+	if q.classIndex < 0 || q.classIndex >= len(s.engine.Classes()) {
+		return 0, fmt.Errorf("joininference: question was not produced by this join session")
+	}
+	return q.classIndex, nil
+}
+
+// AnswerVote records one weighted vote for a question of a soft session
+// (WithSoftInference). The vote accumulates into the class's belief; when
+// the net belief magnitude reaches the threshold, the majority label
+// commits to the exact engine — and a commit contradicting earlier answers
+// triggers the error-budget retraction search instead of failing. Returns
+// ErrBudgetExhausted when WithBudget's allowance (counted in votes) is
+// spent, and ErrInconsistent only when a contradiction cannot be absorbed
+// within the error budget (the offending answer is then rejected and its
+// belief cleared; the session stays intact, exactly like the hard path).
+func (s *Session) AnswerVote(q Question, l Label, v Vote) error {
+	if s.soft == nil {
+		return fmt.Errorf("joininference: AnswerVote requires WithSoftInference")
+	}
+	if s.cfg.budget > 0 && s.soft.Votes >= s.cfg.budget {
+		return ErrBudgetExhausted
+	}
+	key, err := s.softKey(q)
+	if err != nil {
+		return err
+	}
+	s.soft.Vote(key, bool(l), v.Weight, v.Worker)
+	positive, decided := s.soft.Decided(key)
+	if !decided {
+		return nil
+	}
+	if s.sj != nil {
+		return s.softCommitSemijoin(q, Label(positive))
+	}
+	return s.softCommitJoin(q, Label(positive))
+}
+
+// workerVotes copies the recorded votes behind key into the public form.
+func (s *Session) workerVotes(key int) []WorkerVote {
+	recs := s.soft.VotesFor(key)
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]WorkerVote, len(recs))
+	for i, r := range recs {
+		out[i] = WorkerVote{Worker: r.Worker, Weight: r.Weight, Positive: r.Positive}
+	}
+	return out
+}
+
+// disputedQuestions lists re-verification questions: refs holding votes
+// that never committed, on classes (or rows) the committed sample already
+// decides — exactly the questions a strategy will never serve again. They
+// only exist after a retraction repair (evidence was set aside), and
+// re-asking them is how a repair that guessed wrong gets corrected: the
+// re-asks grow the disputed side's belief until it either re-commits
+// consistently or wins the next contradiction's suspicion ordering.
+func (s *Session) disputedQuestions(k int) []Question {
+	if s.soft == nil || s.soft.Spent == 0 {
+		return nil
+	}
+	var qs []Question
+	if s.sj != nil {
+		for _, ri := range s.soft.Keys() {
+			if ri < 0 || ri >= len(s.sj.labeled) || s.sj.labeled[ri] || s.soft.Get(ri).Net() == 0 {
+				continue
+			}
+			q := s.semijoinQuestion(ri)
+			if s.IsInformative(q) {
+				continue // the normal flow re-asks it
+			}
+			qs = append(qs, q)
+			if len(qs) == k {
+				break
+			}
+		}
+		return qs
+	}
+	for _, ci := range s.soft.Keys() {
+		if ci < 0 || ci >= len(s.engine.Classes()) || s.engine.IsLabeled(ci) ||
+			s.soft.Get(ci).Net() == 0 || s.engine.Informative(ci) {
+			continue
+		}
+		qs = append(qs, s.question(ci))
+		if len(qs) == k {
+			break
+		}
+	}
+	return qs
+}
+
+// softCommitJoin pushes a threshold-clearing label into the hard engine,
+// recovering via retraction when it contradicts the committed sample.
+func (s *Session) softCommitJoin(q Question, l Label) error {
+	ci := q.classIndex
+	if s.engine.IsLabeled(ci) && s.engine.CertainPositive(ci) == bool(l) {
+		return nil // already committed with this label; the extra evidence is absorbed
+	}
+	if err := s.engine.Label(ci, l); err != nil {
+		if err == inference.ErrInconsistent {
+			// Label records the example before detecting inconsistency; roll
+			// back first so the committed transcript is clean, then search
+			// for a retraction within the error budget.
+			tr := s.Transcript()
+			if rbErr := s.rebuildJoin(tr[:len(tr)-1]); rbErr != nil {
+				return fmt.Errorf("joininference: rolling back inconsistent answer: %w", rbErr)
+			}
+			newEntry := TranscriptEntry{RIndex: q.RIndex, PIndex: q.PIndex, Positive: bool(l)}
+			return s.softRecoverJoin(tr[:len(tr)-1], newEntry, ci)
+		}
+		return fmt.Errorf("joininference: %w", err)
+	}
+	s.asked++
+	s.markRNG()
+	s.pushEvent(SoftEvent{Kind: SoftCommit, Ref: QuestionRef{RIndex: q.RIndex, PIndex: q.PIndex}, Positive: bool(l), Votes: s.workerVotes(ci)})
+	return nil
+}
+
+// softRecoverJoin searches for the cheapest repair that restores
+// consistency, bounded by the remaining error budget: discard the new
+// answer, or retract committed ones. Candidates — the new answer included —
+// rank by suspicion (see joinRetractionCandidates); phase 1 tries single
+// repairs in that order, phase 2 grows a prefix of the committed
+// candidates. A discarded or retracted answer keeps its accumulated votes:
+// its question is disputed, NextQuestions re-serves it, and the fresh
+// evidence either re-commits it or singles out the actual lie at the next
+// contradiction. When nothing within budget helps, the new answer is
+// rejected exactly like the hard path.
+func (s *Session) softRecoverJoin(committed []TranscriptEntry, newEntry TranscriptEntry, newKey int) error {
+	if remaining := s.soft.Remaining(); remaining > 0 {
+		cands := s.joinRetractionCandidates(committed, newEntry)
+		dropped := cands[:0:0]
+		for _, i := range cands {
+			if i == len(committed) {
+				return s.performDiscard(newEntry, newKey)
+			}
+			dropped = append(dropped, i)
+			if trial, ok := s.joinTrial(committed, []int{i}, newEntry); ok {
+				return s.performJoinRetraction(committed, []int{i}, trial, newKey, newEntry)
+			}
+		}
+		for k := 2; k <= remaining && k <= len(dropped); k++ {
+			if trial, ok := s.joinTrial(committed, dropped[:k], newEntry); ok {
+				return s.performJoinRetraction(committed, dropped[:k], trial, newKey, newEntry)
+			}
+		}
+	}
+	s.soft.Reset(newKey)
+	return ErrInconsistent
+}
+
+// performDiscard spends budget on the incoming answer itself: the committed
+// sample stands, the new answer is set aside as disputed (its votes stay —
+// re-asks accumulate on top of them) and nothing commits. Shared by join
+// and semijoin recovery; the engine was already rolled back by the caller.
+func (s *Session) performDiscard(newEntry TranscriptEntry, newKey int) error {
+	s.soft.Spent++
+	s.pushEvent(SoftEvent{Kind: SoftRetract, Ref: QuestionRef{RIndex: newEntry.RIndex, PIndex: newEntry.PIndex},
+		Positive: newEntry.Positive, Votes: s.workerVotes(newKey)})
+	return nil
+}
+
+// joinRetractionCandidates orders the answers in conflict — the committed
+// entries plus the incoming one (index len(committed), meaning "discard the
+// new answer") — by suspicion: ascending belief magnitude first (the answer
+// with the least evidence behind it is the most likely lie), then negatives
+// the trial T(S+) violates (the version-space math says an inconsistency is
+// always "tpos ⊆ some negative's θ", so one of those negatives is lying
+// whenever the positives are honest), then most recent answer first — an
+// old commit has survived every consistency check since it was made, while
+// the newest one has survived none. With one vote everywhere the first
+// repair is a guess; if it was wrong, the disputed question's re-asks grow
+// its belief and the next contradiction ranks the actual lie first.
+func (s *Session) joinRetractionCandidates(committed []TranscriptEntry, newEntry TranscriptEntry) []int {
+	tpos := predicate.Omega(s.engine.U)
+	for _, e := range committed {
+		if e.Positive {
+			tpos = tpos.Intersect(s.entryTheta(e))
+		}
+	}
+	if newEntry.Positive {
+		tpos = tpos.Intersect(s.entryTheta(newEntry))
+	}
+	type cand struct {
+		idx      int
+		violated bool
+		belief   float64
+	}
+	cands := make([]cand, 0, len(committed)+1)
+	for i, e := range committed {
+		c := cand{idx: i, belief: s.soft.Get(s.classIndexFor(e.RIndex, e.PIndex)).Abs()}
+		if !e.Positive && tpos.MoreGeneralThan(s.entryTheta(e)) {
+			c.violated = true
+		}
+		cands = append(cands, c)
+	}
+	nc := cand{idx: len(committed), belief: s.soft.Get(s.classIndexFor(newEntry.RIndex, newEntry.PIndex)).Abs()}
+	if !newEntry.Positive && tpos.MoreGeneralThan(s.entryTheta(newEntry)) {
+		nc.violated = true
+	}
+	cands = append(cands, nc)
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].belief != cands[j].belief {
+			return cands[i].belief < cands[j].belief
+		}
+		if cands[i].violated != cands[j].violated {
+			return cands[i].violated
+		}
+		return cands[i].idx > cands[j].idx
+	})
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// entryTheta returns the most specific predicate of the entry's T-class.
+func (s *Session) entryTheta(e TranscriptEntry) Pred {
+	return s.engine.Classes()[s.classIndexFor(e.RIndex, e.PIndex)].Theta
+}
+
+// joinTrial builds committed minus the dropped indexes plus newEntry and
+// reports whether the result replays consistently on a fresh engine.
+func (s *Session) joinTrial(committed []TranscriptEntry, drop []int, newEntry TranscriptEntry) ([]TranscriptEntry, bool) {
+	trial := append(dropEntries(committed, drop), newEntry)
+	fresh := inference.New(s.engine.Inst, inference.WithClasses(s.engine.Classes()))
+	for _, e := range trial {
+		ci := s.classIndexFor(e.RIndex, e.PIndex)
+		if ci < 0 {
+			return nil, false
+		}
+		if err := fresh.Label(ci, Label(e.Positive)); err != nil {
+			return nil, false
+		}
+	}
+	return trial, true
+}
+
+// dropEntries copies entries, skipping the listed indexes.
+func dropEntries(entries []TranscriptEntry, drop []int) []TranscriptEntry {
+	skip := make(map[int]bool, len(drop))
+	for _, i := range drop {
+		skip[i] = true
+	}
+	out := make([]TranscriptEntry, 0, len(entries)+1)
+	for i, e := range entries {
+		if !skip[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// performJoinRetraction spends budget on the dropped entries, rebuilds the
+// engine on the trial transcript, and emits the retract/commit events. The
+// dropped entries keep their beliefs: their questions re-open as disputed,
+// and the retained votes make a wrongly retracted answer win the next
+// contradiction once re-asks corroborate it. rngMark is kept, like the hard
+// path's rollback: the committed answer count changed but the RND stream
+// position of the last draw did not.
+func (s *Session) performJoinRetraction(committed []TranscriptEntry, drop []int, trial []TranscriptEntry, newKey int, newEntry TranscriptEntry) error {
+	for _, i := range drop {
+		e := committed[i]
+		k := s.classIndexFor(e.RIndex, e.PIndex)
+		s.pushEvent(SoftEvent{Kind: SoftRetract, Ref: QuestionRef{RIndex: e.RIndex, PIndex: e.PIndex}, Positive: e.Positive, Votes: s.workerVotes(k)})
+		s.soft.Spent++
+	}
+	if err := s.rebuildJoin(trial); err != nil {
+		return fmt.Errorf("joininference: rebuilding after retraction: %w", err)
+	}
+	s.pushEvent(SoftEvent{Kind: SoftCommit, Ref: QuestionRef{RIndex: newEntry.RIndex, PIndex: newEntry.PIndex}, Positive: newEntry.Positive, Votes: s.workerVotes(newKey)})
+	return nil
+}
+
+// softCommitSemijoin is the semijoin counterpart of softCommitJoin. A
+// commit flipping the row's own earlier label goes straight to the
+// retraction search (the row cannot sit on both sides of the sample).
+func (s *Session) softCommitSemijoin(q Question, l Label) error {
+	ri := q.RIndex
+	newEntry := TranscriptEntry{RIndex: ri, PIndex: -1, Positive: bool(l)}
+	if s.sj.labeled[ri] {
+		if prev, ok := s.semijoinLabelOf(ri); ok && prev == bool(l) {
+			return nil // already committed with this label
+		}
+		return s.softRecoverSemijoin(newEntry, ri)
+	}
+	next := semijoin.Sample{Pos: s.sj.sample.Pos, Neg: s.sj.sample.Neg}
+	if l == Positive {
+		next.Pos = append(append([]int(nil), next.Pos...), ri)
+	} else {
+		next.Neg = append(append([]int(nil), next.Neg...), ri)
+	}
+	theta, ok, err := s.sj.solver.Consistent(next)
+	if err != nil {
+		return fmt.Errorf("joininference: %w", err)
+	}
+	if !ok {
+		return s.softRecoverSemijoin(newEntry, ri)
+	}
+	s.sj.sample = next
+	s.sj.labeled[ri] = true
+	s.sj.entries = append(s.sj.entries, newEntry)
+	s.sj.current = theta
+	s.sj.valid = true
+	s.asked++
+	s.pushEvent(SoftEvent{Kind: SoftCommit, Ref: QuestionRef{RIndex: ri, PIndex: -1}, Positive: bool(l), Votes: s.workerVotes(ri)})
+	return nil
+}
+
+// semijoinLabelOf returns the committed label of row ri.
+func (s *Session) semijoinLabelOf(ri int) (positive, ok bool) {
+	for _, e := range s.sj.entries {
+		if e.RIndex == ri {
+			return e.Positive, true
+		}
+	}
+	return false, false
+}
+
+// softRecoverSemijoin mirrors softRecoverJoin for row samples. Semijoin has
+// no cheap "violated negative" identification (consistency itself is the
+// NP-complete CONS⋉), so candidates — the incoming answer included, as
+// index len(committed) — order purely by ascending belief magnitude, most
+// recent answer first (see joinRetractionCandidates).
+func (s *Session) softRecoverSemijoin(newEntry TranscriptEntry, newKey int) error {
+	committed := s.sj.entries
+	if remaining := s.soft.Remaining(); remaining > 0 {
+		type cand struct {
+			idx    int
+			belief float64
+		}
+		cands := make([]cand, 0, len(committed)+1)
+		for i, e := range committed {
+			cands = append(cands, cand{idx: i, belief: s.soft.Get(e.RIndex).Abs()})
+		}
+		// A flip of an already-labeled row shares its belief key with the
+		// committed entry — the evidence as a whole now favors the new
+		// label, so discarding the new answer is never the right repair.
+		if !s.sj.labeled[newEntry.RIndex] {
+			cands = append(cands, cand{idx: len(committed), belief: s.soft.Get(newKey).Abs()})
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].belief != cands[j].belief {
+				return cands[i].belief < cands[j].belief
+			}
+			return cands[i].idx > cands[j].idx
+		})
+		order := make([]int, 0, len(cands))
+		for _, c := range cands {
+			if c.idx == len(committed) {
+				continue
+			}
+			order = append(order, c.idx)
+		}
+		for _, c := range cands {
+			if c.idx == len(committed) {
+				return s.performDiscard(newEntry, newKey)
+			}
+			if trial, ok, err := s.semijoinTrial(committed, []int{c.idx}, newEntry); err != nil {
+				return err
+			} else if ok {
+				return s.performSemijoinRetraction(committed, []int{c.idx}, trial, newKey, newEntry)
+			}
+		}
+		for k := 2; k <= remaining && k <= len(order); k++ {
+			if trial, ok, err := s.semijoinTrial(committed, order[:k], newEntry); err != nil {
+				return err
+			} else if ok {
+				return s.performSemijoinRetraction(committed, order[:k], trial, newKey, newEntry)
+			}
+		}
+	}
+	s.soft.Reset(newKey)
+	return ErrInconsistent
+}
+
+// semijoinTrial checks whether committed minus drop plus newEntry admits a
+// consistent witness predicate.
+func (s *Session) semijoinTrial(committed []TranscriptEntry, drop []int, newEntry TranscriptEntry) ([]TranscriptEntry, bool, error) {
+	trial := append(dropEntries(committed, drop), newEntry)
+	var sm semijoin.Sample
+	seen := make(map[int]bool, len(trial))
+	for _, e := range trial {
+		if seen[e.RIndex] {
+			return nil, false, nil // row on both sides: never consistent
+		}
+		seen[e.RIndex] = true
+		if e.Positive {
+			sm.Pos = append(sm.Pos, e.RIndex)
+		} else {
+			sm.Neg = append(sm.Neg, e.RIndex)
+		}
+	}
+	_, ok, err := s.sj.solver.Consistent(sm)
+	if err != nil {
+		return nil, false, fmt.Errorf("joininference: %w", err)
+	}
+	return trial, ok, nil
+}
+
+// performSemijoinRetraction rebuilds the semijoin state on the trial
+// transcript (the solver carries over: its witness cache is instance-bound)
+// and emits the events.
+func (s *Session) performSemijoinRetraction(committed []TranscriptEntry, drop []int, trial []TranscriptEntry, newKey int, newEntry TranscriptEntry) error {
+	for _, i := range drop {
+		e := committed[i]
+		s.pushEvent(SoftEvent{Kind: SoftRetract, Ref: QuestionRef{RIndex: e.RIndex, PIndex: -1}, Positive: e.Positive, Votes: s.workerVotes(e.RIndex)})
+		s.soft.Spent++
+	}
+	st := &semijoinState{u: s.sj.u, solver: s.sj.solver, labeled: make([]bool, s.inst.R.Len())}
+	for _, e := range trial {
+		if e.Positive {
+			st.sample.Pos = append(st.sample.Pos, e.RIndex)
+		} else {
+			st.sample.Neg = append(st.sample.Neg, e.RIndex)
+		}
+		st.labeled[e.RIndex] = true
+		st.entries = append(st.entries, e)
+	}
+	s.sj = st
+	s.asked = len(trial)
+	s.pushEvent(SoftEvent{Kind: SoftCommit, Ref: QuestionRef{RIndex: newEntry.RIndex, PIndex: -1}, Positive: newEntry.Positive, Votes: s.workerVotes(newKey)})
+	return nil
+}
+
+// AnswerAttribution scores one committed answer's contribution to the
+// inferred predicate (Explain).
+type AnswerAttribution struct {
+	// Ref addresses the answered question; Positive is the committed label.
+	Ref      QuestionRef `json:"ref"`
+	Positive bool        `json:"positive"`
+	// Score is the Banzhaf-style contribution: the fraction of coalitions
+	// of the other answers whose version-space outcome this answer changes
+	// (0 = dead weight, 1 = pivotal everywhere). For semijoin sessions it
+	// is 1 when Critical, else 0.
+	Score float64 `json:"score"`
+	// Critical reports whether dropping just this answer changes the
+	// outcome given all the others.
+	Critical bool `json:"critical"`
+	// Workers lists the votes behind the answer (soft sessions only).
+	Workers []WorkerVote `json:"workers,omitempty"`
+}
+
+// Explain attributes the inferred predicate to the committed answers: a
+// Banzhaf-style score per answer ("why did you infer this join?") that
+// doubles as a worker-quality signal when votes carry worker ids. Join
+// sessions get exact coalition enumeration for up to 13 answers and
+// deterministic seeded sampling beyond; semijoin sessions get the drop-one
+// criticality test (each probe is a CONS⋉ decision).
+func (s *Session) Explain() []AnswerAttribution {
+	tr := s.Transcript()
+	if len(tr) == 0 {
+		return nil
+	}
+	out := make([]AnswerAttribution, len(tr))
+	for i, e := range tr {
+		out[i] = AnswerAttribution{Ref: QuestionRef{RIndex: e.RIndex, PIndex: e.PIndex}, Positive: e.Positive}
+		if s.soft != nil {
+			key := e.RIndex
+			if s.sj == nil {
+				key = s.classIndexFor(e.RIndex, e.PIndex)
+			}
+			out[i].Workers = s.workerVotes(key)
+		}
+	}
+	if s.sj != nil {
+		for i := range out {
+			if changed, err := s.semijoinDropOneChanges(tr, i); err == nil && changed {
+				out[i].Critical = true
+				out[i].Score = 1
+			}
+		}
+		return out
+	}
+	answers := make([]belief.LabeledPred, len(tr))
+	for i, e := range tr {
+		answers[i] = belief.LabeledPred{Theta: s.entryTheta(e), Positive: e.Positive}
+	}
+	classes := s.engine.Classes()
+	thetas := make([]predicate.Pred, len(classes))
+	for i, c := range classes {
+		thetas[i] = c.Theta
+	}
+	scores := belief.Attribution(s.engine.U, thetas, answers, s.cfg.seed)
+	crit := belief.DropOneCritical(s.engine.U, thetas, answers)
+	for i := range out {
+		out[i].Score = scores[i]
+		out[i].Critical = crit[i]
+	}
+	return out
+}
+
+// semijoinDropOneChanges reports whether removing answer i changes the
+// consistent witness predicate the solver finds for the remaining sample.
+func (s *Session) semijoinDropOneChanges(tr []TranscriptEntry, i int) (bool, error) {
+	full, fullOK, err := s.sj.solver.Consistent(s.sj.sample)
+	if err != nil {
+		return false, err
+	}
+	var sm semijoin.Sample
+	for j, e := range tr {
+		if j == i {
+			continue
+		}
+		if e.Positive {
+			sm.Pos = append(sm.Pos, e.RIndex)
+		} else {
+			sm.Neg = append(sm.Neg, e.RIndex)
+		}
+	}
+	sub, subOK, err := s.sj.solver.Consistent(sm)
+	if err != nil {
+		return false, err
+	}
+	if fullOK != subOK {
+		return true, nil
+	}
+	return fullOK && !full.Equal(sub), nil
+}

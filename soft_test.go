@@ -1,0 +1,682 @@
+package joininference
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/predicate"
+	"repro/internal/synth"
+)
+
+// The soft-inference differential suite: with the error budget at 0 and
+// the belief threshold at 1 vote, the soft layer is a pass-through — every
+// strategy must ask a bit-identical question sequence to the hard path,
+// for join and semijoin sessions at Workers 1 and 4. With a nonzero
+// budget, a planted wrong answer is absorbed by retraction instead of
+// surfacing ErrInconsistent, and the session still converges to the goal.
+
+// TestSoftDifferentialJoin: threshold 1, budget 0 — soft join sessions are
+// question-for-question identical to hard ones.
+func TestSoftDifferentialJoin(t *testing.T) {
+	inst := coldPathInstance(t)
+	goal := coldPathGoal(inst)
+	u := predicate.NewUniverse(inst)
+	cs := PrecomputeClasses(inst)
+	want := predicate.Join(inst, u, goal)
+	for _, id := range KnownStrategies() {
+		for _, workers := range []int{1, 4} {
+			hard := NewSession(inst, WithStrategy(id), WithSeed(7),
+				WithParallelism(workers), WithPrecomputedClasses(cs))
+			soft := NewSession(inst, WithStrategy(id), WithSeed(7),
+				WithParallelism(workers), WithPrecomputedClasses(cs),
+				WithSoftInference(1))
+			if !soft.Soft() || hard.Soft() {
+				t.Fatalf("%s/w%d: Soft() flags wrong", id, workers)
+			}
+			hardSeq := transcriptSeq(t, hard, goal)
+			softSeq := transcriptSeq(t, soft, goal)
+			if !sameEntries(hardSeq, softSeq) {
+				t.Fatalf("%s/w%d: soft sequence diverged from hard path:\n hard: %v\n soft: %v",
+					id, workers, hardSeq, softSeq)
+			}
+			if got := predicate.Join(inst, u, soft.Inferred()); len(got) != len(want) {
+				t.Fatalf("%s/w%d: soft inferred predicate not instance-equivalent", id, workers)
+			}
+			if st := soft.SoftStats(); !st.Enabled || st.Retractions != 0 || st.Votes != len(softSeq) {
+				t.Fatalf("%s/w%d: soft stats %+v", id, workers, st)
+			}
+		}
+	}
+}
+
+// TestSoftDifferentialSemijoin: the same pass-through guarantee for
+// semijoin sessions.
+func TestSoftDifferentialSemijoin(t *testing.T) {
+	inst := coldPathInstance(t)
+	goal := coldPathGoal(inst)
+	for _, id := range KnownStrategies() {
+		for _, workers := range []int{1, 4} {
+			hard := NewSemijoinSession(inst, WithStrategy(id), WithSeed(7), WithParallelism(workers))
+			soft := NewSemijoinSession(inst, WithStrategy(id), WithSeed(7), WithParallelism(workers),
+				WithSoftInference(1))
+			hardSeq := transcriptSeq(t, hard, goal)
+			softSeq := transcriptSeq(t, soft, goal)
+			if !sameEntries(hardSeq, softSeq) {
+				t.Fatalf("%s/w%d: soft semijoin sequence diverged:\n hard: %v\n soft: %v",
+					id, workers, hardSeq, softSeq)
+			}
+		}
+	}
+}
+
+// lyingOracle answers honestly except for the flipAt-th label it serves,
+// which it inverts — one planted wrong answer.
+type lyingOracle struct {
+	honest Oracle
+	flipAt int
+	served int
+}
+
+func (o *lyingOracle) Label(ctx context.Context, q Question) (Label, error) {
+	l, err := o.honest.Label(ctx, q)
+	if err != nil {
+		return l, err
+	}
+	if o.served == o.flipAt {
+		l = !l
+	}
+	o.served++
+	return l, nil
+}
+
+// liarInstance is the small shared fixture of the fast soft-layer tests.
+func liarInstance(t *testing.T) (*Instance, Pred) {
+	t.Helper()
+	inst := paperdata.FlightHotel()
+	u := predicate.NewUniverse(inst)
+	goal, err := PredFromNames(u, [2]string{"To", "City"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, goal
+}
+
+// runBatched drives a session with batches of k questions, labeling every
+// question in the batch through the oracle and feeding back every answer —
+// including answers whose question an earlier answer in the same batch
+// already decided. That is how a real crowd round behaves (workers answer
+// in parallel, nobody re-checks informativeness before submitting), and it
+// is the only way an honest-plus-one-lie run can produce a contradiction:
+// single-question loops only ever ask informative questions, whose answers
+// are consistent either way.
+func runBatched(ctx context.Context, s *Session, oracle Oracle, k int) error {
+	for round := 0; ; round++ {
+		if round > 10000 {
+			return errors.New("session did not converge")
+		}
+		qs, err := s.NextQuestions(ctx, k)
+		if err != nil {
+			return err
+		}
+		if len(qs) == 0 {
+			return nil
+		}
+		for _, q := range qs {
+			l, err := oracle.Label(ctx, q)
+			if err != nil {
+				return err
+			}
+			if s.Soft() {
+				err = s.AnswerVote(q, l, Vote{})
+			} else {
+				err = s.Answer(q, l)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// honestBatchLength runs an honest batched session to completion and
+// returns how many labels it served — the range of lie positions to plant.
+func honestBatchLength(t *testing.T, inst *Instance, goal Pred, id StrategyID, semijoin bool, k int) int {
+	t.Helper()
+	var s *Session
+	if semijoin {
+		s = NewSemijoinSession(inst, WithStrategy(id), WithSeed(7))
+	} else {
+		s = NewSession(inst, WithStrategy(id), WithSeed(7))
+	}
+	lo := &lyingOracle{honest: HonestOracle(goal), flipAt: -1}
+	if err := runBatched(context.Background(), s, lo, k); err != nil {
+		t.Fatalf("%s: honest batched run: %v", id, err)
+	}
+	return lo.served
+}
+
+// Crowd-round sizes of the planted-lie suites. Small batches rarely expose a
+// lie (the answers are mostly pairwise-independent); at these sizes every
+// strategy under test has lie positions whose batch-mates contradict.
+const (
+	lieBatch   = 12 // join suites, on the coldpath fixture
+	sjLieBatch = 8  // semijoin suite, on the row-heavy fixture below
+)
+
+// sjLiarInstance is the planted-lie fixture of the semijoin suite: the
+// coldpath instance has only five R-rows and never yields a contradicting
+// batch, so the semijoin test uses a narrower but row-heavy instance whose
+// sample rows interlock.
+func sjLiarInstance(t *testing.T) (*Instance, Pred) {
+	t.Helper()
+	inst := synth.MustGenerate(synth.Config{AttrsR: 3, AttrsP: 3, Rows: 10, Values: 2}, 1)
+	u := predicate.NewUniverse(inst)
+	return inst, predicate.FromPairs(u, [2]int{0, 0}, [2]int{1, 1})
+}
+
+// TestSoftAbsorbsPlantedLieJoin: with a nonzero error budget, planting one
+// wrong answer at every position of every strategy's batched run never
+// surfaces an error; whenever the lie produces a contradiction the
+// offending label is retracted and the session still converges to the goal
+// predicate.
+func TestSoftAbsorbsPlantedLieJoin(t *testing.T) {
+	inst := coldPathInstance(t)
+	goal := coldPathGoal(inst)
+	u := predicate.NewUniverse(inst)
+	want := predicate.Join(inst, u, goal)
+	for _, id := range []StrategyID{StrategyBU, StrategyTD, StrategyL1S, StrategyRND} {
+		n := honestBatchLength(t, inst, goal, id, false, lieBatch)
+		retracted := 0
+		for pos := 0; pos < n; pos++ {
+			s := NewSession(inst, WithStrategy(id), WithSeed(7), WithErrorBudget(3))
+			err := runBatched(context.Background(), s,
+				&lyingOracle{honest: HonestOracle(goal), flipAt: pos}, lieBatch)
+			if err != nil {
+				t.Fatalf("%s: lie at %d: %v", id, pos, err)
+			}
+			st := s.SoftStats()
+			if st.Retractions > 0 {
+				retracted++
+				if got := predicate.Join(inst, u, s.Inferred()); len(got) != len(want) {
+					t.Fatalf("%s: lie at %d retracted (%d) but did not converge to the goal",
+						id, pos, st.Retractions)
+				}
+			}
+		}
+		if retracted == 0 {
+			t.Fatalf("%s: no lie position produced a retraction in %d runs", id, n)
+		}
+	}
+}
+
+// TestSoftAbsorbsPlantedLieSemijoin: the semijoin recovery path — replay
+// through the CONS⋉ solver — absorbs a planted lie the same way.
+func TestSoftAbsorbsPlantedLieSemijoin(t *testing.T) {
+	inst, goal := sjLiarInstance(t)
+	for _, id := range []StrategyID{StrategyTD, StrategyRND} {
+		n := honestBatchLength(t, inst, goal, id, true, sjLieBatch)
+		retracted := 0
+		for pos := 0; pos < n; pos++ {
+			s := NewSemijoinSession(inst, WithStrategy(id), WithSeed(7), WithErrorBudget(3))
+			err := runBatched(context.Background(), s,
+				&lyingOracle{honest: HonestOracle(goal), flipAt: pos}, sjLieBatch)
+			if err != nil {
+				t.Fatalf("%s: lie at %d: %v", id, pos, err)
+			}
+			if st := s.SoftStats(); st.Retractions > 0 {
+				retracted++
+			}
+		}
+		if retracted == 0 {
+			t.Fatalf("%s: no semijoin lie position produced a retraction in %d runs", id, n)
+		}
+	}
+}
+
+// TestSoftBudgetZeroRejectsLikeHardPath: with no error budget a
+// contradiction fails with the same ErrInconsistent at the same point as
+// the hard path — and the soft session is left intact: an honest batched
+// continuation converges to the goal.
+func TestSoftBudgetZeroRejectsLikeHardPath(t *testing.T) {
+	inst := coldPathInstance(t)
+	goal := coldPathGoal(inst)
+	u := predicate.NewUniverse(inst)
+	n := honestBatchLength(t, inst, goal, StrategyBU, false, lieBatch)
+	rejected := 0
+	for pos := 0; pos < n; pos++ {
+		soft := NewSession(inst, WithStrategy(StrategyBU), WithSeed(7), WithSoftInference(1))
+		softErr := runBatched(context.Background(), soft,
+			&lyingOracle{honest: HonestOracle(goal), flipAt: pos}, lieBatch)
+		hard := NewSession(inst, WithStrategy(StrategyBU), WithSeed(7))
+		hardErr := runBatched(context.Background(), hard,
+			&lyingOracle{honest: HonestOracle(goal), flipAt: pos}, lieBatch)
+		if (softErr == nil) != (hardErr == nil) {
+			t.Fatalf("lie at %d: soft err %v, hard err %v", pos, softErr, hardErr)
+		}
+		if softErr == nil {
+			continue
+		}
+		rejected++
+		if !errors.Is(softErr, ErrInconsistent) {
+			t.Fatalf("lie at %d: err = %v, want ErrInconsistent", pos, softErr)
+		}
+		if soft.Questions() != hard.Questions() {
+			t.Fatalf("lie at %d: soft rejected after %d questions, hard after %d",
+				pos, soft.Questions(), hard.Questions())
+		}
+		// The rejected answer must not have corrupted the session: an
+		// honest continuation behaves exactly like the hard path's (the
+		// committed lie keeps both away from the goal, identically).
+		softCont := runBatched(context.Background(), soft, HonestOracle(goal), lieBatch)
+		hardCont := runBatched(context.Background(), hard, HonestOracle(goal), lieBatch)
+		if (softCont == nil) != (hardCont == nil) {
+			t.Fatalf("lie at %d: continuation diverged: soft err %v, hard err %v", pos, softCont, hardCont)
+		}
+		if soft.Questions() != hard.Questions() {
+			t.Fatalf("lie at %d: continuation asked %d questions, hard asked %d",
+				pos, soft.Questions(), hard.Questions())
+		}
+		if su, hu := soft.Inferred().Format(u), hard.Inferred().Format(u); su != hu {
+			t.Fatalf("lie at %d: continuation inferred %s, hard inferred %s", pos, su, hu)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no lie position produced a contradiction")
+	}
+}
+
+// TestSoftThresholdAccumulates: with a threshold of 2 unit votes, a single
+// vote leaves the question pending (still informative, nothing committed),
+// an agreeing second vote commits, and a wrong vote is outvoted without
+// spending the error budget.
+func TestSoftThresholdAccumulates(t *testing.T) {
+	inst, goal := liarInstance(t)
+	ctx := context.Background()
+	s := NewSession(inst, WithStrategy(StrategyBU), WithSeed(7), WithSoftInference(2))
+	oracle := HonestOracle(goal)
+
+	qs, err := s.NextQuestions(ctx, 1)
+	if err != nil || len(qs) == 0 {
+		t.Fatalf("first question: %v", err)
+	}
+	q := qs[0]
+	truth, err := oracle.Label(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One wrong vote, then truth votes: net belief crosses the threshold
+	// in the honest direction without any commit of the wrong label.
+	if err := s.AnswerVote(q, !truth, Vote{Worker: "sloppy"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SoftStats(); got.Pending != 1 || s.Questions() != 0 {
+		t.Fatalf("after one vote: pending %d, questions %d", got.Pending, s.Questions())
+	}
+	if !s.IsInformative(q) {
+		t.Fatal("pending question stopped being informative")
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.AnswerVote(q, truth, Vote{Worker: "careful"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Questions() != 1 {
+		t.Fatalf("after outvoting: %d committed answers, want 1", s.Questions())
+	}
+	if s.IsInformative(q) {
+		t.Fatal("committed question still informative")
+	}
+	st := s.SoftStats()
+	if st.Retractions != 0 || st.Votes != 4 || st.Pending != 0 {
+		t.Fatalf("soft stats %+v", st)
+	}
+	if len(s.Transcript()) != 1 || s.Transcript()[0].Positive != bool(truth) {
+		t.Fatalf("committed transcript %v, want one honest entry", s.Transcript())
+	}
+
+	// The rest of the session runs to convergence through Run.
+	if _, err := Run(ctx, s, oracle); err != nil {
+		t.Fatal(err)
+	}
+	u := predicate.NewUniverse(inst)
+	if got, want := predicate.Join(inst, u, s.Inferred()), predicate.Join(inst, u, goal); len(got) != len(want) {
+		t.Fatal("threshold-2 session did not converge to the goal")
+	}
+}
+
+// TestAnswerVoteRequiresSoft: voting into a hard session is a usage error.
+func TestAnswerVoteRequiresSoft(t *testing.T) {
+	inst, _ := liarInstance(t)
+	s := NewSession(inst)
+	qs, err := s.NextQuestions(context.Background(), 1)
+	if err != nil || len(qs) == 0 {
+		t.Fatalf("question: %v", err)
+	}
+	if err := s.AnswerVote(qs[0], Positive, Vote{}); err == nil {
+		t.Fatal("AnswerVote on a hard session succeeded")
+	}
+}
+
+// TestSoftBudgetCapsVotes: with soft inference, WithBudget caps recorded
+// votes (each vote is a paid microtask), not committed answers.
+func TestSoftBudgetCapsVotes(t *testing.T) {
+	inst, goal := liarInstance(t)
+	ctx := context.Background()
+	s := NewSession(inst, WithStrategy(StrategyBU), WithSeed(7),
+		WithSoftInference(3), WithBudget(2))
+	qs, err := s.NextQuestions(ctx, 1)
+	if err != nil || len(qs) == 0 {
+		t.Fatalf("question: %v", err)
+	}
+	truth, err := HonestOracle(goal).Label(ctx, qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.AnswerVote(qs[0], truth, Vote{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AnswerVote(qs[0], truth, Vote{}); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("third vote err = %v, want ErrBudgetExhausted", err)
+	}
+	if _, err := s.NextQuestions(ctx, 1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("questions after spent budget: err %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestExplainAttribution: after an honest run, Explain scores every
+// committed answer, at least one answer is critical, and the report is
+// deterministic across calls.
+func TestExplainAttribution(t *testing.T) {
+	inst, goal := liarInstance(t)
+	for _, soft := range []bool{false, true} {
+		opts := []Option{WithStrategy(StrategyBU), WithSeed(7)}
+		if soft {
+			opts = append(opts, WithErrorBudget(1))
+		}
+		s := NewSession(inst, opts...)
+		if _, err := Run(context.Background(), s, HonestOracle(goal)); err != nil {
+			t.Fatal(err)
+		}
+		attrs := s.Explain()
+		if len(attrs) != s.Questions() {
+			t.Fatalf("soft=%v: %d attributions for %d answers", soft, len(attrs), s.Questions())
+		}
+		critical := 0
+		for _, a := range attrs {
+			if a.Score < 0 || a.Score > 1 {
+				t.Fatalf("soft=%v: score %v out of [0,1]", soft, a.Score)
+			}
+			if a.Critical {
+				critical++
+				if a.Score == 0 {
+					t.Fatalf("soft=%v: critical answer with zero score", soft)
+				}
+			}
+		}
+		if critical == 0 {
+			t.Fatalf("soft=%v: no critical answer among %d", soft, len(attrs))
+		}
+		again := s.Explain()
+		for i := range attrs {
+			if attrs[i].Ref != again[i].Ref || attrs[i].Score != again[i].Score ||
+				attrs[i].Critical != again[i].Critical {
+				t.Fatalf("soft=%v: Explain not deterministic at %d: %+v vs %+v",
+					soft, i, attrs[i], again[i])
+			}
+		}
+	}
+
+	// Semijoin sessions get drop-one criticality.
+	s := NewSemijoinSession(inst, WithStrategy(StrategyTD), WithSeed(7))
+	if _, err := Run(context.Background(), s, HonestOracle(goal)); err != nil {
+		t.Fatal(err)
+	}
+	attrs := s.Explain()
+	if len(attrs) != s.Questions() {
+		t.Fatalf("semijoin: %d attributions for %d answers", len(attrs), s.Questions())
+	}
+}
+
+// certainUnlabeledQuestion finds a question whose answer is already forced
+// by the recorded labels (certain but not directly labeled) and returns it
+// with the label that contradicts the certainty; ok is false when no such
+// moment exists yet.
+func certainUnlabeledQuestion(s *Session) (Question, Label, bool) {
+	if s.sj != nil {
+		for ri := range s.sj.labeled {
+			if s.sj.labeled[ri] {
+				continue
+			}
+			q, err := s.QuestionByRef(QuestionRef{RIndex: ri, PIndex: -1})
+			if err != nil || s.IsInformative(q) {
+				continue
+			}
+			// The row's label is forced; whichever single label keeps the
+			// sample consistent is the certain one — the other contradicts.
+			// The forced label equals the honest one, so trying both and
+			// keeping the inconsistent candidate is done by the caller via
+			// the solver: here we probe with a copy-free consistency check.
+			for _, l := range []Label{Positive, Negative} {
+				next := s.sj.sample
+				if l == Positive {
+					next.Pos = append(append([]int(nil), next.Pos...), ri)
+					next.Neg = append([]int(nil), next.Neg...)
+				} else {
+					next.Pos = append([]int(nil), next.Pos...)
+					next.Neg = append(append([]int(nil), next.Neg...), ri)
+				}
+				if _, ok, err := s.sj.solver.Consistent(next); err == nil && !ok {
+					return q, l, true
+				}
+			}
+		}
+		return Question{}, Negative, false
+	}
+	for ci := 0; ci < s.Classes(); ci++ {
+		if s.engine.IsLabeled(ci) || s.engine.Informative(ci) {
+			continue
+		}
+		c := s.engine.Classes()[ci]
+		q, err := s.QuestionByRef(QuestionRef{RIndex: c.RI, PIndex: c.PI})
+		if err != nil {
+			continue
+		}
+		wrong := Negative
+		if s.engine.CertainNegative(ci) {
+			wrong = Positive
+		}
+		return q, wrong, true
+	}
+	return Question{}, Negative, false
+}
+
+// TestHardInconsistentContract is the regression suite for the hard-path
+// error contract: a contradicting answer is rejected with ErrInconsistent
+// and the session stays intact — same transcript, snapshot round-trips,
+// and an honest continuation converges — for join and semijoin, with and
+// without a shared policy cache.
+func TestHardInconsistentContract(t *testing.T) {
+	inst, goal := liarInstance(t)
+	u := predicate.NewUniverse(inst)
+	want := predicate.Join(inst, u, goal)
+	ctx := context.Background()
+	for _, semijoin := range []bool{false, true} {
+		for _, cached := range []bool{false, true} {
+			name := map[bool]string{false: "join", true: "semijoin"}[semijoin] +
+				map[bool]string{false: "/nocache", true: "/cache"}[cached]
+			opts := []Option{WithStrategy(StrategyTD), WithSeed(7)}
+			if cached {
+				opts = append(opts, WithPolicyCache(NewPolicyCache(1<<20), "liar"))
+			}
+			var s *Session
+			if semijoin {
+				s = NewSemijoinSession(inst, opts...)
+			} else {
+				s = NewSession(inst, opts...)
+			}
+			oracle := HonestOracle(goal)
+			// Walk honestly until a certain-but-unlabeled question exists,
+			// then answer it against its certainty.
+			contradicted := false
+			for !contradicted {
+				qs, err := s.NextQuestions(ctx, 1)
+				if err != nil {
+					t.Fatalf("%s: next question: %v", name, err)
+				}
+				if len(qs) == 0 {
+					t.Fatalf("%s: session finished without a contradiction moment", name)
+				}
+				l, err := oracle.Label(ctx, qs[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Answer(qs[0], l); err != nil {
+					t.Fatalf("%s: honest answer: %v", name, err)
+				}
+				q, wrong, ok := certainUnlabeledQuestion(s)
+				if !ok {
+					continue
+				}
+				before := append([]TranscriptEntry(nil), s.Transcript()...)
+				if err := s.Answer(q, wrong); !errors.Is(err, ErrInconsistent) {
+					t.Fatalf("%s: contradicting answer err = %v, want ErrInconsistent", name, err)
+				}
+				if !sameEntries(before, s.Transcript()) || s.Questions() != len(before) {
+					t.Fatalf("%s: rejected answer mutated the transcript", name)
+				}
+				contradicted = true
+			}
+			// The damaged-free session snapshots, resumes, and both copies
+			// converge identically.
+			snap, err := s.Snapshot()
+			if err != nil {
+				t.Fatalf("%s: snapshot after rejection: %v", name, err)
+			}
+			resumed, err := ResumeSession(inst, snap)
+			if err != nil {
+				t.Fatalf("%s: resume after rejection: %v", name, err)
+			}
+			if _, err := Run(ctx, s, oracle); err != nil {
+				t.Fatalf("%s: original continuation: %v", name, err)
+			}
+			if _, err := Run(ctx, resumed, oracle); err != nil {
+				t.Fatalf("%s: resumed continuation: %v", name, err)
+			}
+			if !sameEntries(s.Transcript(), resumed.Transcript()) {
+				t.Fatalf("%s: original and resumed transcripts diverged:\n  %v\n  %v",
+					name, s.Transcript(), resumed.Transcript())
+			}
+			if !semijoin {
+				if got := predicate.Join(inst, u, s.Inferred()); len(got) != len(want) {
+					t.Fatalf("%s: did not converge to the goal after rejection", name)
+				}
+			}
+		}
+	}
+}
+
+// TestSoftSnapshotRoundTrip: a mid-run soft session with pending weighted
+// votes round-trips through both snapshot wire forms and resumes into an
+// identical continuation; hard sessions keep writing version-1 snapshots
+// old readers accept.
+func TestSoftSnapshotRoundTrip(t *testing.T) {
+	inst, goal := liarInstance(t)
+	ctx := context.Background()
+	build := func() *Session {
+		s := NewSession(inst, WithStrategy(StrategyBU), WithSeed(7),
+			WithSoftInference(2), WithErrorBudget(2))
+		oracle := HonestOracle(goal)
+		// Two committed answers plus one pending vote.
+		for i := 0; i < 2; i++ {
+			qs, err := s.NextQuestions(ctx, 1)
+			if err != nil || len(qs) == 0 {
+				t.Fatalf("question %d: %v", i, err)
+			}
+			l, err := oracle.Label(ctx, qs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 2; j++ {
+				if err := s.AnswerVote(qs[0], l, Vote{Worker: "w" + string(rune('a'+j)), Weight: 1.25}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		qs, err := s.NextQuestions(ctx, 1)
+		if err != nil || len(qs) == 0 {
+			t.Fatalf("pending question: %v", err)
+		}
+		l, err := oracle.Label(ctx, qs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AnswerVote(qs[0], l, Vote{Worker: "wp", Weight: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := build()
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != SnapshotVersion || snap.Soft == nil {
+		t.Fatalf("soft snapshot version %d, soft %v", snap.Version, snap.Soft)
+	}
+	if snap.Soft.Threshold != 2 || snap.Soft.ErrorBudget != 2 || snap.Soft.Votes != 5 {
+		t.Fatalf("soft section %+v", snap.Soft)
+	}
+	pending := 0
+	for _, b := range snap.Soft.Beliefs {
+		if len(b.Votes) == 1 && b.Votes[0].Worker == "wp" {
+			pending++
+		}
+	}
+	if pending != 1 {
+		t.Fatalf("pending vote not captured in %+v", snap.Soft.Beliefs)
+	}
+
+	// Binary round trip preserves the soft section exactly.
+	bin, err := DecodeBinarySnapshot(snap.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.Soft == nil || len(bin.Soft.Beliefs) != len(snap.Soft.Beliefs) ||
+		bin.Soft.Threshold != snap.Soft.Threshold || bin.Soft.Votes != snap.Soft.Votes {
+		t.Fatalf("binary soft section diverged: %+v vs %+v", bin.Soft, snap.Soft)
+	}
+
+	// Both wire forms resume into a session that continues bit-identically
+	// to the original.
+	finishOriginal := append([]TranscriptEntry(nil), transcriptSeq(t, s, goal)...)
+	for _, form := range []*Snapshot{snap, bin} {
+		r, err := ResumeSession(inst, form)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := r.SoftStats(); !st.Enabled || st.Threshold != 2 || st.Votes != 5 || st.Pending != 1 {
+			t.Fatalf("resumed soft stats %+v", st)
+		}
+		if got := transcriptSeq(t, r, goal); !sameEntries(finishOriginal, got) {
+			t.Fatalf("resumed continuation diverged:\n want %v\n  got %v", finishOriginal, got)
+		}
+	}
+
+	// Hard sessions keep the version-1 snapshot and container framing.
+	hard := NewSession(inst, WithStrategy(StrategyBU), WithSeed(7))
+	hardSnap, err := hard.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hardSnap.Version != 1 || hardSnap.Soft != nil {
+		t.Fatalf("hard snapshot version %d, soft %v", hardSnap.Version, hardSnap.Soft)
+	}
+	if raw := hardSnap.AppendBinary(nil); raw[4] != 1 {
+		t.Fatalf("hard binary container version %d, want 1", raw[4])
+	}
+}
