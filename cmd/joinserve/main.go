@@ -8,6 +8,8 @@
 //	joinserve [-addr :8080] [-ttl 30m] [-sweep-interval 1m]
 //	          [-store-dir ./store | -store mem] [-migrate-persist-dir DIR]
 //	          [-persist-dir ./sessions] [-policy-cache-bytes N] [-pprof]
+//	          [-log-format text|json] [-log-level info] [-trace-log FILE]
+//	          [-trace-buffer N]
 //	          [-warm instance=strategy:depth]... [-csv name=R.csv,P.csv]...
 //
 // The server starts with the paper's workloads registered (tpch-join1 …
@@ -54,6 +56,17 @@
 // hits/misses/evictions — are served at /debug/metrics (and, with the
 // whole expvar namespace, at /debug/vars). See README.md ("Serving",
 // "Policy cache") for a curl walkthrough.
+//
+// Observability (README "Observability"): every log line is structured
+// (-log-format text|json, -log-level debug|info|warn|error), every request
+// gets an X-Request-ID (accepted in, always set on the response) that
+// appears in the access log and in trace spans. GET /metrics serves
+// counters and latency histograms — per-question strategy/cache/store
+// segments, policy-cache page-ins, store append/fsync/compact, per-route
+// HTTP latency — in Prometheus text exposition; GET /debug/trace serves
+// the most recent finished spans (filterable by ?session=), and -trace-log
+// streams them to a file as JSON lines. -trace-buffer sizes the in-RAM
+// span ring (default 256; 0 disables tracing).
 package main
 
 import (
@@ -62,7 +75,6 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -73,6 +85,7 @@ import (
 	"time"
 
 	joininference "repro"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -90,6 +103,10 @@ func main() {
 	flag.Var(&cfg.warms, "warm", "precompute a policy tree at boot as instance=strategy:depth (repeatable)")
 	flag.Var(&cfg.csvs, "csv", "register a CSV instance as name=R.csv,P.csv (repeatable)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving mux")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text (logfmt-style) or json")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.StringVar(&cfg.traceLog, "trace-log", "", "append finished trace spans to this file as JSON lines")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 256, "spans retained in RAM for GET /debug/trace (0 disables tracing)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -111,11 +128,16 @@ type config struct {
 	warms            warmFlags
 	csvs             csvFlags
 	pprof            bool
+	logFormat        string
+	logLevel         string
+	traceLog         string
+	traceBuffer      int
 }
 
 // openStore builds the configured store backend, or nil when none is
-// requested.
-func openStore(cfg config) (store.KV, error) {
+// requested; observe feeds append/fsync/compact timings into the metric
+// registry.
+func openStore(cfg config, observe func(op string, d time.Duration)) (store.KV, error) {
 	backend := cfg.storeBackend
 	if backend == "" && cfg.storeDir != "" {
 		backend = "log"
@@ -129,14 +151,31 @@ func openStore(cfg config) (store.KV, error) {
 		if cfg.storeDir == "" {
 			return nil, fmt.Errorf("-store log requires -store-dir")
 		}
-		return store.OpenLog(cfg.storeDir, store.LogOptions{})
+		return store.OpenLog(cfg.storeDir, store.LogOptions{Observe: observe})
 	default:
 		return nil, fmt.Errorf("unknown store backend %q (want log or mem)", backend)
 	}
 }
 
 func run(cfg config) error {
-	kv, err := openStore(cfg)
+	level, err := obs.ParseLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, cfg.logFormat, level)
+	bundle := service.NewObs()
+	if cfg.traceBuffer > 0 {
+		bundle.Tracer = obs.NewTracer(cfg.traceBuffer)
+	}
+	if cfg.traceLog != "" {
+		f, err := os.OpenFile(cfg.traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening -trace-log: %w", err)
+		}
+		defer f.Close()
+		bundle.Tracer.SetSink(f)
+	}
+	kv, err := openStore(cfg, bundle.StoreObserver())
 	if err != nil {
 		return err
 	}
@@ -152,7 +191,7 @@ func run(cfg config) error {
 
 	reg := service.DefaultRegistry()
 	if kv != nil {
-		reg.AttachStore(kv, log.Printf)
+		reg.AttachStore(kv, logger)
 	}
 	for _, c := range cfg.csvs {
 		if err := reg.RegisterCSV(c.name, c.rPath, c.pPath); err != nil {
@@ -162,13 +201,15 @@ func run(cfg config) error {
 	opts := service.Options{
 		TTL:           cfg.ttl,
 		SweepInterval: cfg.sweepInterval,
-		Logf:          log.Printf,
+		Logger:        logger,
+		Obs:           bundle,
 	}
 	if kv != nil {
 		opts.Store = kv
 		opts.MigratePersistDir = cfg.migrateDir
 		if cfg.persistDir != "" {
-			log.Printf("joinserve: store configured; ignoring -persist-dir %s (use -migrate-persist-dir to convert it)", cfg.persistDir)
+			logger.Warn("store configured; ignoring -persist-dir (use -migrate-persist-dir to convert it)",
+				"persist_dir", cfg.persistDir)
 		}
 	} else {
 		opts.PersistDir = cfg.persistDir
@@ -196,14 +237,16 @@ func run(cfg config) error {
 		if err != nil {
 			return fmt.Errorf("warming %s=%s:%d: %w", wf.instance, wf.strategy, wf.depth, err)
 		}
-		log.Printf("joinserve: warmed %s/%s to depth %d (%d nodes, %v)", wf.instance, wf.strategy, wf.depth, n, time.Since(start).Round(time.Millisecond))
+		logger.Info("warmed policy tree",
+			"instance", wf.instance, "strategy", wf.strategy, "depth", wf.depth,
+			"nodes", n, "duration", time.Since(start).Round(time.Millisecond))
 	}
 	publishMetrics(mgr)
 
 	server := &http.Server{Addr: cfg.addr, Handler: newServeMux(mgr, cfg.pprof)}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("joinserve: listening on %s (%d instances registered)", cfg.addr, len(reg.Names()))
+		logger.Info("listening", "addr", cfg.addr, "instances", len(reg.Names()))
 		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -217,7 +260,7 @@ func run(cfg config) error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		log.Printf("joinserve: %s, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 	}
 
 	// Graceful shutdown: finish in-flight requests (client disconnects
@@ -226,16 +269,16 @@ func run(cfg config) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := server.Shutdown(ctx); err != nil {
-		log.Printf("joinserve: shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err)
 	}
 	if err := mgr.Close(ctx); err != nil && !errors.Is(err, service.ErrClosed) {
 		return err
 	}
 	switch {
 	case kv != nil && cfg.storeDir != "":
-		log.Printf("joinserve: sessions persisted to store %s", cfg.storeDir)
+		logger.Info("sessions persisted to store", "store_dir", cfg.storeDir)
 	case kv == nil && cfg.persistDir != "":
-		log.Printf("joinserve: sessions persisted to %s", cfg.persistDir)
+		logger.Info("sessions persisted", "persist_dir", cfg.persistDir)
 	}
 	return <-errc
 }

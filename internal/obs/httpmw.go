@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// RequestIDHeader carries the request id on requests (accepted when the
+// client supplies a plausible one) and responses (always set).
+const RequestIDHeader = "X-Request-ID"
+
+// HTTPMetrics are the middleware's instruments, registered as:
+//
+//	http_requests_total{route}            counter
+//	http_request_duration_seconds{route}  histogram
+//	panics_total                          counter (recovered handler panics)
+//
+// The route label is the mux pattern that served the request (e.g.
+// "GET /sessions/{id}/questions"), never the raw path — cardinality stays
+// bounded by the API surface.
+type HTTPMetrics struct {
+	Requests *CounterVec
+	Duration *HistogramVec
+	Panics   *Counter
+}
+
+// NewHTTPMetrics registers the middleware's instruments in r.
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: r.CounterVec("http_requests_total", "HTTP requests served, by matched route.", "route"),
+		Duration: r.HistogramVec("http_request_duration_seconds", "HTTP request latency in seconds, by matched route.", "route", nil),
+		Panics:   r.Counter("panics_total", "Handler panics recovered by the middleware."),
+	}
+}
+
+// MiddlewareConfig wires the middleware's outputs; every field is
+// optional — a zero config still provides request ids and panic recovery.
+type MiddlewareConfig struct {
+	// Metrics receives per-route counters and latency histograms.
+	Metrics *HTTPMetrics
+	// Tracer opens one root span per request, named after the matched
+	// route; handler-side spans started from the request context nest
+	// under it and share its trace (= request) id.
+	Tracer *Tracer
+	// Logger receives one access-log line per request (level Info) and
+	// panic reports (level Error), each carrying the request id.
+	Logger *slog.Logger
+}
+
+// Middleware wraps next with the telemetry envelope: request-id
+// generation/propagation (X-Request-ID in, context + response header
+// out), panic recovery (stack logged with the request id, 500 returned,
+// panics_total incremented), an access log line, a per-route duration
+// histogram, and a root trace span. The route label and span name use the
+// ServeMux pattern matched inside next, so cardinality stays bounded.
+func Middleware(next http.Handler, cfg MiddlewareConfig) http.Handler {
+	logger := OrDiscard(cfg.Logger)
+	// routes caches per-route span names and resolved instruments; the key
+	// set is bounded by the mux patterns (plus "unmatched"), so the map
+	// stops growing once every route has been hit.
+	var routes sync.Map // route -> *routeEntry
+	routeEntry := func(route string) *mwRoute {
+		if e, ok := routes.Load(route); ok {
+			return e.(*mwRoute)
+		}
+		e := &mwRoute{spanName: "http " + route}
+		if cfg.Metrics != nil {
+			e.requests = cfg.Metrics.Requests.With(route)
+			e.duration = cfg.Metrics.Duration.With(route)
+		}
+		actual, _ := routes.LoadOrStore(route, e)
+		return actual.(*mwRoute)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(RequestIDHeader)
+		if !validRequestID(reqID) {
+			reqID = NewRequestID()
+		}
+		ctx, sp := cfg.Tracer.StartRoot(r.Context(), "http", reqID)
+		w.Header().Set(RequestIDHeader, reqID)
+		// The shallow copy is shared with the mux, which sets Pattern on it
+		// during routing — read r only after next returns.
+		r = r.WithContext(ctx)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				// A handler panic must not kill the connection silently:
+				// record it, log the stack with the request id, and answer
+				// 500 unless the handler already wrote a response.
+				cfg.Metrics.panicsCounter().Inc()
+				logger.Error("handler panic",
+					"request_id", reqID,
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", p,
+					"stack", string(debug.Stack()),
+				)
+				if !rec.wrote {
+					http.Error(rec, "internal server error", http.StatusInternalServerError)
+				}
+			}
+			route := r.Pattern
+			if route == "" {
+				route = "unmatched"
+			}
+			d := time.Since(start)
+			ent := routeEntry(route)
+			ent.requests.Inc()
+			ent.duration.Observe(d.Seconds())
+			if sp != nil {
+				sp.SetName(ent.spanName)
+				sp.End()
+			}
+			// The Enabled gate keeps a disabled access log free: the varargs
+			// below box every field on evaluation, before slog's own check.
+			if logger.Enabled(r.Context(), slog.LevelInfo) {
+				logger.Info("http request",
+					"request_id", reqID,
+					"method", r.Method,
+					"path", r.URL.Path,
+					"route", route,
+					"status", rec.status(),
+					"bytes", rec.bytes,
+					"duration", d,
+				)
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// mwRoute is one route's cached middleware state: the root span's name and
+// the pre-resolved instruments (nil without metrics — the nil-safe
+// no-ops keep the serving path branch-free).
+type mwRoute struct {
+	spanName string
+	requests *Counter
+	duration *Histogram
+}
+
+// panicsCounter tolerates a nil receiver so the recovery path needs no
+// metrics wiring to stay safe.
+func (m *HTTPMetrics) panicsCounter() *Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Panics
+}
+
+// validRequestID accepts client-supplied request ids that are short,
+// printable ASCII — anything else (empty, control characters, log-breaking
+// junk) is replaced with a generated id.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' || id[i] == '"' {
+			return false
+		}
+	}
+	return true
+}
+
+// statusRecorder captures the response status and size for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+	wrote bool
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if !s.wrote {
+		s.code = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if !s.wrote {
+		s.code = http.StatusOK
+		s.wrote = true
+	}
+	n, err := s.ResponseWriter.Write(b)
+	s.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming flushes when the underlying writer supports
+// them.
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *statusRecorder) status() int {
+	if !s.wrote {
+		return http.StatusOK
+	}
+	return s.code
+}

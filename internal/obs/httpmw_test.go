@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// mwFixture builds a mux with one normal and one panicking route behind
+// the full middleware stack, logging JSON to a buffer.
+func mwFixture() (http.Handler, *Registry, *Tracer, *bytes.Buffer) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /hello/{name}", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hi "+r.PathValue("name"))
+	})
+	mux.HandleFunc("GET /boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	reg := NewRegistry()
+	tr := NewTracer(16)
+	logBuf := &bytes.Buffer{}
+	h := Middleware(mux, MiddlewareConfig{
+		Metrics: NewHTTPMetrics(reg),
+		Tracer:  tr,
+		Logger:  slog.New(slog.NewJSONHandler(logBuf, nil)),
+	})
+	return h, reg, tr, logBuf
+}
+
+func TestMiddlewareRequestIDAndRoute(t *testing.T) {
+	h, reg, tr, logBuf := mwFixture()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/hello/world", nil))
+	reqID := rec.Header().Get(RequestIDHeader)
+	if reqID == "" {
+		t.Fatal("no X-Request-ID on the response")
+	}
+	if rec.Body.String() != "hi world" {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+
+	// The access log line carries the generated request id and the matched
+	// route pattern, not the raw path.
+	var line map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("access log not one JSON line: %q", logBuf.String())
+	}
+	if line["request_id"] != reqID {
+		t.Errorf("log request_id = %v, want %s", line["request_id"], reqID)
+	}
+	if line["route"] != "GET /hello/{name}" {
+		t.Errorf("log route = %v", line["route"])
+	}
+	if line["status"] != float64(200) {
+		t.Errorf("log status = %v", line["status"])
+	}
+
+	// The root span shares the same request id and is named by the route.
+	spans := tr.Recent("", 0)
+	if len(spans) != 1 || spans[0].Trace != reqID || spans[0].Name != "http GET /hello/{name}" {
+		t.Errorf("spans = %+v", spans)
+	}
+
+	// Metrics counted the route.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !containsLine(buf.String(), `http_requests_total{route="GET /hello/{name}"} 1`) {
+		t.Errorf("metrics missing route counter:\n%s", buf.String())
+	}
+}
+
+func TestMiddlewarePropagatesClientRequestID(t *testing.T) {
+	h, _, tr, _ := mwFixture()
+	req := httptest.NewRequest("GET", "/hello/a", nil)
+	req.Header.Set(RequestIDHeader, "client-id-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "client-id-42" {
+		t.Errorf("response id = %q, want the client's", got)
+	}
+	if spans := tr.Recent("", 0); len(spans) != 1 || spans[0].Trace != "client-id-42" {
+		t.Errorf("spans = %+v", spans)
+	}
+
+	// Junk ids (control characters would corrupt logs) are replaced.
+	req = httptest.NewRequest("GET", "/hello/a", nil)
+	req.Header.Set(RequestIDHeader, "bad\nid")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got == "bad\nid" || got == "" {
+		t.Errorf("junk id kept: %q", got)
+	}
+}
+
+func TestMiddlewarePanicRecovery(t *testing.T) {
+	h, reg, _, logBuf := mwFixture()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil)) // must not propagate
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	reqID := rec.Header().Get(RequestIDHeader)
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !containsLine(buf.String(), "panics_total 1") {
+		t.Errorf("panics_total not incremented:\n%s", buf.String())
+	}
+	// The panic log line carries the request id and a stack trace.
+	logs := logBuf.String()
+	if !strings.Contains(logs, "kaboom") || !strings.Contains(logs, reqID) {
+		t.Errorf("panic log missing panic value or request id: %s", logs)
+	}
+	if !strings.Contains(logs, "goroutine") {
+		t.Errorf("panic log missing stack: %s", logs)
+	}
+}
+
+func TestMiddlewareUnmatchedRoute(t *testing.T) {
+	h, reg, _, _ := mwFixture()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !containsLine(buf.String(), `http_requests_total{route="unmatched"} 1`) {
+		t.Errorf("unmatched requests should label as unmatched:\n%s", buf.String())
+	}
+}
+
+// TestMiddlewareZeroConfig: a zero config still provides request ids and
+// panic recovery.
+func TestMiddlewareZeroConfig(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("zero")
+	}), MiddlewareConfig{})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d", rec.Code)
+	}
+	if rec.Header().Get(RequestIDHeader) == "" {
+		t.Error("no request id with zero config")
+	}
+}

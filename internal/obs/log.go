@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a structured logger writing to w. format selects the
+// handler: "json" (machine-parseable JSON lines) or "text" (logfmt-style
+// key=value, the default for anything else). Every joinserve line goes
+// through a logger built here, so startup, warm, shutdown and migration
+// events carry levels and parseable fields.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// DiscardLogger returns a logger that drops everything — the nil-logger
+// normalization target, so call sites never nil-check.
+func DiscardLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// OrDiscard normalizes a possibly-nil logger to a usable one.
+func OrDiscard(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return DiscardLogger()
+	}
+	return l
+}
+
+// ParseLevel parses a -log-level flag value (debug, info, warn, error;
+// case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+// TestNilInstruments: every instrument no-ops on a nil receiver — the
+// guarantee that lets hot paths skip enablement branching.
+func TestNilInstruments(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter not inert")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge not inert")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Snapshot().Count != 0 {
+		t.Error("nil histogram not inert")
+	}
+	var cv *CounterVec
+	cv.With("x").Inc()
+	var hv *HistogramVec
+	hv.With("x").Observe(1)
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{1, 2, 1, 1} // (≤1, ≤2, ≤4, +Inf)
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if s.Count != 5 || math.Abs(s.Sum-16.5) > 1e-12 {
+		t.Errorf("count/sum = %d/%v", s.Count, s.Sum)
+	}
+	// Median falls in the (1, 2] bucket: rank 2.5 of 5, bucket holds ranks
+	// 2..3, interpolates to 1 + (2.5-1)/2 = 1.75.
+	if q, ok := s.Quantile(0.5); !ok || math.Abs(q-1.75) > 1e-9 {
+		t.Errorf("p50 = %v, %v", q, ok)
+	}
+	// Beyond the last bound reports the last bound.
+	if q, ok := s.Quantile(1); !ok || q != 4 {
+		t.Errorf("p100 = %v, %v", q, ok)
+	}
+	if _, ok := (HistogramSnapshot{}).Quantile(0.5); ok {
+		t.Error("empty snapshot quantile should report !ok")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram(nil) // DefBuckets
+	for i := 0; i < 100; i++ {
+		h.Observe(1e-4)
+	}
+	sum := h.Summary()
+	if sum.Count != 100 {
+		t.Errorf("summary count = %d", sum.Count)
+	}
+	if sum.P50 <= 0 || sum.P99 < sum.P50 {
+		t.Errorf("summary percentiles not ordered: %+v", sum)
+	}
+}
+
+// TestRegistryIdempotent: re-registering a name returns the same
+// instrument; a kind clash returns an inert one instead of corrupting the
+// exposition.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "other help")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("re-registered counter is a different instrument")
+	}
+	if g := r.Gauge("x_total", "clash"); g != nil {
+		t.Error("kind clash should return a nil (inert) instrument")
+	}
+	if h := r.Histogram("x_total", "clash", nil); h != nil {
+		t.Error("kind clash should return a nil (inert) histogram")
+	}
+	// The inert instrument is still safe to use.
+	r.Gauge("x_total", "clash").Set(1)
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// under -race this is the concurrency guarantee, and the totals must add
+// up regardless.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%10) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Errorf("count = %d, want %d", got, workers*per)
+	}
+	s := h.Snapshot()
+	var bucketTotal int64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != workers*per {
+		t.Errorf("bucket total = %d, want %d", bucketTotal, workers*per)
+	}
+}
+
+// TestVecConcurrent creates and updates labeled children from many
+// goroutines (map access under the family lock).
+func TestVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("ops_total", "help", "op")
+	labels := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				cv.With(labels[(w+i)%len(labels)]).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, l := range labels {
+		total += cv.With(l).Value()
+	}
+	if total != 8*500 {
+		t.Errorf("total = %d, want %d", total, 8*500)
+	}
+}
+
+func TestFuncMetricsRebind(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("x", "help", func() float64 { return 1 })
+	// Re-binding (fresh manager over a shared registry) replaces the closure.
+	r.GaugeFunc("x", "help", func() float64 { return 2 })
+	var buf stringsBuilder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); !containsLine(got, "x 2") {
+		t.Errorf("exposition = %q, want sample `x 2`", got)
+	}
+}

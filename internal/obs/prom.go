@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): per family one # HELP and one # TYPE
+// line followed by its samples; histograms expand into cumulative _bucket
+// series (le labels, +Inf last), _sum and _count. Families are emitted in
+// name order, children in label-value order, so the output is diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		f.mu.Lock()
+		values := append([]string(nil), f.order...)
+		children := make([]*child, len(values))
+		for i, v := range values {
+			children[i] = f.children[v]
+		}
+		f.mu.Unlock()
+		sort.Sort(&byLabel{values, children})
+
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+
+		for i, c := range children {
+			label := ""
+			if f.labelName != "" {
+				label = f.labelName + `="` + escapeLabel(values[i]) + `"`
+			}
+			switch {
+			case c.hist != nil:
+				writeHistogram(bw, f.name, label, c.hist.Snapshot())
+			case c.fn != nil:
+				writeSample(bw, f.name, label, c.fn())
+			case c.counter != nil:
+				writeSample(bw, f.name, label, float64(c.counter.Value()))
+			case c.gauge != nil:
+				writeSample(bw, f.name, label, c.gauge.Value())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// byLabel sorts children by label value, keeping the two slices aligned.
+type byLabel struct {
+	values   []string
+	children []*child
+}
+
+func (b *byLabel) Len() int           { return len(b.values) }
+func (b *byLabel) Less(i, j int) bool { return b.values[i] < b.values[j] }
+func (b *byLabel) Swap(i, j int) {
+	b.values[i], b.values[j] = b.values[j], b.values[i]
+	b.children[i], b.children[j] = b.children[j], b.children[i]
+}
+
+// writeSample emits `name{label} value` (or `name value` without labels).
+func writeSample(bw *bufio.Writer, name, label string, v float64) {
+	bw.WriteString(name)
+	if label != "" {
+		bw.WriteByte('{')
+		bw.WriteString(label)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// writeHistogram emits the cumulative _bucket/_sum/_count expansion. extra
+// is the family's own label pair ("" for scalar histograms); the le label
+// composes after it.
+func writeHistogram(bw *bufio.Writer, name, extra string, s HistogramSnapshot) {
+	cum := int64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		writeBucket(bw, name, extra, formatFloat(bound), cum)
+	}
+	if len(s.Counts) > 0 {
+		cum += s.Counts[len(s.Counts)-1]
+	}
+	writeBucket(bw, name, extra, "+Inf", cum)
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	if extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(s.Sum))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	if extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(cum, 10))
+	bw.WriteByte('\n')
+}
+
+func writeBucket(bw *bufio.Writer, name, extra, le string, cum int64) {
+	bw.WriteString(name)
+	bw.WriteString("_bucket{")
+	if extra != "" {
+		bw.WriteString(extra)
+		bw.WriteByte(',')
+	}
+	bw.WriteString(`le="`)
+	bw.WriteString(le)
+	bw.WriteString(`"} `)
+	bw.WriteString(strconv.FormatInt(cum, 10))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes \ and newline in HELP text per the format spec.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeLabel escapes \, " and newline in label values per the format spec.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// stringsBuilder aliases strings.Builder so test files can share it.
+type stringsBuilder = strings.Builder
+
+// containsLine reports whether exposition output contains the exact line.
+func containsLine(out, line string) bool {
+	for _, l := range strings.Split(out, "\n") {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPromGrammar validates text-exposition output: every sample belongs
+// to a family whose # HELP and # TYPE lines came first, TYPE is a known
+// kind, histogram samples use only the _bucket/_sum/_count suffixes, and
+// every value parses as a float. Returns the families seen.
+func checkPromGrammar(t *testing.T, out string) map[string]string {
+	t.Helper()
+	types := make(map[string]string) // family -> kind
+	helped := make(map[string]bool)
+	for ln, line := range strings.Split(out, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[0] == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			helped[parts[0]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, kind := parts[0], parts[1]
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, kind)
+			}
+			if !helped[name] {
+				t.Fatalf("line %d: TYPE before HELP for %s", ln+1, name)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			types[name] = kind
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		default:
+			// A sample: name[{labels}] value.
+			rest := line
+			name := rest
+			if i := strings.IndexAny(rest, "{ "); i >= 0 {
+				name = rest[:i]
+			}
+			if i := strings.IndexByte(rest, '{'); i >= 0 {
+				j := strings.IndexByte(rest, '}')
+				if j < i {
+					t.Fatalf("line %d: malformed labels: %q", ln+1, line)
+				}
+				rest = rest[j+1:]
+			} else {
+				rest = rest[len(name):]
+			}
+			val := strings.TrimSpace(rest)
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("line %d: bad sample value %q: %v", ln+1, val, err)
+			}
+			family := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, suffix); base != name && types[base] == "histogram" {
+					family = base
+					break
+				}
+			}
+			kind, ok := types[family]
+			if !ok {
+				t.Fatalf("line %d: sample %s before its TYPE line", ln+1, name)
+			}
+			if kind == "histogram" && family == name {
+				t.Fatalf("line %d: histogram %s emitted a bare sample", ln+1, name)
+			}
+		}
+	}
+	return types
+}
+
+// TestWritePrometheusGrammar is the golden grammar test: a registry with
+// every instrument kind renders output that parses as valid text
+// exposition, with HELP/TYPE preceding samples.
+func TestWritePrometheusGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Requests served.").Add(3)
+	r.Gauge("sessions_live", "Live sessions.").Set(2)
+	r.CounterFunc("derived_total", "Derived counter.", func() float64 { return 7 })
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	cv := r.CounterVec("ops_total", "Ops by kind.", "kind")
+	cv.With("read").Add(2)
+	cv.With("write").Inc()
+	hv := r.HistogramVec("op_seconds", "Op latency by kind.", "kind", []float64{1})
+	hv.With("read").Observe(0.5)
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	types := checkPromGrammar(t, out)
+
+	want := map[string]string{
+		"requests_total":  "counter",
+		"sessions_live":   "gauge",
+		"derived_total":   "counter",
+		"latency_seconds": "histogram",
+		"ops_total":       "counter",
+		"op_seconds":      "histogram",
+	}
+	for name, kind := range want {
+		if types[name] != kind {
+			t.Errorf("family %s: kind %q, want %q", name, types[name], kind)
+		}
+	}
+
+	// Histogram expansion: cumulative buckets ending at +Inf == _count.
+	for _, line := range []string{
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		`latency_seconds_count 3`,
+		`ops_total{kind="read"} 2`,
+		`ops_total{kind="write"} 1`,
+		`op_seconds_bucket{kind="read",le="1"} 1`,
+		`derived_total 7`,
+	} {
+		if !containsLine(out, line) {
+			t.Errorf("exposition missing line %q\n%s", line, out)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("weird_total", "help with \\ and\nnewline", "k").With("a\"b\\c\nd").Inc()
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP weird_total help with \\ and\nnewline`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `weird_total{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+	// Every line must still be well-formed — a raw newline in HELP or a
+	// label would split a line and break the grammar.
+	checkPromGrammar(t, out)
+}
+
+func TestNilRegistryWrites(t *testing.T) {
+	var r *Registry
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q", buf.String())
+	}
+}

@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Span is one finished, timed operation. Spans of the same request share
+// one Trace id (the request id the HTTP middleware generates or accepts
+// via X-Request-ID), and nest through Parent, so "where did this slow
+// question burn its time" reads straight off the trace.
+type Span struct {
+	// Trace is the request id shared by every span of one request; ID and
+	// Parent link the spans of a trace into a tree (Parent 0 = root).
+	Trace  string `json:"trace"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Name is the operation ("http GET /sessions/{id}/questions",
+	// "session.questions", …); Session attributes the span to a session id
+	// when one is involved.
+	Name    string `json:"name"`
+	Session string `json:"session,omitempty"`
+	// Start and Duration time the operation; Err carries the operation's
+	// error text, empty on success.
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Tracer records finished spans into a bounded in-RAM ring buffer and,
+// when a sink is attached, streams them as JSON lines. All methods are
+// safe for concurrent use and nil-safe — a nil *Tracer starts inert
+// no-op spans, so instrumented code needs no enablement branching.
+type Tracer struct {
+	seq atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total uint64
+
+	sinkMu sync.Mutex
+	sink   io.Writer
+}
+
+// NewTracer returns a tracer retaining the last capacity finished spans
+// (capacity <= 0 selects 256). The ring is the tracer's steady-state
+// cache footprint — every finished span writes one rotating slot — so
+// capacities far beyond the default trade serving throughput for history.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{ring: make([]Span, 0, capacity)}
+}
+
+// SetSink streams every finished span to w as one JSON line each (the
+// -trace-log option). Writes are serialized; a nil w detaches the sink.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.sinkMu.Lock()
+	t.sink = w
+	t.sinkMu.Unlock()
+}
+
+// ctxKey keys the tracer's context value.
+type ctxKey int
+
+const ctxSpan ctxKey = 0
+
+// spanCtx is the single context record spans thread through call trees: the
+// request id plus the innermost span's id. One value (instead of separate
+// request-id and span-id entries) keeps Start at one context allocation.
+type spanCtx struct {
+	trace string
+	span  uint64
+}
+
+// WithRequestID returns a context carrying the request id; spans started
+// under it adopt the id as their Trace.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxSpan, &spanCtx{trace: id})
+}
+
+// RequestID returns the context's request id, or "" when none is set.
+func RequestID(ctx context.Context) string {
+	if sc, ok := ctx.Value(ctxSpan).(*spanCtx); ok {
+		return sc.trace
+	}
+	return ""
+}
+
+// idBase is a per-process random prefix for generated request ids; idSeq
+// disambiguates within the process. Together they are unique in-process
+// and collision-resistant across processes without a rand syscall per id.
+var (
+	idBase = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand never fails on supported platforms; a zero base
+			// beats a panic in a logging path.
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	idSeq atomic.Uint64
+)
+
+// NewRequestID returns a fresh 16-hex-digit request id.
+func NewRequestID() string {
+	var buf [16]byte
+	copy(buf[:8], idBase)
+	n := idSeq.Add(1)
+	for i := 15; i >= 8; i-- {
+		buf[i] = "0123456789abcdef"[n&0xf]
+		n >>= 4
+	}
+	return string(buf[:])
+}
+
+// ActiveSpan is an in-flight span. The zero of a nil tracer is a nil
+// *ActiveSpan whose methods all no-op, so `ctx, sp := tracer.Start(...);
+// defer sp.End()` is safe with telemetry off.
+//
+// ActiveSpans are pooled: End recycles the span, so a finished span must
+// not be touched again (the derived context only references the embedded
+// spanCtx, which End leaves behind for any still-running children).
+type ActiveSpan struct {
+	t     *Tracer
+	sc    *spanCtx // handed to the derived context; not pooled
+	span  Span
+	start time.Time
+}
+
+var spanPool = sync.Pool{New: func() any { return new(ActiveSpan) }}
+
+// Start opens a span named name under ctx: the span adopts the context's
+// request id as its trace (generating one when absent) and the context's
+// current span as its parent, and the returned context carries the new
+// span so children nest. Call End to record it.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	sp := t.startLeaf(ctx, name)
+	if sp.span.Trace == "" {
+		sp.span.Trace = NewRequestID()
+	}
+	sp.sc = &spanCtx{trace: sp.span.Trace, span: sp.span.ID}
+	return context.WithValue(ctx, ctxSpan, sp.sc), sp
+}
+
+// StartLeaf opens a span that will have no children: it adopts the
+// context's trace and parent like Start but derives no new context, which
+// keeps leaf instrumentation allocation-free. With no trace on ctx the
+// span stays unattributed (Trace "") rather than minting an id nothing
+// else will share.
+func (t *Tracer) StartLeaf(ctx context.Context, name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return t.startLeaf(ctx, name)
+}
+
+func (t *Tracer) startLeaf(ctx context.Context, name string) *ActiveSpan {
+	sp := spanPool.Get().(*ActiveSpan)
+	sp.t = t
+	sp.start = time.Now()
+	sp.span = Span{Name: name, ID: t.seq.Add(1)}
+	if sc, ok := ctx.Value(ctxSpan).(*spanCtx); ok {
+		sp.span.Trace = sc.trace
+		sp.span.Parent = sc.span
+	}
+	return sp
+}
+
+// StartRoot opens the root span of a request whose id is already known
+// (the HTTP middleware's case): one context record carries both the
+// request id and the span id, so handler-side spans nest under it.
+func (t *Tracer) StartRoot(ctx context.Context, name, requestID string) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return WithRequestID(ctx, requestID), nil
+	}
+	sp := spanPool.Get().(*ActiveSpan)
+	sp.t = t
+	sp.start = time.Now()
+	sp.span = Span{Name: name, ID: t.seq.Add(1), Trace: requestID}
+	sp.sc = &spanCtx{trace: requestID, span: sp.span.ID}
+	return context.WithValue(ctx, ctxSpan, sp.sc), sp
+}
+
+// SetName renames the span (e.g. once the matched HTTP route is known).
+func (sp *ActiveSpan) SetName(name string) {
+	if sp == nil {
+		return
+	}
+	sp.span.Name = name
+}
+
+// SetSession attributes the span to a session id.
+func (sp *ActiveSpan) SetSession(id string) {
+	if sp == nil {
+		return
+	}
+	sp.span.Session = id
+}
+
+// SetError records the operation's error on the span; nil errors clear it.
+func (sp *ActiveSpan) SetError(err error) {
+	if sp == nil {
+		return
+	}
+	if err == nil {
+		sp.span.Err = ""
+		return
+	}
+	sp.span.Err = err.Error()
+}
+
+// End finishes the span: its duration is computed and the record lands in
+// the tracer's ring (and sink). End is idempotent only in the sense that
+// calling it on a nil span is a no-op; finished spans must not be reused.
+func (sp *ActiveSpan) End() {
+	if sp == nil || sp.t == nil {
+		return
+	}
+	sp.span.Start = sp.start
+	sp.span.Duration = time.Since(sp.start)
+	sp.t.record(&sp.span)
+	*sp = ActiveSpan{}
+	spanPool.Put(sp)
+}
+
+// record appends a finished span to the ring and the sink.
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, *s)
+	} else {
+		t.ring[t.next] = *s
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	t.mu.Unlock()
+
+	t.sinkMu.Lock()
+	sink := t.sink
+	if sink != nil {
+		// One marshal + one Write per span keeps lines atomic for line-based
+		// consumers; errors are dropped (the sink is diagnostics, not truth).
+		if b, err := json.Marshal(s); err == nil {
+			b = append(b, '\n')
+			_, _ = sink.Write(b)
+		}
+	}
+	t.sinkMu.Unlock()
+}
+
+// Recent returns up to limit of the most recently finished spans, oldest
+// first, optionally filtered to one session id ("" keeps all). limit <= 0
+// means all retained spans.
+func (t *Tracer) Recent(session string, limit int) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, 0, len(t.ring))
+	// Ring order: t.ring[next:] are the oldest entries once wrapped.
+	for i := 0; i < len(t.ring); i++ {
+		s := t.ring[(t.next+i)%len(t.ring)]
+		if session == "" || s.Session == session {
+			out = append(out, s)
+		}
+	}
+	t.mu.Unlock()
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// Total returns how many spans have ever finished (retained or rotated
+// out).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// NameSummary aggregates the retained spans of one operation name.
+type NameSummary struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	// P50/P95/P99 are duration percentiles in seconds over the retained
+	// spans (exact, not bucket-estimated — the ring holds raw durations).
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Summarize groups the retained spans by name and reports exact latency
+// percentiles per name, sorted by name.
+func (t *Tracer) Summarize() []NameSummary {
+	if t == nil {
+		return nil
+	}
+	byName := make(map[string][]float64)
+	for _, s := range t.Recent("", 0) {
+		byName[s.Name] = append(byName[s.Name], s.Duration.Seconds())
+	}
+	out := make([]NameSummary, 0, len(byName))
+	for name, durs := range byName {
+		n := NameSummary{Name: name, Count: len(durs)}
+		n.P50, _ = stats.Percentile(durs, 50)
+		n.P95, _ = stats.Percentile(durs, 95)
+		n.P99, _ = stats.Percentile(durs, 99)
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := WithRequestID(context.Background(), "req-1")
+	ctx, root := tr.Start(ctx, "outer")
+	_, child := tr.Start(ctx, "inner")
+	child.SetSession("s1")
+	child.End()
+	root.End()
+
+	spans := tr.Recent("", 0)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	inner, outer := spans[0], spans[1] // finish order: inner first
+	if inner.Name != "inner" || outer.Name != "outer" {
+		t.Fatalf("order = %s, %s", inner.Name, outer.Name)
+	}
+	if inner.Trace != "req-1" || outer.Trace != "req-1" {
+		t.Errorf("trace ids = %q, %q, want req-1", inner.Trace, outer.Trace)
+	}
+	if inner.Parent != outer.ID {
+		t.Errorf("inner.Parent = %d, want %d", inner.Parent, outer.ID)
+	}
+	if outer.Parent != 0 {
+		t.Errorf("outer.Parent = %d, want 0 (root)", outer.Parent)
+	}
+	if got := tr.Recent("s1", 0); len(got) != 1 || got[0].Name != "inner" {
+		t.Errorf("session filter = %+v", got)
+	}
+}
+
+func TestStartGeneratesRequestID(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, sp := tr.Start(context.Background(), "op")
+	if RequestID(ctx) == "" {
+		t.Error("Start should stamp a request id into the context")
+	}
+	sp.SetError(errors.New("boom"))
+	sp.End()
+	if got := tr.Recent("", 0); len(got) != 1 || got[0].Err != "boom" {
+		t.Errorf("spans = %+v", got)
+	}
+}
+
+func TestRingRotation(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		_, sp := tr.Start(context.Background(), "op")
+		sp.End()
+	}
+	spans := tr.Recent("", 0)
+	if len(spans) != 4 {
+		t.Fatalf("retained = %d, want 4", len(spans))
+	}
+	// Oldest first: ids 7, 8, 9, 10.
+	for i, s := range spans {
+		if want := uint64(7 + i); s.ID != want {
+			t.Errorf("span %d id = %d, want %d", i, s.ID, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d, want 10", tr.Total())
+	}
+	if limited := tr.Recent("", 2); len(limited) != 2 || limited[1].ID != 10 {
+		t.Errorf("limit: %+v", limited)
+	}
+}
+
+func TestSinkWritesJSONLines(t *testing.T) {
+	tr := NewTracer(4)
+	var buf bytes.Buffer
+	tr.SetSink(&buf)
+	_, sp := tr.Start(WithRequestID(context.Background(), "abc"), "op")
+	sp.End()
+	line := strings.TrimSpace(buf.String())
+	var s Span
+	if err := json.Unmarshal([]byte(line), &s); err != nil {
+		t.Fatalf("sink line %q: %v", line, err)
+	}
+	if s.Trace != "abc" || s.Name != "op" {
+		t.Errorf("sink span = %+v", s)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.Start(context.Background(), "op")
+	sp.SetName("renamed")
+	sp.SetSession("s")
+	sp.SetError(errors.New("x"))
+	sp.End()
+	if ctx == nil {
+		t.Error("nil tracer should return the caller's context")
+	}
+	if tr.Recent("", 0) != nil || tr.Total() != 0 || tr.Summarize() != nil {
+		t.Error("nil tracer not inert")
+	}
+	tr.SetSink(&bytes.Buffer{})
+}
+
+// TestTracerConcurrent records spans from many goroutines; run under
+// -race this is the concurrency guarantee.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var buf bytes.Buffer
+	tr.SetSink(&buf)
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ctx, sp := tr.Start(context.Background(), "op")
+				_, inner := tr.Start(ctx, "inner")
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Total(); got != workers*per*2 {
+		t.Errorf("total = %d, want %d", got, workers*per*2)
+	}
+	// Every sink line must be valid JSON (writes are serialized, never torn).
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var s Span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("torn sink line %q: %v", line, err)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 5; i++ {
+		_, sp := tr.Start(context.Background(), "a")
+		sp.End()
+	}
+	_, sp := tr.Start(context.Background(), "b")
+	sp.End()
+	sums := tr.Summarize()
+	if len(sums) != 2 || sums[0].Name != "a" || sums[1].Name != "b" {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if sums[0].Count != 5 || sums[1].Count != 1 {
+		t.Errorf("counts = %d, %d", sums[0].Count, sums[1].Count)
+	}
+	if sums[0].P99 < sums[0].P50 {
+		t.Errorf("percentiles not ordered: %+v", sums[0])
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	joininference "repro"
+	"repro/internal/obs"
 )
 
 // NewHandler mounts the manager's operations as an HTTP/JSON API:
@@ -41,9 +42,19 @@ import (
 //	                                  hits/misses, registry cache hits vs
 //	                                  re-parses, per-worker crowd
 //	                                  reliability counters)
+//	GET    /metrics                   the same plus latency histograms, in
+//	                                  Prometheus text exposition (only with
+//	                                  Options.Obs)
+//	GET    /debug/trace?session=&limit=  recently finished trace spans,
+//	                                  oldest first, plus per-operation
+//	                                  latency percentiles (only with
+//	                                  Options.Obs)
 //
-// Request contexts thread into the inference engine, so a client
-// disconnect cancels even a long L2S lookahead mid-computation.
+// The whole mux is wrapped in the telemetry middleware: every request gets
+// a request id (X-Request-ID accepted in, always set on the response), an
+// access-log line, a per-route latency histogram, a root trace span, and
+// panic recovery. Request contexts thread into the inference engine, so a
+// client disconnect cancels even a long L2S lookahead mid-computation.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
@@ -164,7 +175,42 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Metrics())
 	})
-	return mux
+	cfg := obs.MiddlewareConfig{Logger: m.opts.Logger}
+	if o := m.opts.Obs; o != nil {
+		cfg.Metrics = o.HTTP
+		cfg.Tracer = o.Tracer
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			_ = o.Metrics.WritePrometheus(w)
+		})
+		mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			limit := 0
+			if s := r.URL.Query().Get("limit"); s != "" {
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 1 {
+					httpError(w, http.StatusBadRequest, fmt.Errorf("limit must be a positive integer, got %q", s))
+					return
+				}
+				limit = n
+			}
+			session := r.URL.Query().Get("session")
+			writeJSON(w, http.StatusOK, traceResponse{
+				Spans:   o.Tracer.Recent(session, limit),
+				Total:   o.Tracer.Total(),
+				Summary: o.Tracer.Summarize(),
+			})
+		})
+	}
+	return obs.Middleware(mux, cfg)
+}
+
+// traceResponse is the body of GET /debug/trace: the retained spans
+// (filtered/limited per the query), how many spans ever finished, and
+// exact per-operation latency percentiles over the retained window.
+type traceResponse struct {
+	Spans   []obs.Span        `json:"spans"`
+	Total   uint64            `json:"total"`
+	Summary []obs.NameSummary `json:"summary,omitempty"`
 }
 
 // createRequest accepts either creation params or a snapshot to resume.

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	joininference "repro"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -137,8 +139,14 @@ type Options struct {
 	PolicyCache *joininference.PolicyCache
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
-	// Logf receives restore/persist diagnostics; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives restore/persist diagnostics and migration/retraction
+	// events as structured records; nil discards them.
+	Logger *slog.Logger
+	// Obs, when non-nil, wires the manager into the telemetry bundle:
+	// sessions report per-question strategy/cache/store latency segments,
+	// the policy cache its page-in timings, the manager's counters become
+	// /metrics families, and Questions/Answer run under trace spans.
+	Obs *Obs
 }
 
 // JanitorInterval resolves the sweep cadence: the configured SweepInterval,
@@ -162,7 +170,7 @@ type Manager struct {
 	reg  *Registry
 	opts Options
 	now  func() time.Time
-	logf func(string, ...any)
+	log  *slog.Logger
 	met  *managerMetrics
 
 	mu       sync.Mutex
@@ -242,6 +250,8 @@ func (m *Manager) absorbSoftEvents(ms *managed) {
 			for _, v := range ev.Votes {
 				m.tallyLocked(v.Worker).retracted++
 			}
+			m.log.Warn("soft answer retracted",
+				"session", ms.id, "instance", ms.params.Instance, "votes", len(ev.Votes))
 		}
 	}
 }
@@ -386,25 +396,29 @@ func NewManager(reg *Registry, opts Options) (*Manager, error) {
 		reg:      reg,
 		opts:     opts,
 		now:      opts.Now,
-		logf:     opts.Logf,
+		log:      obs.OrDiscard(opts.Logger),
 		met:      &managerMetrics{},
 		sessions: make(map[string]*managed),
 	}
 	if m.now == nil {
 		m.now = time.Now
 	}
-	if m.logf == nil {
-		m.logf = func(string, ...any) {}
+	if opts.Obs != nil {
+		opts.Obs.bind(m)
+		if opts.PolicyCache != nil {
+			opts.PolicyCache.SetTelemetry(opts.Obs)
+		}
 	}
 	switch {
 	case opts.Store != nil:
 		if opts.MigratePersistDir != "" {
-			n, err := MigratePersistDir(opts.Store, opts.MigratePersistDir, m.logf)
+			n, err := MigratePersistDir(opts.Store, opts.MigratePersistDir, m.log)
 			if err != nil {
 				return nil, err
 			}
 			if n > 0 {
-				m.logf("service: migrated %d session(s) from %s into the store", n, opts.MigratePersistDir)
+				m.log.Info("migrated legacy persist dir into the store",
+					"sessions", n, "dir", opts.MigratePersistDir)
 			}
 		}
 		if err := m.restoreStore(); err != nil {
@@ -471,6 +485,9 @@ func (m *Manager) sessionOptions(p Params) []joininference.Option {
 	if m.opts.PolicyCache != nil {
 		opts = append(opts, joininference.WithPolicyCache(m.opts.PolicyCache, p.Instance))
 	}
+	if m.opts.Obs != nil {
+		opts = append(opts, joininference.WithTelemetry(m.opts.Obs))
+	}
 	return opts
 }
 
@@ -512,6 +529,9 @@ func (m *Manager) Resume(snap *SessionSnapshot) (Info, error) {
 	}
 	if m.opts.PolicyCache != nil {
 		opts = append(opts, joininference.WithPolicyCache(m.opts.PolicyCache, snap.Instance))
+	}
+	if m.opts.Obs != nil {
+		opts = append(opts, joininference.WithTelemetry(m.opts.Obs))
 	}
 	sess, err := joininference.ResumeSession(entry.Inst, snap.Snapshot, opts...)
 	if err != nil {
@@ -784,6 +804,9 @@ func (m *Manager) migrateLocked(ms *managed) error {
 	for _, upd := range upds {
 		if err := ms.sess.ApplyUpdate(upd); err != nil {
 			m.retireLocked(ms)
+			m.log.Warn("session retired: inconsistent under new data",
+				"session", ms.id, "instance", ms.params.Instance,
+				"version", upd.Version(), "err", err)
 			return fmt.Errorf("service: session %s cannot follow instance %q to version %d: %w",
 				ms.id, ms.params.Instance, upd.Version(), err)
 		}
@@ -791,6 +814,9 @@ func (m *Manager) migrateLocked(ms *managed) error {
 	ms.done = nil
 	ms.info()
 	m.met.migrated.Add(1)
+	m.log.Info("session migrated",
+		"session", ms.id, "instance", ms.params.Instance,
+		"version", ms.sess.InstanceVersion(), "updates", len(upds))
 	m.storePersist(ms)
 	return nil
 }
@@ -806,11 +832,11 @@ func (m *Manager) retireLocked(ms *managed) {
 	m.met.retired.Add(1)
 	if m.opts.Store != nil {
 		if err := m.opts.Store.Delete(store.SessionKey(ms.id)); err != nil {
-			m.logf("service: removing persisted session %s: %v", ms.id, err)
+			m.log.Warn("removing persisted session failed", "session", ms.id, "err", err)
 		}
 	} else if m.opts.PersistDir != "" {
 		if err := os.Remove(m.persistPath(ms.id)); err != nil && !os.IsNotExist(err) {
-			m.logf("service: removing persisted session %s: %v", ms.id, err)
+			m.log.Warn("removing persisted session failed", "session", ms.id, "err", err)
 		}
 	}
 }
@@ -819,15 +845,21 @@ func (m *Manager) retireLocked(ms *managed) {
 // dispatch. The context cancels mid-computation (including inside an L2S
 // lookahead). An empty slice means the session is done.
 func (m *Manager) Questions(ctx context.Context, id string, k int) ([]joininference.Question, error) {
+	sp := m.tracer().StartLeaf(ctx, "session.questions")
+	sp.SetSession(id)
+	defer sp.End()
 	ms, err := m.acquire(id)
 	if err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
 	defer m.release(ms)
 	if err := m.migrateLocked(ms); err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
 	qs, err := ms.sess.NextQuestions(ctx, k)
+	sp.SetError(err)
 	if err == nil {
 		// NextQuestions just answered the done question for free.
 		d := len(qs) == 0
@@ -843,12 +875,17 @@ func (m *Manager) Questions(ctx context.Context, id string, k int) ([]joininfere
 // Session.AnswerBatch; a ref that does not address the instance at all is
 // an error.
 func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (AnswerResult, error) {
+	sp := m.tracer().StartLeaf(ctx, "session.answers")
+	sp.SetSession(id)
+	defer sp.End()
 	ms, err := m.acquire(id)
 	if err != nil {
+		sp.SetError(err)
 		return AnswerResult{}, err
 	}
 	defer m.release(ms)
 	if err := m.migrateLocked(ms); err != nil {
+		sp.SetError(err)
 		return AnswerResult{}, err
 	}
 	var res AnswerResult
@@ -856,10 +893,10 @@ func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (Answ
 	// eviction/shutdown: a kill -9 then restart loses nothing that was
 	// acked. Registered after the release defer, so it runs while ms.mu is
 	// still held — and on early-return errors too, which may have applied a
-	// prefix of the batch.
+	// prefix of the batch. This is the per-question "store" latency segment.
 	defer func() {
 		if res.Applied > 0 {
-			m.storePersist(ms)
+			m.storePersistTimed(ms)
 		}
 	}()
 	// Resolve every ref before applying anything, so a malformed ref
@@ -869,6 +906,7 @@ func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (Answ
 	for i, a := range answers {
 		q, err := ms.sess.QuestionByRef(a.QuestionRef)
 		if err != nil {
+			sp.SetError(err)
 			return res, err
 		}
 		qs[i] = q
@@ -883,6 +921,7 @@ func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (Answ
 	}
 	for i, a := range answers {
 		if err := ctx.Err(); err != nil {
+			sp.SetError(err)
 			return res, err
 		}
 		if !ms.sess.IsInformative(qs[i]) {
@@ -902,6 +941,7 @@ func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (Answ
 			err = ms.sess.Answer(qs[i], label)
 		}
 		if err != nil {
+			sp.SetError(err)
 			return res, err
 		}
 		res.Applied++
@@ -1012,11 +1052,11 @@ func (m *Manager) Delete(id string) error {
 	m.met.deleted.Add(1)
 	if m.opts.Store != nil {
 		if err := m.opts.Store.Delete(store.SessionKey(id)); err != nil {
-			m.logf("service: removing persisted session %s: %v", id, err)
+			m.log.Warn("removing persisted session failed", "session", id, "err", err)
 		}
 	} else if m.opts.PersistDir != "" {
 		if err := os.Remove(m.persistPath(id)); err != nil && !os.IsNotExist(err) {
-			m.logf("service: removing persisted session %s: %v", id, err)
+			m.log.Warn("removing persisted session failed", "session", id, "err", err)
 		}
 	}
 	return nil
@@ -1059,7 +1099,7 @@ func (m *Manager) SweepExpired() int {
 		// One fsync per sweep makes evicted snapshots machine-crash durable
 		// without paying it per session.
 		if err := m.opts.Store.Sync(); err != nil {
-			m.logf("service: syncing store after sweep: %v", err)
+			m.log.Warn("syncing store after sweep failed", "err", err)
 		}
 	}
 	return evicted
@@ -1139,6 +1179,16 @@ func (m *Manager) storePersist(ms *managed) {
 	m.persistLocked(ms)
 }
 
+// storePersistTimed is storePersist plus the per-question "store" latency
+// segment (question_segment_seconds{segment="store"}) — used on the answer
+// path, where the persist is part of what the client waits for.
+func (m *Manager) storePersistTimed(ms *managed) {
+	if o := m.opts.Obs; o != nil && m.opts.Store != nil {
+		defer o.observeStoreSegment(time.Now())
+	}
+	m.storePersist(ms)
+}
+
 // persistLocked writes the session's snapshot to the store (binary) or the
 // persist dir (JSON); callers hold ms.mu. Persistence failures are logged,
 // not fatal — eviction proceeds.
@@ -1148,27 +1198,27 @@ func (m *Manager) persistLocked(ms *managed) {
 	}
 	snap, err := ms.snapshotLocked()
 	if err != nil {
-		m.logf("service: snapshotting session %s: %v", ms.id, err)
+		m.log.Warn("snapshotting session failed", "session", ms.id, "err", err)
 		return
 	}
 	if m.opts.Store != nil {
 		if err := m.opts.Store.Put(store.SessionKey(ms.id), encodeServiceSnapshot(snap)); err != nil {
-			m.logf("service: persisting session %s: %v", ms.id, err)
+			m.log.Warn("persisting session failed", "session", ms.id, "err", err)
 		}
 		return
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		m.logf("service: encoding session %s: %v", ms.id, err)
+		m.log.Warn("encoding session failed", "session", ms.id, "err", err)
 		return
 	}
 	tmp := m.persistPath(ms.id) + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		m.logf("service: persisting session %s: %v", ms.id, err)
+		m.log.Warn("persisting session failed", "session", ms.id, "err", err)
 		return
 	}
 	if err := os.Rename(tmp, m.persistPath(ms.id)); err != nil {
-		m.logf("service: persisting session %s: %v", ms.id, err)
+		m.log.Warn("persisting session failed", "session", ms.id, "err", err)
 	}
 }
 
@@ -1184,7 +1234,7 @@ func (m *Manager) restoreStore() error {
 	err := m.opts.Store.Scan(store.SessionPrefix(), func(key, value []byte) bool {
 		id, err := store.SessionID(key)
 		if err != nil {
-			m.logf("service: restoring session record: %v", err)
+			m.log.Warn("restoring session record failed", "err", err)
 			return true
 		}
 		// Copy out: Resume replays whole transcripts, far too slow to run
@@ -1198,15 +1248,16 @@ func (m *Manager) restoreStore() error {
 	for _, r := range recs {
 		snap, err := decodeServiceSnapshot(r.data)
 		if err != nil {
-			m.logf("service: decoding session %s: %v", r.id, err)
+			m.log.Warn("decoding session failed", "session", r.id, "err", err)
 			continue
 		}
 		if snap.ID != r.id {
-			m.logf("service: session record %s claims id %s; using the key", r.id, snap.ID)
+			m.log.Warn("session record id mismatch; using the key",
+				"key_id", r.id, "record_id", snap.ID)
 			snap.ID = r.id
 		}
 		if _, err := m.Resume(snap); err != nil {
-			m.logf("service: restoring session %s: %v", r.id, err)
+			m.log.Warn("restoring session failed", "session", r.id, "err", err)
 			continue
 		}
 	}
@@ -1227,16 +1278,16 @@ func (m *Manager) restoreAll() error {
 		path := filepath.Join(m.opts.PersistDir, de.Name())
 		data, err := os.ReadFile(path)
 		if err != nil {
-			m.logf("service: reading %s: %v", path, err)
+			m.log.Warn("reading session file failed", "path", path, "err", err)
 			continue
 		}
 		var snap SessionSnapshot
 		if err := json.Unmarshal(data, &snap); err != nil {
-			m.logf("service: decoding %s: %v", path, err)
+			m.log.Warn("decoding session file failed", "path", path, "err", err)
 			continue
 		}
 		if _, err := m.Resume(&snap); err != nil {
-			m.logf("service: restoring %s: %v", path, err)
+			m.log.Warn("restoring session failed", "path", path, "err", err)
 			continue
 		}
 	}

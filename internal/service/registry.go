@@ -10,11 +10,13 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
 
 	joininference "repro"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/tpch"
@@ -74,7 +76,7 @@ type Registry struct {
 	mu    sync.Mutex
 	slots map[string]*regSlot
 	kv    store.KV
-	logf  func(string, ...any)
+	log   *slog.Logger
 
 	met registryMetrics
 }
@@ -176,31 +178,24 @@ var ErrUnknownInstance = fmt.Errorf("service: unknown instance")
 var ErrBadDelta = errors.New("service: bad delta")
 
 // AttachStore caches loaded entries in the KV store. Attach before first
-// use (wiring happens at boot); logf receives cache diagnostics, nil
-// discards them.
-func (r *Registry) AttachStore(kv store.KV, logf func(string, ...any)) {
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
+// use (wiring happens at boot); log receives cache diagnostics as
+// structured records, nil discards them.
+func (r *Registry) AttachStore(kv store.KV, log *slog.Logger) {
 	r.mu.Lock()
 	r.kv = kv
-	r.logf = logf
+	r.log = obs.OrDiscard(log)
 	r.mu.Unlock()
 }
 
 // slot resolves a name to its slot plus the store wiring, without loading.
-func (r *Registry) slot(name string) (*regSlot, store.KV, func(string, ...any), error) {
+func (r *Registry) slot(name string) (*regSlot, store.KV, *slog.Logger, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	slot, ok := r.slots[name]
 	if !ok {
 		return nil, nil, nil, fmt.Errorf("%w: %q", ErrUnknownInstance, name)
 	}
-	logf := r.logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-	return slot, r.kv, logf, nil
+	return slot, r.kv, obs.OrDiscard(r.log), nil
 }
 
 // Get loads (once) and returns the named entry at its current version: from
@@ -208,20 +203,20 @@ func (r *Registry) slot(name string) (*regSlot, store.KV, func(string, ...any), 
 // then into the cache) — in both cases rolled forward through any delta-log
 // records newer than the loaded version.
 func (r *Registry) Get(name string) (*Entry, error) {
-	slot, kv, logf, err := r.slot(name)
+	slot, kv, log, err := r.slot(name)
 	if err != nil {
 		return nil, err
 	}
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
-	r.loadLocked(slot, name, kv, logf)
+	r.loadLocked(slot, name, kv, log)
 	return slot.e, slot.err
 }
 
 // loadLocked brings a slot to serving state; callers hold slot.mu. The
 // load is attempted once: a source or delta-log failure sticks (retrying
 // cannot help and hammering a broken source per request helps less).
-func (r *Registry) loadLocked(slot *regSlot, name string, kv store.KV, logf func(string, ...any)) {
+func (r *Registry) loadLocked(slot *regSlot, name string, kv store.KV, log *slog.Logger) {
 	if slot.loaded {
 		return
 	}
@@ -236,7 +231,7 @@ func (r *Registry) loadLocked(slot *regSlot, name string, kv store.KV, logf func
 			} else {
 				// A corrupt cache record falls back to the source — it will
 				// be overwritten below.
-				logf("service: instance cache %q: %v", name, err)
+				log.Warn("instance cache record rejected", "instance", name, "err", err)
 			}
 		}
 	}
@@ -278,7 +273,7 @@ func (r *Registry) loadLocked(slot *regSlot, name string, kv store.KV, logf func
 		// Advance the cached record to the tip so the next boot decodes and
 		// replays nothing.
 		if err := kv.Put(store.RegistryKey(name), joininference.EncodeInstanceCache(inst, cs)); err != nil {
-			logf("service: caching instance %q: %v", name, err)
+			log.Warn("caching instance failed", "instance", name, "err", err)
 		}
 	}
 }
@@ -291,13 +286,13 @@ func (r *Registry) loadLocked(slot *regSlot, name string, kv store.KV, logf func
 // PolicyCache.ApplyUpdate for memoized decision trees. Validation failures
 // wrap ErrBadDelta; nothing changes on error.
 func (r *Registry) Ingest(name string, d joininference.Delta) (*joininference.InstanceUpdate, error) {
-	slot, kv, logf, err := r.slot(name)
+	slot, kv, log, err := r.slot(name)
 	if err != nil {
 		return nil, err
 	}
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
-	r.loadLocked(slot, name, kv, logf)
+	r.loadLocked(slot, name, kv, log)
 	if slot.err != nil {
 		return nil, slot.err
 	}
@@ -314,10 +309,10 @@ func (r *Registry) Ingest(name string, d joininference.Delta) (*joininference.In
 		// rewound), and wedging the slot over a persistence error would take
 		// live serving down with it.
 		if err := store.AppendDelta(kv, name, upd.Version(), upd.Delta); err != nil {
-			logf("service: persisting delta for %q: %v", name, err)
+			log.Warn("persisting delta failed", "instance", name, "err", err)
 		}
 		if err := kv.Put(store.RegistryKey(name), joininference.EncodeInstanceCache(upd.To, upd.Classes)); err != nil {
-			logf("service: caching instance %q: %v", name, err)
+			log.Warn("caching instance failed", "instance", name, "err", err)
 		}
 	}
 	slot.e = &Entry{Name: name, Inst: upd.To, Classes: upd.Classes}

@@ -4,11 +4,13 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 
 	joininference "repro"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -88,10 +90,8 @@ func readLenString(b []byte) (string, []byte, error) {
 // (renaming also keeps a stale JSON copy from shadowing newer store state).
 // Files that do not decode are left in place and logged, never fatal. It
 // returns how many sessions were migrated.
-func MigratePersistDir(kv store.KV, dir string, logf func(string, ...any)) (int, error) {
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
+func MigratePersistDir(kv store.KV, dir string, log *slog.Logger) (int, error) {
+	log = obs.OrDiscard(log)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return 0, fmt.Errorf("service: reading persist dir: %w", err)
@@ -104,23 +104,23 @@ func MigratePersistDir(kv store.KV, dir string, logf func(string, ...any)) (int,
 		path := filepath.Join(dir, de.Name())
 		data, err := os.ReadFile(path)
 		if err != nil {
-			logf("service: migrating %s: %v", path, err)
+			log.Warn("migrating session file failed", "path", path, "err", err)
 			continue
 		}
 		snap, err := decodeServiceSnapshot(data)
 		if err != nil {
-			logf("service: migrating %s: %v", path, err)
+			log.Warn("migrating session file failed", "path", path, "err", err)
 			continue
 		}
 		if !validID(snap.ID) {
-			logf("service: migrating %s: malformed session id %q", path, snap.ID)
+			log.Warn("migrating session file failed: malformed id", "path", path, "id", snap.ID)
 			continue
 		}
 		if err := kv.Put(store.SessionKey(snap.ID), encodeServiceSnapshot(snap)); err != nil {
 			return migrated, fmt.Errorf("service: migrating %s: %w", path, err)
 		}
 		if err := os.Rename(path, path+".migrated"); err != nil {
-			logf("service: marking %s migrated: %v", path, err)
+			log.Warn("marking session file migrated failed", "path", path, "err", err)
 		}
 		migrated++
 	}

@@ -62,20 +62,20 @@ func (a *Acc) String() string {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of the values using
-// nearest-rank on a sorted copy; it panics on an empty slice or a p out of
-// range.
-func Percentile(values []float64, p float64) float64 {
-	if len(values) == 0 {
-		panic("stats: percentile of empty slice")
-	}
-	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("stats: percentile %v out of [0,100]", p))
+// nearest-rank on a sorted copy. ok is false — and the value 0 — when
+// values is empty or p is outside [0, 100]; callers check ok instead of
+// guarding against a panic, so summarizing a window with no observations
+// yet (an idle histogram, an empty trace ring) degrades to zero rather
+// than taking the process down.
+func Percentile(values []float64, p float64) (value float64, ok bool) {
+	if len(values) == 0 || p < 0 || p > 100 {
+		return 0, false
 	}
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
 	if p == 0 {
-		return sorted[0]
+		return sorted[0], true
 	}
 	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
-	return sorted[rank-1]
+	return sorted[rank-1], true
 }

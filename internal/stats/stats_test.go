@@ -92,8 +92,9 @@ func TestPercentile(t *testing.T) {
 		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {100, 5}, {90, 5},
 	}
 	for _, c := range cases {
-		if got := Percentile(vals, c.p); got != c.want {
-			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		got, ok := Percentile(vals, c.p)
+		if !ok || got != c.want {
+			t.Errorf("Percentile(%v) = %v, %v, want %v, true", c.p, got, ok, c.want)
 		}
 	}
 	// Input must not be mutated.
@@ -102,19 +103,21 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
-func TestPercentilePanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { Percentile(nil, 50) },
-		func() { Percentile([]float64{1}, -1) },
-		func() { Percentile([]float64{1}, 101) },
+func TestPercentileDegenerate(t *testing.T) {
+	// Empty input and out-of-range p report ok=false with a zero value
+	// instead of panicking: telemetry summaries run over windows that may
+	// hold no observations yet.
+	for _, c := range []struct {
+		vals []float64
+		p    float64
+	}{
+		{nil, 50},
+		{[]float64{}, 50},
+		{[]float64{1}, -1},
+		{[]float64{1}, 101},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			fn()
-		}()
+		if got, ok := Percentile(c.vals, c.p); ok || got != 0 {
+			t.Errorf("Percentile(%v, %v) = %v, %v, want 0, false", c.vals, c.p, got, ok)
+		}
 	}
 }

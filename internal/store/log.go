@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Log is the durable KV backend: a single append-only file of CRC-framed
@@ -78,6 +79,13 @@ type LogOptions struct {
 	// SyncEvery fsyncs after every write when true; by default only Sync
 	// and Close flush to stable storage.
 	SyncEvery bool
+	// Observe, when non-nil, receives the wall-clock duration of each
+	// append ("append": framing plus the contiguous file write of one
+	// batch), fsync ("fsync") and log compaction ("compact") — the hook a
+	// telemetry layer points at a latency histogram. It is called with the
+	// store lock held, so it must be cheap and must not call back into the
+	// store.
+	Observe func(op string, d time.Duration)
 }
 
 func (o LogOptions) withDefaults() LogOptions {
@@ -347,7 +355,7 @@ func (s *Log) Batch(ops []Op) error {
 	if len(buf) == 0 {
 		return nil
 	}
-	if err := s.write(buf); err != nil {
+	if err := s.timed("append", func() error { return s.write(buf) }); err != nil {
 		return err
 	}
 	for _, rec := range st {
@@ -366,12 +374,25 @@ func (s *Log) Batch(ops []Op) error {
 		}
 	}
 	if s.opts.SyncEvery {
-		if err := s.f.Sync(); err != nil {
+		if err := s.timed("fsync", s.f.Sync); err != nil {
 			return fmt.Errorf("store: sync: %w", err)
 		}
 	}
 	s.maybeCompactLocked()
 	return nil
+}
+
+// timed runs fn, reporting its duration to the Observe hook when one is
+// configured (failures are timed too — a slow failing fsync is exactly
+// what a latency histogram should show).
+func (s *Log) timed(op string, fn func() error) error {
+	if s.opts.Observe == nil {
+		return fn()
+	}
+	start := time.Now()
+	err := fn()
+	s.opts.Observe(op, time.Since(start))
+	return err
 }
 
 // Scan implements KV: ascending key order within the prefix. The key set is
@@ -460,6 +481,10 @@ func (s *Log) Compact() error {
 }
 
 func (s *Log) compactLocked() error {
+	return s.timed("compact", s.compactInnerLocked)
+}
+
+func (s *Log) compactInnerLocked() error {
 	tmp, err := os.OpenFile(s.tPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: compacting: %w", err)
@@ -521,7 +546,7 @@ func (s *Log) Sync() error {
 	if s.closed {
 		return ErrClosed
 	}
-	if err := s.f.Sync(); err != nil {
+	if err := s.timed("fsync", s.f.Sync); err != nil {
 		return fmt.Errorf("store: sync: %w", err)
 	}
 	return nil

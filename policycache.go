@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/policy"
 	"repro/internal/pool"
@@ -40,6 +41,10 @@ import (
 // question comes next.
 type PolicyCache struct {
 	c *policy.Cache
+	// tel receives tier-2 page-in timings (TelemetryPageIn); set before
+	// serving via SetTelemetry, read through an atomic so AttachStore and
+	// SetTelemetry may happen in either order.
+	tel atomic.Pointer[Telemetry]
 }
 
 // NewPolicyCache returns an empty policy cache bounded to roughly maxBytes
@@ -55,7 +60,46 @@ func NewPolicyCache(maxBytes int64) *PolicyCache {
 // readahead bounds how many nodes one miss pages in (≤ 0 selects the
 // default). Attach before sharing the cache across sessions.
 func (pc *PolicyCache) AttachStore(kv store.KV, readahead int) {
-	pc.c.SetTier2(store.NewPolicyTier(kv, readahead))
+	pc.c.SetTier2(timedTier{inner: store.NewPolicyTier(kv, readahead), pc: pc})
+}
+
+// SetTelemetry attaches a telemetry sink to the cache: every tier-2
+// page-in (an LRU miss streaming a stored subtree back into RAM) reports
+// its latency as TelemetryPageIn. Safe to call before or after
+// AttachStore, but not concurrently with serving traffic's first use.
+func (pc *PolicyCache) SetTelemetry(t Telemetry) {
+	if t == nil {
+		pc.tel.Store(nil)
+		return
+	}
+	pc.tel.Store(&t)
+}
+
+// timedTier decorates the store-backed tier with page-in latency
+// reporting. Load and Save stay untimed: they are single-record KV
+// operations, already covered by the store's own op timings.
+type timedTier struct {
+	inner policy.Tier2
+	pc    *PolicyCache
+}
+
+func (t timedTier) Load(k policy.Key, prefix []byte, rngPos uint64) (policy.Node, bool) {
+	return t.inner.Load(k, prefix, rngPos)
+}
+
+func (t timedTier) Save(k policy.Key, prefix []byte, rngPos uint64, n policy.Node) {
+	t.inner.Save(k, prefix, rngPos, n)
+}
+
+func (t timedTier) PageIn(k policy.Key, prefix []byte, insert func(prefix []byte, rngPos uint64, n policy.Node) bool) {
+	tel := t.pc.tel.Load()
+	if tel == nil {
+		t.inner.PageIn(k, prefix, insert)
+		return
+	}
+	start := time.Now()
+	t.inner.PageIn(k, prefix, insert)
+	(*tel).Observe(TelemetryPageIn, time.Since(start))
 }
 
 // PolicyCacheStats is a point-in-time snapshot of a cache's counters.

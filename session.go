@@ -51,6 +51,7 @@ type sessionConfig struct {
 	soft           bool
 	softThreshold  float64
 	errorBudget    int
+	tel            Telemetry
 }
 
 // WithStrategy selects the questioning strategy the session uses for
@@ -432,6 +433,7 @@ func (s *Session) NextQuestions(ctx context.Context, k int) ([]Question, error) 
 	if err != nil {
 		return nil, err
 	}
+	tStart := s.telemetryStart()
 	// Policy-cache fast path: when another session (or this one's past) has
 	// already reached this answer prefix, serve its memoized pick instead of
 	// invoking the strategy.
@@ -447,6 +449,7 @@ func (s *Session) NextQuestions(ctx context.Context, k int) ([]Question, error) 
 			if node, hit := pol.Lookup(s.policyTreeKey(), prefix, rngBefore); hit {
 				qs, served, err := s.servePolicyJoin(ctx, node, prefix, rngBefore, k)
 				if served || err != nil {
+					s.observe(TelemetryCache, tStart)
 					return qs, err
 				}
 			}
@@ -461,6 +464,7 @@ func (s *Session) NextQuestions(ctx context.Context, k int) ([]Question, error) 
 			pol.Publish(s.policyTreeKey(), prefix, rngBefore,
 				policy.Node{Chosen: -1, Complete: true, RNGAfter: s.policyRNGPos()})
 		}
+		s.observe(TelemetryStrategy, tStart)
 		return nil, nil
 	}
 	picked, complete, err := s.extendBatch(ctx, []int{first}, k)
@@ -475,6 +479,7 @@ func (s *Session) NextQuestions(ctx context.Context, k int) ([]Question, error) 
 			RNGAfter: s.policyRNGPos(),
 		})
 	}
+	s.observe(TelemetryStrategy, tStart)
 	return s.questions(picked), nil
 }
 
@@ -635,12 +640,14 @@ func (s *Session) question(ci int) Question {
 // a prefix another session already reached skips the NP-complete scans
 // entirely: the picked rows are a pure function of the answer prefix.
 func (s *Session) semijoinNextQuestions(ctx context.Context, k int) ([]Question, error) {
+	tStart := s.telemetryStart()
 	pol := s.policyActive()
 	var prefix []byte
 	if pol != nil {
 		prefix, _ = s.policyPrefix()
 		if node, hit := pol.Lookup(s.policyTreeKey(), prefix, 0); hit {
 			if qs, served, err := s.servePolicySemijoin(ctx, node, prefix, k); served || err != nil {
+				s.observe(TelemetryCache, tStart)
 				return qs, err
 			}
 		}
@@ -652,6 +659,7 @@ func (s *Session) semijoinNextQuestions(ctx context.Context, k int) ([]Question,
 	if pol != nil {
 		pol.Publish(s.policyTreeKey(), prefix, 0, semijoinNode(picked, complete))
 	}
+	s.observe(TelemetryStrategy, tStart)
 	return s.semijoinQuestions(picked), nil
 }
 

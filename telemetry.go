@@ -1,0 +1,69 @@
+package joininference
+
+import "time"
+
+// TelemetryEvent names one timed event on the serving hot path.
+type TelemetryEvent uint8
+
+const (
+	// TelemetryStrategy is a live strategy invocation producing the next
+	// question(s): the lookahead (or scan) plus the batch extension. This
+	// is the expensive path a policy-cache hit avoids.
+	TelemetryStrategy TelemetryEvent = iota
+	// TelemetryCache is a question fetch served from the shared policy
+	// cache (the memoized decision tree) instead of a live strategy run.
+	TelemetryCache
+	// TelemetryPageIn is one policy-cache tier-2 page-in: an LRU miss
+	// streaming a stored subtree back into RAM.
+	TelemetryPageIn
+)
+
+// String returns the event's metric-label form.
+func (e TelemetryEvent) String() string {
+	switch e {
+	case TelemetryStrategy:
+		return "strategy"
+	case TelemetryCache:
+		return "cache"
+	case TelemetryPageIn:
+		return "pagein"
+	default:
+		return "unknown"
+	}
+}
+
+// Telemetry receives timed events from the serving hot paths. Implementations
+// must be safe for concurrent use and cheap — one Observe per question
+// fetch, called with the hot path's locks held. Both arguments are value
+// types, so an Observe implemented on a pointer receiver costs no
+// allocation; with no telemetry attached the hot paths pay a single nil
+// check and stay allocation-free.
+type Telemetry interface {
+	Observe(event TelemetryEvent, d time.Duration)
+}
+
+// WithTelemetry attaches a telemetry sink to the session: NextQuestions
+// reports how long each fetch spent, attributed to TelemetryStrategy
+// (live lookahead or semijoin scan) or TelemetryCache (served from the
+// policy cache). The split is what distinguishes "the strategy is slow"
+// from "the cache went cold" on a latency dashboard.
+func WithTelemetry(t Telemetry) Option {
+	return func(c *sessionConfig) { c.tel = t }
+}
+
+// observe reports one event when a telemetry sink is attached; start is
+// meaningful only then (telemetryStart returns the zero time otherwise).
+func (s *Session) observe(ev TelemetryEvent, start time.Time) {
+	if s.cfg.tel != nil {
+		s.cfg.tel.Observe(ev, time.Since(start))
+	}
+}
+
+// telemetryStart stamps the beginning of a timed section, or returns the
+// zero time with telemetry off so the hot path skips the clock read.
+func (s *Session) telemetryStart() time.Time {
+	if s.cfg.tel == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
