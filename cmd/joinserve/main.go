@@ -10,6 +10,10 @@
 //	          [-persist-dir ./sessions] [-policy-cache-bytes N] [-pprof]
 //	          [-log-format text|json] [-log-level info] [-trace-log FILE]
 //	          [-trace-buffer N]
+//	          [-request-timeout 30s] [-shutdown-timeout 15s]
+//	          [-max-concurrent N] [-admission-queue N]
+//	          [-store-retries 3] [-breaker-threshold 5] [-breaker-cooloff 5s]
+//	          [-chaos seed=1,errors=0.1,latency=2ms,latency-rate=0.05,torn=0.02]
 //	          [-warm instance=strategy:depth]... [-csv name=R.csv,P.csv]...
 //
 // The server starts with the paper's workloads registered (tpch-join1 …
@@ -57,6 +61,22 @@
 // whole expvar namespace, at /debug/vars). See README.md ("Serving",
 // "Policy cache") for a curl walkthrough.
 //
+// Resilience (README "Resilience"): -request-timeout caps every request
+// with a server-side deadline (503 + Retry-After on expiry; the deadline
+// threads into the engine, so an over-budget L2S lookahead stops
+// computing); -max-concurrent/-admission-queue bound the compute-heavy
+// routes per route, shedding excess with 429 + Retry-After; store reads
+// and writes retry transient errors with jittered backoff
+// (-store-retries), and a circuit breaker (-breaker-threshold,
+// -breaker-cooloff) trips the policy tier-2 and session-persist paths
+// after consecutive failures — persists queue for write-behind retry, the
+// RAM copy keeps serving, and GET /readyz reports 503 while degraded.
+// -chaos wires deterministic fault injection (seeded error/latency/torn-
+// write rates) between the store and its consumers for drills. The
+// server's Read/Write/Idle timeouts are fixed sane defaults;
+// -shutdown-timeout bounds graceful shutdown including the final persist
+// drain.
+//
 // Observability (README "Observability"): every log line is structured
 // (-log-format text|json, -log-level debug|info|warn|error), every request
 // gets an X-Request-ID (accepted in, always set on the response) that
@@ -86,6 +106,7 @@ import (
 
 	joininference "repro"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -107,6 +128,14 @@ func main() {
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.StringVar(&cfg.traceLog, "trace-log", "", "append finished trace spans to this file as JSON lines")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 256, "spans retained in RAM for GET /debug/trace (0 disables tracing)")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline; expired requests answer 503 + Retry-After (0 disables)")
+	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 15*time.Second, "bound on graceful shutdown: drain in-flight requests, then persist every live session")
+	flag.IntVar(&cfg.maxConcurrent, "max-concurrent", 0, "in-flight bound per compute-heavy route (create, questions, answers, ingest); 0 disables admission control")
+	flag.IntVar(&cfg.admissionQueue, "admission-queue", 0, "requests that may wait for an admission slot before new arrivals are shed with 429")
+	flag.IntVar(&cfg.storeRetries, "store-retries", 3, "attempts per store operation for transient errors (jittered backoff between tries; 1 disables retries)")
+	flag.IntVar(&cfg.breakerThreshold, "breaker-threshold", 5, "consecutive store failures that trip the circuit breaker")
+	flag.DurationVar(&cfg.breakerCooloff, "breaker-cooloff", 5*time.Second, "how long the tripped breaker waits before probing the store again")
+	flag.Var(&cfg.chaos, "chaos", "inject store faults for resilience drills: seed=N,errors=RATE,latency=DUR,latency-rate=RATE,torn=RATE")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -132,6 +161,14 @@ type config struct {
 	logLevel         string
 	traceLog         string
 	traceBuffer      int
+	requestTimeout   time.Duration
+	shutdownTimeout  time.Duration
+	maxConcurrent    int
+	admissionQueue   int
+	storeRetries     int
+	breakerThreshold int
+	breakerCooloff   time.Duration
+	chaos            chaosFlag
 }
 
 // openStore builds the configured store backend, or nil when none is
@@ -179,14 +216,39 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	var chaos *store.Fault
 	if kv != nil {
 		defer kv.Close()
 		if err := store.EnsureFormat(kv); err != nil {
 			return err
 		}
+		// Fault injection (if requested) wraps the raw backend so the retry
+		// layer above it absorbs the injected errors exactly as it would real
+		// ones; it stays disabled until boot-time restore has run clean.
+		if cfg.chaos.set {
+			chaos = store.NewFault(kv, cfg.chaos.cfg)
+			chaos.SetEnabled(false)
+			kv = chaos
+		}
+		if cfg.storeRetries > 1 {
+			kv = store.NewRetry(kv, store.RetryOptions{Attempts: cfg.storeRetries})
+		}
 	}
 	if kv == nil && cfg.migrateDir != "" {
 		return fmt.Errorf("-migrate-persist-dir requires a store (-store-dir or -store mem)")
+	}
+	// One breaker guards every store consumer — session persistence and the
+	// policy cache's tier 2 — so a sick disk trips them together and one
+	// successful probe recovers both.
+	var breaker *resilience.Breaker
+	if kv != nil {
+		breaker = resilience.NewBreaker(resilience.BreakerOptions{
+			Threshold: cfg.breakerThreshold,
+			Cooloff:   cfg.breakerCooloff,
+			OnChange: func(from, to resilience.BreakerState) {
+				logger.Warn("store breaker state change", "from", from.String(), "to", to.String())
+			},
+		})
 	}
 
 	reg := service.DefaultRegistry()
@@ -199,13 +261,17 @@ func run(cfg config) error {
 		}
 	}
 	opts := service.Options{
-		TTL:           cfg.ttl,
-		SweepInterval: cfg.sweepInterval,
-		Logger:        logger,
-		Obs:           bundle,
+		TTL:            cfg.ttl,
+		SweepInterval:  cfg.sweepInterval,
+		Logger:         logger,
+		Obs:            bundle,
+		RequestTimeout: cfg.requestTimeout,
+		MaxConcurrent:  cfg.maxConcurrent,
+		MaxQueue:       cfg.admissionQueue,
 	}
 	if kv != nil {
 		opts.Store = kv
+		opts.StoreBreaker = breaker
 		opts.MigratePersistDir = cfg.migrateDir
 		if cfg.persistDir != "" {
 			logger.Warn("store configured; ignoring -persist-dir (use -migrate-persist-dir to convert it)",
@@ -217,7 +283,7 @@ func run(cfg config) error {
 	if cfg.policyCacheBytes != 0 {
 		opts.PolicyCache = joininference.NewPolicyCache(cfg.policyCacheBytes)
 		if kv != nil {
-			opts.PolicyCache.AttachStore(kv, 0)
+			opts.PolicyCache.AttachStore(kv, 0, joininference.WithTierBreaker(breaker))
 		}
 	}
 	mgr, err := service.NewManager(reg, opts)
@@ -242,8 +308,24 @@ func run(cfg config) error {
 			"nodes", n, "duration", time.Since(start).Round(time.Millisecond))
 	}
 	publishMetrics(mgr)
+	if chaos != nil {
+		// Boot restore ran clean; start the drill.
+		chaos.SetEnabled(true)
+		logger.Warn("chaos fault injection enabled", "config", cfg.chaos.String())
+	}
 
-	server := &http.Server{Addr: cfg.addr, Handler: newServeMux(mgr, cfg.pprof)}
+	server := &http.Server{
+		Addr:    cfg.addr,
+		Handler: newServeMux(mgr, cfg.pprof),
+		// Slow-client protection: bound how long reading a request and
+		// writing its response may take (crowd answers are small JSON bodies;
+		// the per-request compute budget is -request-timeout, which these
+		// must comfortably exceed).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       1 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", cfg.addr, "instances", len(reg.Names()))
@@ -265,8 +347,14 @@ func run(cfg config) error {
 
 	// Graceful shutdown: finish in-flight requests (client disconnects
 	// already cancel long lookaheads via the request context), then persist
-	// every live session.
-	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	// every live session — including draining the write-behind retry queue,
+	// which Close keeps retrying with backoff until the deadline.
+	if chaos != nil {
+		// End the drill so the final persist pass runs against the real
+		// backend; a drill should never cost durable state.
+		chaos.SetEnabled(false)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 	defer cancel()
 	if err := server.Shutdown(ctx); err != nil {
 		logger.Error("shutdown failed", "err", err)
@@ -341,6 +429,65 @@ func (c *csvFlags) Set(s string) error {
 	}
 	*c = append(*c, csvFlag{name: name, rPath: rPath, pPath: pPath})
 	return nil
+}
+
+// chaosFlag parses -chaos seed=N,errors=RATE,latency=DUR,latency-rate=RATE,torn=RATE
+// into a store.FaultConfig. Every key is optional; rates are in [0, 1].
+type chaosFlag struct {
+	set bool
+	cfg store.FaultConfig
+}
+
+func (c *chaosFlag) String() string {
+	if !c.set {
+		return ""
+	}
+	return fmt.Sprintf("seed=%d,errors=%g,latency=%s,latency-rate=%g,torn=%g",
+		c.cfg.Seed, c.cfg.ErrorRate, c.cfg.Latency, c.cfg.LatencyRate, c.cfg.TornWriteRate)
+}
+
+func (c *chaosFlag) Set(s string) error {
+	cfg := store.FaultConfig{Seed: 1}
+	for _, part := range strings.Split(s, ",") {
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("want key=value, got %q", part)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "errors":
+			cfg.ErrorRate, err = parseRate(val)
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(val)
+		case "latency-rate":
+			cfg.LatencyRate, err = parseRate(val)
+		case "torn":
+			cfg.TornWriteRate, err = parseRate(val)
+		default:
+			return fmt.Errorf("unknown chaos key %q (want seed, errors, latency, latency-rate or torn)", key)
+		}
+		if err != nil {
+			return fmt.Errorf("chaos %s: %w", key, err)
+		}
+	}
+	c.set, c.cfg = true, cfg
+	return nil
+}
+
+func parseRate(s string) (float64, error) {
+	r, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r > 1 {
+		return 0, fmt.Errorf("rate must be in [0, 1], got %g", r)
+	}
+	return r, nil
 }
 
 // warmFlag is one -warm instance=strategy:depth request.

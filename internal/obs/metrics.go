@@ -393,6 +393,15 @@ func (r *Registry) CounterVec(name, help, labelName string) *CounterVec {
 	return &CounterVec{f: f}
 }
 
+// GaugeVec registers (or returns) a gauge family keyed by one label.
+func (r *Registry) GaugeVec(name, help, labelName string) *GaugeVec {
+	f := r.lookup(name, help, kindGauge, labelName, nil)
+	if f == nil {
+		return nil
+	}
+	return &GaugeVec{f: f}
+}
+
 // HistogramVec registers (or returns) a histogram family keyed by one
 // label; nil bounds select DefBuckets.
 func (r *Registry) HistogramVec(name, help, labelName string, bounds []float64) *HistogramVec {
@@ -413,6 +422,49 @@ func (v *CounterVec) With(labelValue string) *Counter {
 		return nil
 	}
 	return v.f.get(labelValue).counter
+}
+
+// SetFunc binds a label value to a function read at exposition time — for
+// per-label counters that already live elsewhere (a gate's shed count)
+// and should not be double-counted. Rebinding an existing label wins.
+func (v *CounterVec) SetFunc(labelValue string, fn func() float64) {
+	if v == nil || v.f == nil {
+		return
+	}
+	v.f.setFunc(labelValue, fn)
+}
+
+// GaugeVec is a gauge family keyed by one label. Nil-safe.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for a label value, creating it on first use.
+// Resolve once and cache the result on hot paths.
+func (v *GaugeVec) With(labelValue string) *Gauge {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return v.f.get(labelValue).gauge
+}
+
+// SetFunc binds a label value to a function read at exposition time.
+func (v *GaugeVec) SetFunc(labelValue string, fn func() float64) {
+	if v == nil || v.f == nil {
+		return
+	}
+	v.f.setFunc(labelValue, fn)
+}
+
+// setFunc installs (or rebinds) a fn-backed child under labelValue.
+func (f *family) setFunc(labelValue string, fn func() float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[labelValue]; ok {
+		c.fn = fn
+		c.counter, c.gauge, c.hist = nil, nil, nil
+		return
+	}
+	f.children[labelValue] = &child{fn: fn}
+	f.order = append(f.order, labelValue)
 }
 
 // HistogramVec is a histogram family keyed by one label. Nil-safe.

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -182,4 +183,45 @@ func TestFuncMetricsRebind(t *testing.T) {
 	if got := buf.String(); !containsLine(got, "x 2") {
 		t.Errorf("exposition = %q, want sample `x 2`", got)
 	}
+}
+
+func TestGaugeVecAndSetFunc(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("queue_depth", "Waiters by route.", "route")
+	gv.With("questions").Set(3)
+	shed := int64(0)
+	cv := r.CounterVec("shed_total", "Shed requests by route.", "route")
+	cv.SetFunc("answers", func() float64 { return float64(shed) })
+	gv.SetFunc("answers", func() float64 { return 7 })
+	shed = 12
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`queue_depth{route="questions"} 3`,
+		`queue_depth{route="answers"} 7`,
+		`shed_total{route="answers"} 12`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Rebinding an existing label value swaps the reader.
+	cv.SetFunc("answers", func() float64 { return 99 })
+	buf.Reset()
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `shed_total{route="answers"} 99`) {
+		t.Error("SetFunc rebind did not win")
+	}
+
+	// Nil safety.
+	var nv *GaugeVec
+	nv.With("x").Set(1)
+	nv.SetFunc("x", func() float64 { return 1 })
+	var ncv *CounterVec
+	ncv.SetFunc("x", func() float64 { return 1 })
 }

@@ -110,6 +110,13 @@ func AppendEdge(prefix []byte, index int, positive bool) []byte {
 //
 // Implementations must be safe for concurrent use and must not call back
 // into the Cache (the insert callback is the only channel back in).
+//
+// Fault-tolerance contract: a tier must absorb every backend failure and
+// degrade to cache misses — Load returns false, PageIn streams nothing,
+// Save drops the node. It must never block the walk on a sick backend
+// (wrap slow or failing stores in a circuit breaker) and never surface a
+// half-decoded node: corrupt bytes are a miss, and the walk recomputes
+// the decision live — slower, never wrong.
 type Tier2 interface {
 	// Load returns the node stored for exactly (k, prefix, rngPos).
 	Load(k Key, prefix []byte, rngPos uint64) (Node, bool)

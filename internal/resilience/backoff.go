@@ -1,0 +1,52 @@
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays: attempt n (0-based)
+// sleeps for Base<<n capped at Max, with full jitter on the upper half so
+// independent retriers decorrelate instead of stampeding in lockstep.
+type Backoff struct {
+	// Base is the attempt-0 delay (default 10ms).
+	Base time.Duration
+	// Max caps the uncapped exponential (default 2s).
+	Max time.Duration
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 10 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Max < b.Base {
+		b.Max = b.Base
+	}
+	return b
+}
+
+// Delay returns the sleep before retry `attempt` (0-based). With a non-nil
+// rng the delay is drawn uniformly from [d/2, d); with nil rng it is the
+// deterministic midpoint 3d/4. The rng, when shared, must be externally
+// synchronized by the caller.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := b.Base
+	for i := 0; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	if rng == nil {
+		return half + half/2
+	}
+	return half + time.Duration(rng.Int63n(int64(half)))
+}

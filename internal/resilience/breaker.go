@@ -1,0 +1,219 @@
+// Package resilience holds the serving tier's fault-handling primitives:
+// a circuit breaker (detect a persistently failing dependency and stop
+// hammering it), a bounded-concurrency admission gate (shed load instead
+// of collapsing under it), and jittered exponential backoff (retry without
+// synchronized thundering herds). Everything is dependency-free,
+// allocation-free on the hot path, and nil-safe — a nil *Breaker admits
+// everything and a nil *Gate bounds nothing, so call sites need no
+// "is resilience configured?" branching.
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed is the healthy state: every call is allowed.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen follows the cool-off: one probe is allowed through;
+	// its outcome decides between closed and open.
+	BreakerHalfOpen
+	// BreakerOpen is the tripped state: calls are rejected without touching
+	// the dependency until the cool-off elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// BreakerOptions configures a Breaker; zero values select the defaults.
+type BreakerOptions struct {
+	// Threshold is how many consecutive failures trip the breaker
+	// (default 5). A single success resets the count.
+	Threshold int
+	// Cooloff is how long the breaker stays open before allowing a
+	// half-open probe (default 5s).
+	Cooloff time.Duration
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+	// OnChange, when non-nil, observes every state transition. It is called
+	// under the breaker's lock — it must be fast and must not call back into
+	// the breaker (logging and counter bumps are fine).
+	OnChange func(from, to BreakerState)
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 5
+	}
+	if o.Cooloff <= 0 {
+		o.Cooloff = 5 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Breaker is a consecutive-failure circuit breaker. Callers ask Allow
+// before touching the protected dependency and report the outcome with
+// Success or Failure; after Threshold consecutive failures the breaker
+// opens and Allow rejects until Cooloff elapses, then one half-open probe
+// decides whether to close again. All methods are safe for concurrent use
+// and nil-safe (a nil breaker is always closed).
+type Breaker struct {
+	opts BreakerOptions
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+	lastErr  string
+
+	trips, recoveries int64
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	return &Breaker{opts: opts.withDefaults()}
+}
+
+// Allow reports whether a call may proceed. In the open state it returns
+// false until the cool-off elapses, then transitions to half-open and
+// grants exactly one probe; further calls are rejected until the probe
+// reports its outcome.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.opts.Now().Sub(b.openedAt) < b.opts.Cooloff {
+			return false
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a call that completed: the failure streak resets and a
+// half-open (or open) breaker closes.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	b.lastErr = ""
+	if b.state != BreakerClosed {
+		b.recoveries++
+		b.transition(BreakerClosed)
+	}
+}
+
+// Failure reports a failed call. A half-open probe failure re-opens
+// immediately; in the closed state the Threshold-th consecutive failure
+// trips the breaker.
+func (b *Breaker) Failure(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		b.openedAt = b.opts.Now()
+		b.trips++
+		b.transition(BreakerOpen)
+	case BreakerClosed:
+		if b.failures >= b.opts.Threshold {
+			b.openedAt = b.opts.Now()
+			b.trips++
+			b.transition(BreakerOpen)
+		}
+	}
+}
+
+// transition moves to a new state, notifying OnChange; callers hold b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.opts.OnChange != nil && from != to {
+		b.opts.OnChange(from, to)
+	}
+}
+
+// State returns the current position. An open breaker keeps reporting open
+// past its cool-off until a probe actually runs — Allow, not the clock,
+// performs the half-open transition.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Counters returns how many times the breaker tripped open and how many
+// times it recovered to closed.
+func (b *Breaker) Counters() (trips, recoveries int64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.recoveries
+}
+
+// ConsecutiveFailures returns the current failure streak.
+func (b *Breaker) ConsecutiveFailures() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures
+}
+
+// LastError returns the message of the most recent failure ("" after a
+// success or before any failure).
+func (b *Breaker) LastError() string {
+	if b == nil {
+		return ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
+}

@@ -1,0 +1,106 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Gate.Acquire when both the concurrency limit
+// and the wait queue are full; callers should shed the request (HTTP 429).
+var ErrSaturated = errors.New("resilience: saturated")
+
+// Gate is a bounded-concurrency admission gate: at most `limit` callers run
+// at once, at most `queueLimit` more wait for a slot, and everyone beyond
+// that is shed immediately with ErrSaturated. Waiting respects the caller's
+// context. A nil gate admits everything; all methods are nil-safe.
+type Gate struct {
+	tokens     chan struct{}
+	queueLimit int64
+
+	waiting  atomic.Int64
+	inflight atomic.Int64
+	shed     atomic.Int64
+	admitted atomic.Int64
+}
+
+// NewGate builds a gate admitting `limit` concurrent holders with up to
+// `queueLimit` waiters (0 = shed as soon as all slots are busy). A
+// non-positive limit returns nil: unlimited admission.
+func NewGate(limit, queueLimit int) *Gate {
+	if limit <= 0 {
+		return nil
+	}
+	if queueLimit < 0 {
+		queueLimit = 0
+	}
+	return &Gate{
+		tokens:     make(chan struct{}, limit),
+		queueLimit: int64(queueLimit),
+	}
+}
+
+// Acquire claims a slot, waiting in the bounded queue if all slots are
+// busy. It returns a release func (never nil on success) that must be
+// called exactly once, or an error: ErrSaturated when the queue is full,
+// or ctx.Err() if the context expired while waiting.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	select {
+	case g.tokens <- struct{}{}:
+		// Fast path: a slot was free.
+	default:
+		if g.waiting.Add(1) > g.queueLimit {
+			g.waiting.Add(-1)
+			g.shed.Add(1)
+			return nil, ErrSaturated
+		}
+		select {
+		case g.tokens <- struct{}{}:
+			g.waiting.Add(-1)
+		case <-ctx.Done():
+			g.waiting.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	g.inflight.Add(1)
+	g.admitted.Add(1)
+	return func() {
+		g.inflight.Add(-1)
+		<-g.tokens
+	}, nil
+}
+
+// InFlight returns how many admitted callers currently hold a slot.
+func (g *Gate) InFlight() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.inflight.Load()
+}
+
+// QueueDepth returns how many callers are waiting for a slot.
+func (g *Gate) QueueDepth() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.waiting.Load()
+}
+
+// Shed returns how many callers were rejected with ErrSaturated.
+func (g *Gate) Shed() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.shed.Load()
+}
+
+// Admitted returns how many callers have been admitted in total.
+func (g *Gate) Admitted() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.admitted.Load()
+}

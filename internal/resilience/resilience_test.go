@@ -1,0 +1,280 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	var changes []string
+	b := NewBreaker(BreakerOptions{
+		Threshold: 3,
+		Cooloff:   time.Second,
+		Now:       func() time.Time { return now },
+		OnChange: func(from, to BreakerState) {
+			changes = append(changes, from.String()+"->"+to.String())
+		},
+	})
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker should be closed and allowing")
+	}
+
+	boom := errors.New("disk on fire")
+	b.Failure(boom)
+	b.Failure(boom)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", b.State())
+	}
+	// A success resets the streak.
+	b.Success()
+	if got := b.ConsecutiveFailures(); got != 0 {
+		t.Fatalf("failures after success = %d, want 0", got)
+	}
+
+	b.Failure(boom)
+	b.Failure(boom)
+	b.Failure(boom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must reject before cooloff")
+	}
+	if got := b.LastError(); got != "disk on fire" {
+		t.Fatalf("LastError = %q", got)
+	}
+
+	// Cooloff elapses: exactly one probe is granted.
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooloff elapsed: probe should be allowed")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be rejected")
+	}
+
+	// Failed probe re-opens immediately.
+	b.Failure(boom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("fresh cooloff after failed probe")
+	}
+
+	// Next probe succeeds: breaker closes, recovery counted.
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe should be allowed")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	trips, recoveries := b.Counters()
+	if trips != 2 || recoveries != 1 {
+		t.Fatalf("counters = (%d trips, %d recoveries), want (2, 1)", trips, recoveries)
+	}
+	want := []string{
+		"closed->open",
+		"open->half-open",
+		"half-open->open",
+		"open->half-open",
+		"half-open->closed",
+	}
+	if len(changes) != len(want) {
+		t.Fatalf("transitions = %v, want %v", changes, want)
+	}
+	for i := range want {
+		if changes[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, changes[i], want[i])
+		}
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker must allow")
+	}
+	b.Success()
+	b.Failure(errors.New("x"))
+	if b.State() != BreakerClosed || b.ConsecutiveFailures() != 0 || b.LastError() != "" {
+		t.Fatal("nil breaker must look closed and empty")
+	}
+}
+
+func TestGateLimitsAndSheds(t *testing.T) {
+	g := NewGate(2, 1)
+
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+
+	// One waiter fits in the queue...
+	acquired := make(chan func(), 1)
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- r
+	}()
+	waitFor(t, func() bool { return g.QueueDepth() == 1 })
+
+	// ...the next arrival is shed immediately.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if got := g.Shed(); got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+
+	// Releasing a slot admits the waiter.
+	r1()
+	r3 := <-acquired
+	if got := g.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth = %d, want 0", got)
+	}
+	r2()
+	r3()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+	if got := g.Admitted(); got != 3 {
+		t.Fatalf("Admitted = %d, want 3", got)
+	}
+}
+
+func TestGateWaiterRespectsContext(t *testing.T) {
+	g := NewGate(1, 4)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if got := g.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth after abandoned wait = %d, want 0", got)
+	}
+	// An abandoned wait is not a shed: the server did not refuse it.
+	if got := g.Shed(); got != 0 {
+		t.Fatalf("Shed = %d, want 0", got)
+	}
+}
+
+func TestGateNilUnlimited(t *testing.T) {
+	var g *Gate
+	for i := 0; i < 100; i++ {
+		release, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	if NewGate(0, 5) != nil {
+		t.Fatal("limit <= 0 must build a nil (unlimited) gate")
+	}
+}
+
+func TestGateConcurrentStress(t *testing.T) {
+	g := NewGate(4, 64)
+	var wg sync.WaitGroup
+	var peak sync.Mutex
+	maxSeen := int64(0)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := g.Acquire(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if n := g.InFlight(); n > 4 {
+				peak.Lock()
+				if n > maxSeen {
+					maxSeen = n
+				}
+				peak.Unlock()
+			}
+			release()
+		}()
+	}
+	wg.Wait()
+	if maxSeen > 4 {
+		t.Fatalf("in-flight peaked at %d, want <= 4", maxSeen)
+	}
+	if g.InFlight() != 0 || g.QueueDepth() != 0 {
+		t.Fatalf("gate not drained: inflight=%d queue=%d", g.InFlight(), g.QueueDepth())
+	}
+}
+
+func TestBackoffDelays(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	// Deterministic midpoint without an rng: 3/4 of the exponential step.
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 7500 * time.Microsecond},
+		{1, 15 * time.Millisecond},
+		{2, 30 * time.Millisecond},
+		{3, 60 * time.Millisecond},
+		{4, 60 * time.Millisecond}, // capped at Max
+		{9, 60 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := b.Delay(c.attempt, nil); got != c.want {
+			t.Fatalf("Delay(%d) = %v, want %v", c.attempt, got, c.want)
+		}
+	}
+	// Jittered delays stay within [d/2, d) and are deterministic per seed.
+	rng := rand.New(rand.NewSource(7))
+	for attempt := 0; attempt < 8; attempt++ {
+		d := b.Delay(attempt, rng)
+		step := b.Delay(attempt, nil) * 4 / 3
+		if d < step/2 || d >= step {
+			t.Fatalf("jittered Delay(%d) = %v outside [%v, %v)", attempt, d, step/2, step)
+		}
+	}
+	a := Backoff{Base: time.Millisecond, Max: time.Second}.Delay(3, rand.New(rand.NewSource(42)))
+	bb := Backoff{Base: time.Millisecond, Max: time.Second}.Delay(3, rand.New(rand.NewSource(42)))
+	if a != bb {
+		t.Fatalf("same seed gave different delays: %v vs %v", a, bb)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

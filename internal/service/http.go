@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	joininference "repro"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // NewHandler mounts the manager's operations as an HTTP/JSON API:
@@ -35,6 +37,9 @@ import (
 //	                                  to its next version, T-classes and live
 //	                                  sessions follow incrementally
 //	GET    /healthz                   liveness
+//	GET    /readyz                    readiness: store breaker position,
+//	                                  write-behind queue depth, registry and
+//	                                  restore health; 503 while degraded
 //	GET    /debug/metrics             operational counters (sessions
 //	                                  live/created/evicted, questions
 //	                                  served, deltas ingested, sessions
@@ -55,9 +60,36 @@ import (
 // access-log line, a per-route latency histogram, a root trace span, and
 // panic recovery. Request contexts thread into the inference engine, so a
 // client disconnect cancels even a long L2S lookahead mid-computation.
+//
+// Resilience: with Options.RequestTimeout every handler runs under a
+// per-request deadline (an expired deadline answers 503 + Retry-After);
+// with Options.MaxConcurrent the compute-heavy routes (create/resume,
+// questions, answers, ingest) sit behind per-route admission gates that
+// shed excess load with 429 + Retry-After instead of queueing without
+// bound; GET /readyz reports store/registry/restore health (503 while
+// degraded — the node still serves, but load balancers should prefer
+// healthy peers).
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+	// gated wraps a handler in its route's admission gate: saturation sheds
+	// with 429 (the client retries elsewhere), a deadline expiring while
+	// queued answers 503 — in both cases without spending any compute.
+	gated := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		g := m.gateFor(route)
+		if g == nil {
+			return h
+		}
+		return func(w http.ResponseWriter, r *http.Request) {
+			release, err := g.Acquire(r.Context())
+			if err != nil {
+				httpError(w, statusFor(err), fmt.Errorf("admission (%s): %w", route, err))
+				return
+			}
+			defer release()
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("POST /sessions", gated(routeCreate, func(w http.ResponseWriter, r *http.Request) {
 		var req createRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -75,7 +107,7 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusCreated, info)
-	})
+	}))
 	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, listResponse{Sessions: m.List()})
 	})
@@ -87,7 +119,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, info)
 	})
-	mux.HandleFunc("GET /sessions/{id}/questions", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /sessions/{id}/questions", gated(routeQuestions, func(w http.ResponseWriter, r *http.Request) {
 		k := 1
 		if s := r.URL.Query().Get("k"); s != "" {
 			n, err := strconv.Atoi(s)
@@ -103,8 +135,8 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, questionsResponse{Questions: qs, Done: len(qs) == 0})
-	})
-	mux.HandleFunc("POST /sessions/{id}/answers", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /sessions/{id}/answers", gated(routeAnswers, func(w http.ResponseWriter, r *http.Request) {
 		var req answersRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -121,7 +153,7 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
-	})
+	}))
 	mux.HandleFunc("GET /sessions/{id}/predicate", func(w http.ResponseWriter, r *http.Request) {
 		p, err := m.Predicate(r.PathValue("id"))
 		if err != nil {
@@ -156,7 +188,7 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /instances", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, instancesResponse{Instances: m.reg.Names()})
 	})
-	mux.HandleFunc("POST /instances/{id}/rows", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /instances/{id}/rows", gated(routeIngest, func(w http.ResponseWriter, r *http.Request) {
 		var req ingestRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -168,9 +200,19 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
-	})
+	}))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		h := m.Health()
+		code := http.StatusOK
+		if h.Status != "ok" {
+			// Degraded, not down: the node keeps serving from live compute
+			// and RAM, but load balancers should prefer healthy peers.
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
 	})
 	mux.HandleFunc("GET /debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Metrics())
@@ -201,7 +243,22 @@ func NewHandler(m *Manager) http.Handler {
 			})
 		})
 	}
-	return obs.Middleware(mux, cfg)
+	return obs.Middleware(withRequestTimeout(mux, m.opts.RequestTimeout), cfg)
+}
+
+// withRequestTimeout caps every request's context at d (0 = no cap). The
+// deadline threads through handlers into the engine, so an over-budget L2S
+// lookahead stops computing and the handler answers 503 + Retry-After via
+// statusFor(context.DeadlineExceeded).
+func withRequestTimeout(next http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // traceResponse is the body of GET /debug/trace: the retained spans
@@ -286,9 +343,16 @@ func statusFor(err error) int {
 		errors.Is(err, joininference.ErrBadQuestionRef),
 		errors.Is(err, ErrBadDelta):
 		return http.StatusBadRequest
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The client went away (or timed out); the status is moot but a
-		// 4xx keeps logs honest.
+	case errors.Is(err, resilience.ErrSaturated):
+		// Admission gate full: shed, retry elsewhere (Retry-After is set).
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		// The server-side request deadline expired: overload, not client
+		// error — 503 + Retry-After tells the client to back off and retry.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but a 4xx keeps logs
+		// honest.
 		return http.StatusRequestTimeout
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
@@ -299,6 +363,10 @@ func statusFor(err error) int {
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		// Shed or degraded: tell well-behaved clients when to come back.
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }

@@ -17,6 +17,7 @@ import (
 
 	joininference "repro"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/store"
 )
 
@@ -147,6 +148,30 @@ type Options struct {
 	// the policy cache its page-in timings, the manager's counters become
 	// /metrics families, and Questions/Answer run under trace spans.
 	Obs *Obs
+	// RequestTimeout bounds each HTTP request served by NewHandler with a
+	// per-request context deadline (reaching the L2S lookahead, which
+	// checks cancellation); 0 disables the wrap.
+	RequestTimeout time.Duration
+	// MaxConcurrent, when positive, bounds in-flight requests per
+	// compute-heavy route (session create/resume, questions, answers,
+	// ingest); MaxQueue bounds how many more may wait for a slot before new
+	// arrivals are shed with 429. Zero MaxConcurrent disables admission
+	// control.
+	MaxConcurrent int
+	MaxQueue      int
+	// StoreBreaker, when non-nil alongside Store, is the circuit breaker
+	// guarding the persist path (share it with the policy tier via
+	// WithTierBreaker so one store-health verdict governs both). Nil with a
+	// Store builds a private breaker from BreakerThreshold/BreakerCooloff.
+	StoreBreaker *resilience.Breaker
+	// BreakerThreshold and BreakerCooloff configure the private breaker
+	// (defaults 5 consecutive failures, 5s cool-off); ignored when
+	// StoreBreaker is set.
+	BreakerThreshold int
+	BreakerCooloff   time.Duration
+	// PersistQueueLimit bounds the write-behind retry queue (default 1024
+	// session ids).
+	PersistQueueLimit int
 }
 
 // JanitorInterval resolves the sweep cadence: the configured SweepInterval,
@@ -176,6 +201,17 @@ type Manager struct {
 	mu       sync.Mutex
 	sessions map[string]*managed
 	closed   bool
+
+	// breaker guards the store persist path (nil-safe: always closed
+	// without a store); pq is the write-behind retry queue its failures
+	// feed; stopPersist stops the background re-persist worker.
+	breaker     *resilience.Breaker
+	pq          *persistQueue
+	stopPersist func()
+	// gates are the per-route admission gates (empty map without admission
+	// control); restoreFails counts boot-restore records that were skipped.
+	gates        map[string]*resilience.Gate
+	restoreFails expvar.Int
 
 	// crowdMu guards the service-wide worker-reliability counters, fed by
 	// the soft-inference commit/retraction events sessions emit.
@@ -334,6 +370,10 @@ type Metrics struct {
 	// Crowd reports soft-inference vote outcomes per worker (present once
 	// any soft session has committed or retracted an answer).
 	Crowd *CrowdMetrics `json:"crowd,omitempty"`
+	// Resilience reports the breaker, write-behind persist queue, and
+	// per-route admission gates (present when a store or admission control
+	// is configured).
+	Resilience *ResilienceMetrics `json:"resilience,omitempty"`
 }
 
 // Metrics returns the manager's current counters.
@@ -363,6 +403,7 @@ func (m *Manager) Metrics() Metrics {
 		out.Store = &st
 	}
 	out.Crowd = m.crowdMetrics()
+	out.Resilience = m.resilienceMetrics()
 	return out
 }
 
@@ -403,6 +444,26 @@ func NewManager(reg *Registry, opts Options) (*Manager, error) {
 	if m.now == nil {
 		m.now = time.Now
 	}
+	m.gates = make(map[string]*resilience.Gate)
+	if opts.MaxConcurrent > 0 {
+		for _, route := range admissionRoutes {
+			m.gates[route] = resilience.NewGate(opts.MaxConcurrent, opts.MaxQueue)
+		}
+	}
+	if opts.Store != nil {
+		m.breaker = opts.StoreBreaker
+		if m.breaker == nil {
+			log := m.log
+			m.breaker = resilience.NewBreaker(resilience.BreakerOptions{
+				Threshold: opts.BreakerThreshold,
+				Cooloff:   opts.BreakerCooloff,
+				OnChange: func(from, to resilience.BreakerState) {
+					log.Warn("store breaker state change", "from", from.String(), "to", to.String())
+				},
+			})
+		}
+		m.pq = newPersistQueue(opts.PersistQueueLimit)
+	}
 	if opts.Obs != nil {
 		opts.Obs.bind(m)
 		if opts.PolicyCache != nil {
@@ -431,6 +492,9 @@ func NewManager(reg *Registry, opts Options) (*Manager, error) {
 		if err := m.restoreAll(); err != nil {
 			return nil, err
 		}
+	}
+	if opts.Store != nil {
+		m.stopPersist = m.startPersistWorker()
 	}
 	return m, nil
 }
@@ -854,6 +918,13 @@ func (m *Manager) Questions(ctx context.Context, id string, k int) ([]joininfere
 		return nil, err
 	}
 	defer m.release(ms)
+	// The request's deadline may have expired while waiting for the session
+	// lock; honor it before computing anything (cheap strategies never
+	// check ctx themselves).
+	if err := ctx.Err(); err != nil {
+		sp.SetError(err)
+		return nil, err
+	}
 	if err := m.migrateLocked(ms); err != nil {
 		sp.SetError(err)
 		return nil, err
@@ -884,6 +955,10 @@ func (m *Manager) Answer(ctx context.Context, id string, answers []Answer) (Answ
 		return AnswerResult{}, err
 	}
 	defer m.release(ms)
+	if err := ctx.Err(); err != nil {
+		sp.SetError(err)
+		return AnswerResult{}, err
+	}
 	if err := m.migrateLocked(ms); err != nil {
 		sp.SetError(err)
 		return AnswerResult{}, err
@@ -1086,7 +1161,15 @@ func (m *Manager) SweepExpired() int {
 			ms.mu.Unlock()
 			continue
 		}
-		m.persistLocked(ms)
+		if !m.persistLocked(ms) && m.opts.Store != nil {
+			// The store refused the snapshot (breaker open or a live
+			// failure): the RAM copy is the only good copy, so the session
+			// stays resident — degraded mode trades memory for never losing
+			// an answered session. The write-behind worker (and the next
+			// sweep) will retry.
+			ms.mu.Unlock()
+			continue
+		}
 		ms.gone = true
 		ms.mu.Unlock()
 		m.mu.Lock()
@@ -1125,12 +1208,18 @@ func (m *Manager) StartJanitor(interval time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// Close persists every live session (when a PersistDir is configured) and
+// Close persists every live session (when persistence is configured) and
 // shuts the manager; subsequent calls fail with ErrClosed. The context
 // bounds how long persistence may take. Unlike List/SweepExpired, Close
 // deliberately waits for each session's in-flight operation to finish —
 // skipping one would lose its latest answers; callers drain request
 // traffic first (cmd/joinserve runs http.Server.Shutdown before Close).
+//
+// With a store, Close also drains the write-behind queue: every session is
+// persisted directly (bypassing the breaker — shutdown is the final
+// probe), and failures are retried with backoff until they succeed or the
+// context expires. An error return means some sessions exist only in the
+// process's dying memory — the operator's signal to keep the disk.
 func (m *Manager) Close(ctx context.Context) error {
 	m.mu.Lock()
 	if m.closed {
@@ -1144,16 +1233,47 @@ func (m *Manager) Close(ctx context.Context) error {
 	}
 	m.sessions = make(map[string]*managed)
 	m.mu.Unlock()
+	if m.stopPersist != nil {
+		m.stopPersist()
+	}
+	var failed []*managed
 	for _, ms := range all {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		ms.mu.Lock()
 		if !ms.gone {
-			m.persistLocked(ms)
+			if m.opts.Store != nil {
+				if !m.persistStoreDirect(ms) {
+					failed = append(failed, ms)
+				}
+			} else {
+				m.persistLocked(ms)
+			}
 			ms.gone = true
 		}
 		ms.mu.Unlock()
+	}
+	// Drain: re-persist failures with backoff until the context gives up.
+	bo := resilience.Backoff{Base: 25 * time.Millisecond, Max: 500 * time.Millisecond}
+	for attempt := 0; len(failed) > 0; attempt++ {
+		t := time.NewTimer(bo.Delay(attempt, nil))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("service: %d session(s) not persisted at shutdown: %w", len(failed), ctx.Err())
+		case <-t.C:
+		}
+		still := failed[:0]
+		for _, ms := range failed {
+			ms.mu.Lock()
+			ok := m.persistStoreDirect(ms)
+			ms.mu.Unlock()
+			if !ok {
+				still = append(still, ms)
+			}
+		}
+		failed = still
 	}
 	if m.opts.Store != nil && len(all) > 0 {
 		// One fsync covers the whole shutdown batch.
@@ -1189,37 +1309,38 @@ func (m *Manager) storePersistTimed(ms *managed) {
 	m.storePersist(ms)
 }
 
-// persistLocked writes the session's snapshot to the store (binary) or the
-// persist dir (JSON); callers hold ms.mu. Persistence failures are logged,
-// not fatal — eviction proceeds.
-func (m *Manager) persistLocked(ms *managed) {
-	if m.opts.Store == nil && m.opts.PersistDir == "" {
-		return
+// persistLocked writes the session's snapshot to the store (binary, via
+// the breaker — failures queue for write-behind retry) or the persist dir
+// (JSON; failures are logged, not fatal); callers hold ms.mu. Reports
+// whether the snapshot is durably written now (always true when nothing is
+// configured — there is nothing to lose).
+func (m *Manager) persistLocked(ms *managed) bool {
+	if m.opts.Store != nil {
+		return m.persistStoreLocked(ms)
+	}
+	if m.opts.PersistDir == "" {
+		return true
 	}
 	snap, err := ms.snapshotLocked()
 	if err != nil {
 		m.log.Warn("snapshotting session failed", "session", ms.id, "err", err)
-		return
-	}
-	if m.opts.Store != nil {
-		if err := m.opts.Store.Put(store.SessionKey(ms.id), encodeServiceSnapshot(snap)); err != nil {
-			m.log.Warn("persisting session failed", "session", ms.id, "err", err)
-		}
-		return
+		return false
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		m.log.Warn("encoding session failed", "session", ms.id, "err", err)
-		return
+		return false
 	}
 	tmp := m.persistPath(ms.id) + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		m.log.Warn("persisting session failed", "session", ms.id, "err", err)
-		return
+		return false
 	}
 	if err := os.Rename(tmp, m.persistPath(ms.id)); err != nil {
 		m.log.Warn("persisting session failed", "session", ms.id, "err", err)
+		return false
 	}
+	return true
 }
 
 // restoreStore resumes every session record in the store. Records that
@@ -1235,6 +1356,7 @@ func (m *Manager) restoreStore() error {
 		id, err := store.SessionID(key)
 		if err != nil {
 			m.log.Warn("restoring session record failed", "err", err)
+			m.restoreFails.Add(1)
 			return true
 		}
 		// Copy out: Resume replays whole transcripts, far too slow to run
@@ -1249,6 +1371,7 @@ func (m *Manager) restoreStore() error {
 		snap, err := decodeServiceSnapshot(r.data)
 		if err != nil {
 			m.log.Warn("decoding session failed", "session", r.id, "err", err)
+			m.restoreFails.Add(1)
 			continue
 		}
 		if snap.ID != r.id {
@@ -1258,6 +1381,7 @@ func (m *Manager) restoreStore() error {
 		}
 		if _, err := m.Resume(snap); err != nil {
 			m.log.Warn("restoring session failed", "session", r.id, "err", err)
+			m.restoreFails.Add(1)
 			continue
 		}
 	}
@@ -1279,15 +1403,18 @@ func (m *Manager) restoreAll() error {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			m.log.Warn("reading session file failed", "path", path, "err", err)
+			m.restoreFails.Add(1)
 			continue
 		}
 		var snap SessionSnapshot
 		if err := json.Unmarshal(data, &snap); err != nil {
 			m.log.Warn("decoding session file failed", "path", path, "err", err)
+			m.restoreFails.Add(1)
 			continue
 		}
 		if _, err := m.Resume(&snap); err != nil {
 			m.log.Warn("restoring session failed", "path", path, "err", err)
+			m.restoreFails.Add(1)
 			continue
 		}
 	}

@@ -157,6 +157,46 @@ func (o *Obs) bind(m *Manager) {
 		r.CounterFunc("store_compactions_total", "Store log compactions.", func() float64 { return float64(kv.Stats().Compactions) })
 		r.GaugeFunc("store_live_bytes", "Live record bytes in the store.", func() float64 { return float64(kv.Stats().LiveBytes) })
 		r.GaugeFunc("store_dead_bytes", "Log garbage bytes awaiting compaction.", func() float64 { return float64(kv.Stats().DeadBytes) })
+		r.GaugeFunc("store_breaker_state", "Store circuit position: 0 closed, 1 half-open, 2 open.", func() float64 {
+			return float64(m.breaker.State())
+		})
+		r.CounterFunc("store_breaker_trips_total", "Store breaker open transitions.", func() float64 {
+			t, _ := m.breaker.Counters()
+			return float64(t)
+		})
+		r.CounterFunc("store_breaker_recoveries_total", "Store breaker close transitions after a trip.", func() float64 {
+			_, rec := m.breaker.Counters()
+			return float64(rec)
+		})
+		r.GaugeFunc("persist_queue_depth", "Sessions awaiting write-behind re-persist.", func() float64 {
+			return float64(m.pq.depth())
+		})
+		r.CounterFunc("persist_retries_total", "Write-behind re-persist attempts.", func() float64 {
+			return float64(m.pq.retries.Load())
+		})
+		r.CounterFunc("persist_dropped_total", "Re-persist requests refused by the bounded queue.", func() float64 {
+			return float64(m.pq.drops.Load())
+		})
+	}
+	r.GaugeFunc("degraded", "1 while any component (store, registry) is degraded.", func() float64 {
+		if m.Degraded() {
+			return 1
+		}
+		return 0
+	})
+	if len(m.gates) > 0 {
+		inflight := r.GaugeVec("admission_inflight", "Requests holding an admission slot, by route.", "route")
+		queued := r.GaugeVec("admission_queue_depth", "Requests waiting for an admission slot, by route.", "route")
+		shed := r.CounterVec("admission_shed_total", "Requests shed with 429, by route.", "route")
+		for _, route := range admissionRoutes {
+			g := m.gates[route]
+			if g == nil {
+				continue
+			}
+			inflight.SetFunc(route, func() float64 { return float64(g.InFlight()) })
+			queued.SetFunc(route, func() float64 { return float64(g.QueueDepth()) })
+			shed.SetFunc(route, func() float64 { return float64(g.Shed()) })
+		}
 	}
 }
 

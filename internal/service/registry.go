@@ -104,6 +104,31 @@ type RegistryStats struct {
 	Ingests        int64 `json:"ingests"`
 }
 
+// Failed returns the names of entries whose one-shot load failed (the
+// error sticks until restart — see loadLocked), sorted. Slots mid-load are
+// skipped without blocking: loading is not failure, and health probes must
+// never queue behind a TPC-H generation.
+func (r *Registry) Failed() []string {
+	r.mu.Lock()
+	slots := make(map[string]*regSlot, len(r.slots))
+	for name, s := range r.slots {
+		slots[name] = s
+	}
+	r.mu.Unlock()
+	var out []string
+	for name, s := range slots {
+		if !s.mu.TryLock() {
+			continue
+		}
+		if s.loaded && s.err != nil {
+			out = append(out, name)
+		}
+		s.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Stats returns the registry's counters.
 func (r *Registry) Stats() RegistryStats {
 	return RegistryStats{

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	joininference "repro"
+	"repro/internal/paperdata"
+	"repro/internal/resilience"
+	"repro/internal/store"
+)
+
+// BenchmarkResilience measures what the resilience machinery costs when
+// everything is healthy — the only regime where its overhead matters.
+// Each iteration drives one warm L2S session to convergence through the
+// real handler stack against an in-memory store. "off" is the bare
+// manager; "gate+breaker" adds per-route admission gates and the circuit
+// breaker on the persist path and the policy tier (the budgeted pair:
+// ≤2% when healthy); "full" adds the store retry wrapper and the
+// per-request deadline, whose timer context is the one real allocation
+// cost (~4 allocs/request). BENCH_resilience.json records all three —
+// compare variants across alternating single-variant runs, not within
+// one process, or heap carry-over skews the later ones.
+func BenchmarkResilience(b *testing.B) {
+	inst := paperdata.FlightHotel()
+	u := joininference.NewSession(inst).Universe()
+	goal, err := joininference.PredFromNames(u, [2]string{"To", "City"}, [2]string{"Airline", "Discount"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.RegisterInstance("flights", inst); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reg.Get("flights"); err != nil { // pay class precompute up front
+		b.Fatal(err)
+	}
+
+	do := func(h http.Handler, method, path string, body any, out any) error {
+		var buf bytes.Buffer
+		if body != nil {
+			if err := json.NewEncoder(&buf).Encode(body); err != nil {
+				return err
+			}
+		}
+		req := httptest.NewRequest(method, path, &buf)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code/100 != 2 {
+			return fmt.Errorf("%s %s: status %d: %s", method, path, rec.Code, rec.Body.String())
+		}
+		if out != nil {
+			return json.Unmarshal(rec.Body.Bytes(), out)
+		}
+		return nil
+	}
+	driveHandler := func(h http.Handler) error {
+		var info Info
+		if err := do(h, http.MethodPost, "/sessions",
+			Params{Instance: "flights", Strategy: joininference.StrategyL2S}, &info); err != nil {
+			return err
+		}
+		for {
+			var qr wireQuestions
+			if err := do(h, http.MethodGet, "/sessions/"+info.ID+"/questions?k=2", nil, &qr); err != nil {
+				return err
+			}
+			if len(qr.Questions) == 0 {
+				break
+			}
+			var res AnswerResult
+			if err := do(h, http.MethodPost, "/sessions/"+info.ID+"/answers",
+				answersRequest{Answers: honestAnswers(inst, goal, qr.Questions)}, &res); err != nil {
+				return err
+			}
+		}
+		return do(h, http.MethodDelete, "/sessions/"+info.ID, nil, nil)
+	}
+
+	run := func(b *testing.B, opts Options) {
+		m, err := NewManager(reg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := NewHandler(m)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := driveHandler(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("http/off", func(b *testing.B) {
+		kv := store.NewMem()
+		pc := joininference.NewPolicyCache(8 << 20)
+		pc.AttachStore(kv, 0)
+		run(b, Options{Store: kv, PolicyCache: pc})
+	})
+	b.Run("http/gate+breaker", func(b *testing.B) {
+		kv := store.NewMem()
+		breaker := resilience.NewBreaker(resilience.BreakerOptions{})
+		pc := joininference.NewPolicyCache(8 << 20)
+		pc.AttachStore(kv, 0, joininference.WithTierBreaker(breaker))
+		run(b, Options{
+			Store:         kv,
+			StoreBreaker:  breaker,
+			PolicyCache:   pc,
+			MaxConcurrent: 64,
+			MaxQueue:      64,
+		})
+	})
+	b.Run("http/full", func(b *testing.B) {
+		kv := store.NewRetry(store.NewMem(), store.RetryOptions{Attempts: 3})
+		breaker := resilience.NewBreaker(resilience.BreakerOptions{})
+		pc := joininference.NewPolicyCache(8 << 20)
+		pc.AttachStore(kv, 0, joininference.WithTierBreaker(breaker))
+		run(b, Options{
+			Store:          kv,
+			StoreBreaker:   breaker,
+			PolicyCache:    pc,
+			RequestTimeout: time.Minute,
+			MaxConcurrent:  64,
+			MaxQueue:       64,
+		})
+	})
+}

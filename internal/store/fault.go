@@ -1,0 +1,206 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the transient error returned by Fault when it injects a
+// failure. It is deliberately distinct from ErrCorrupt and ErrClosed so
+// retry policies treat it (and any other unknown error) as transient.
+var ErrInjected = fmt.Errorf("store: injected fault")
+
+// FaultConfig describes what a Fault wrapper injects. Rates are
+// probabilities in [0, 1]; the draws come from a seeded PRNG, so a given
+// (seed, operation sequence) produces the same fault schedule every run.
+type FaultConfig struct {
+	// Seed initializes the PRNG (0 is a valid, fixed seed).
+	Seed int64
+	// ErrorRate is the probability an operation fails with ErrInjected
+	// before reaching the inner backend.
+	ErrorRate float64
+	// LatencyRate is the probability an operation sleeps for Latency first.
+	LatencyRate float64
+	// Latency is the injected delay (spike) when a latency draw hits.
+	Latency time.Duration
+	// TornWriteRate is the probability a Put writes a truncated value to the
+	// inner backend and then fails — modeling a crash mid-write that left a
+	// corrupt record behind. Decoders must detect it (ErrCorrupt) and the
+	// writer must eventually re-persist.
+	TornWriteRate float64
+}
+
+// FaultStats counts what a Fault has injected so far.
+type FaultStats struct {
+	Errors     int64 `json:"errors"`
+	Latencies  int64 `json:"latencies"`
+	TornWrites int64 `json:"torn_writes"`
+}
+
+// Fault wraps any KV with seeded, deterministic fault injection: transient
+// errors, latency spikes, and torn writes. It is the chaos harness's
+// workhorse and is also mountable in production via joinserve's -chaos
+// flag. Injection can be toggled at runtime with SetEnabled and retuned
+// with SetConfig; while disabled the wrapper is pass-through.
+type Fault struct {
+	inner KV
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg FaultConfig
+
+	enabled atomic.Bool
+	errors  atomic.Int64
+	lats    atomic.Int64
+	torn    atomic.Int64
+
+	// sleep is swappable so tests can observe injected latency without
+	// actually waiting.
+	sleep func(time.Duration)
+}
+
+// NewFault wraps inner with fault injection, enabled immediately.
+func NewFault(inner KV, cfg FaultConfig) *Fault {
+	f := &Fault{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+		sleep: time.Sleep,
+	}
+	f.enabled.Store(true)
+	return f
+}
+
+// SetEnabled toggles injection; while disabled every operation passes
+// straight through (the PRNG is not advanced).
+func (f *Fault) SetEnabled(on bool) { f.enabled.Store(on) }
+
+// Enabled reports whether injection is active.
+func (f *Fault) Enabled() bool { return f.enabled.Load() }
+
+// SetConfig swaps the injection rates; the PRNG keeps its stream so the
+// schedule stays a deterministic function of (seed, op+config sequence).
+func (f *Fault) SetConfig(cfg FaultConfig) {
+	f.mu.Lock()
+	f.cfg = cfg
+	f.mu.Unlock()
+}
+
+// FaultStats returns how many faults have been injected so far.
+func (f *Fault) FaultStats() FaultStats {
+	return FaultStats{
+		Errors:     f.errors.Load(),
+		Latencies:  f.lats.Load(),
+		TornWrites: f.torn.Load(),
+	}
+}
+
+// decide draws this operation's fate: an injected delay, and whether to
+// fail (and for Puts, whether the failure is a torn write).
+func (f *Fault) decide(put bool) (delay time.Duration, fail, torn bool) {
+	if !f.enabled.Load() {
+		return 0, false, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cfg := f.cfg
+	if cfg.LatencyRate > 0 && cfg.Latency > 0 && f.rng.Float64() < cfg.LatencyRate {
+		delay = cfg.Latency
+	}
+	if put && cfg.TornWriteRate > 0 && f.rng.Float64() < cfg.TornWriteRate {
+		return delay, true, true
+	}
+	if cfg.ErrorRate > 0 && f.rng.Float64() < cfg.ErrorRate {
+		return delay, true, false
+	}
+	return delay, false, false
+}
+
+func (f *Fault) before(op string) error {
+	delay, fail, _ := f.decide(false)
+	if delay > 0 {
+		f.lats.Add(1)
+		f.sleep(delay)
+	}
+	if fail {
+		f.errors.Add(1)
+		return fmt.Errorf("%s: %w", op, ErrInjected)
+	}
+	return nil
+}
+
+// Get implements KV.
+func (f *Fault) Get(key []byte) ([]byte, bool, error) {
+	if err := f.before("get"); err != nil {
+		return nil, false, err
+	}
+	return f.inner.Get(key)
+}
+
+// Put implements KV. A torn-write fault stores a truncated value in the
+// inner backend AND returns an error: the record on disk is garbage, and
+// the caller knows the write failed. This is the nastiest realistic disk
+// fault — later reads must surface ErrCorrupt, not silently succeed.
+func (f *Fault) Put(key, value []byte) error {
+	delay, fail, torn := f.decide(true)
+	if delay > 0 {
+		f.lats.Add(1)
+		f.sleep(delay)
+	}
+	if torn {
+		f.torn.Add(1)
+		cut := len(value) / 2
+		if err := f.inner.Put(key, value[:cut]); err != nil {
+			return err
+		}
+		return fmt.Errorf("put (torn write): %w", ErrInjected)
+	}
+	if fail {
+		f.errors.Add(1)
+		return fmt.Errorf("put: %w", ErrInjected)
+	}
+	return f.inner.Put(key, value)
+}
+
+// Delete implements KV.
+func (f *Fault) Delete(key []byte) error {
+	if err := f.before("delete"); err != nil {
+		return err
+	}
+	return f.inner.Delete(key)
+}
+
+// Scan implements KV; a fault fails the whole scan up front (as a real
+// backend would fail opening its iterator).
+func (f *Fault) Scan(prefix []byte, fn func(key, value []byte) bool) error {
+	if err := f.before("scan"); err != nil {
+		return err
+	}
+	return f.inner.Scan(prefix, fn)
+}
+
+// Batch implements KV; error injection only (no torn batches — the log
+// backend's batch is one contiguous record, torn tails are dropped whole).
+func (f *Fault) Batch(ops []Op) error {
+	if err := f.before("batch"); err != nil {
+		return err
+	}
+	return f.inner.Batch(ops)
+}
+
+// Sync implements KV.
+func (f *Fault) Sync() error {
+	if err := f.before("sync"); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Stats implements KV, passing through to the inner backend.
+func (f *Fault) Stats() Stats { return f.inner.Stats() }
+
+// Close implements KV; Close is never fault-injected.
+func (f *Fault) Close() error { return f.inner.Close() }

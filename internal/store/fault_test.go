@@ -1,0 +1,230 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/resilience"
+)
+
+func mustNode() policy.Node {
+	return policy.Node{Chosen: 3, Complete: true, Pivots: []int{1, 2, 3}, RNGAfter: 9}
+}
+
+func testPolicyKey() policy.Key {
+	return policy.Key{Instance: "chaos", Strategy: "L2S", Seed: 42}
+}
+
+// opTrace runs a fixed operation script against a Fault and records which
+// ops failed, for determinism comparisons.
+func opTrace(f *Fault) []string {
+	var trace []string
+	rec := func(op string, err error) {
+		if err != nil {
+			trace = append(trace, op+":fail")
+		} else {
+			trace = append(trace, op+":ok")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("k%03d", i))
+		rec("put", f.Put(k, []byte("value-of-some-length")))
+		_, _, err := f.Get(k)
+		rec("get", err)
+		if i%10 == 0 {
+			rec("sync", f.Sync())
+		}
+	}
+	return trace
+}
+
+func TestFaultDeterministicSchedule(t *testing.T) {
+	cfg := FaultConfig{Seed: 99, ErrorRate: 0.2, TornWriteRate: 0.05}
+	a := opTrace(NewFault(NewMem(), cfg))
+	b := opTrace(NewFault(NewMem(), cfg))
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	fails := 0
+	for _, e := range a {
+		if e == "put:fail" || e == "get:fail" || e == "sync:fail" {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("expected some injected failures at 20% error rate")
+	}
+}
+
+func TestFaultErrorsAreTransientSentinel(t *testing.T) {
+	f := NewFault(NewMem(), FaultConfig{Seed: 1, ErrorRate: 1})
+	err := f.Put([]byte("k"), []byte("v"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !Transient(err) {
+		t.Fatal("injected errors must be transient")
+	}
+	if Transient(ErrClosed) || Transient(ErrCorrupt) || Transient(nil) {
+		t.Fatal("ErrClosed/ErrCorrupt/nil must not be transient")
+	}
+}
+
+func TestFaultTornWriteLeavesCorruptRecord(t *testing.T) {
+	mem := NewMem()
+	f := NewFault(mem, FaultConfig{Seed: 0, TornWriteRate: 1})
+	val := EncodePolicyNode(nil, mustNode())
+	err := f.Put([]byte("node"), val)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write must also report failure, got %v", err)
+	}
+	// The inner backend holds a truncated record...
+	got, ok, gerr := mem.Get([]byte("node"))
+	if gerr != nil || !ok {
+		t.Fatalf("inner Get = %v %v", ok, gerr)
+	}
+	if len(got) >= len(val) {
+		t.Fatalf("stored %d bytes, want truncation below %d", len(got), len(val))
+	}
+	// ...which the decoder must reject, not misparse.
+	if _, derr := DecodePolicyNode(got); !errors.Is(derr, ErrCorrupt) {
+		t.Fatalf("decode of torn record = %v, want ErrCorrupt", derr)
+	}
+	// A clean rewrite (faults off) repairs it.
+	f.SetEnabled(false)
+	if err := f.Put([]byte("node"), val); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = f.Get([]byte("node"))
+	if _, derr := DecodePolicyNode(got); derr != nil {
+		t.Fatalf("decode after repair = %v", derr)
+	}
+	st := f.FaultStats()
+	if st.TornWrites != 1 {
+		t.Fatalf("TornWrites = %d, want 1", st.TornWrites)
+	}
+}
+
+func TestFaultDisabledIsPassThrough(t *testing.T) {
+	f := NewFault(NewMem(), FaultConfig{Seed: 3, ErrorRate: 1, LatencyRate: 1, Latency: time.Hour})
+	f.SetEnabled(false)
+	if f.Enabled() {
+		t.Fatal("Enabled() should be false")
+	}
+	for i := 0; i < 50; i++ {
+		if err := f.Put([]byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatalf("disabled fault injected: %v", err)
+		}
+	}
+	if st := f.FaultStats(); st != (FaultStats{}) {
+		t.Fatalf("disabled fault counted injections: %+v", st)
+	}
+}
+
+func TestFaultLatencyInjection(t *testing.T) {
+	f := NewFault(NewMem(), FaultConfig{Seed: 5, LatencyRate: 1, Latency: 7 * time.Millisecond})
+	var slept []time.Duration
+	f.sleep = func(d time.Duration) { slept = append(slept, d) }
+	_, _, _ = f.Get([]byte("k"))
+	_ = f.Put([]byte("k"), []byte("v"))
+	if len(slept) != 2 || slept[0] != 7*time.Millisecond {
+		t.Fatalf("slept = %v, want two 7ms spikes", slept)
+	}
+	if st := f.FaultStats(); st.Latencies != 2 {
+		t.Fatalf("Latencies = %d, want 2", st.Latencies)
+	}
+}
+
+func TestRetryAbsorbsTransientErrors(t *testing.T) {
+	f := NewFault(NewMem(), FaultConfig{Seed: 11, ErrorRate: 0.5})
+	var slept int
+	r := NewRetry(f, RetryOptions{
+		Attempts: 24,
+		Sleep:    func(time.Duration) { slept++ },
+	})
+	// At 50% error rate, 24 attempts all fail with p ≈ 6e-8; the fixed seed
+	// makes the schedule reproducible, so a passing run stays passing.
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		if err := r.Put(k, []byte("v")); err != nil {
+			t.Fatalf("Put(%s) = %v despite retries", k, err)
+		}
+		if _, ok, err := r.Get(k); err != nil || !ok {
+			t.Fatalf("Get(%s) = %v %v despite retries", k, ok, err)
+		}
+	}
+	if r.Retries() == 0 || slept == 0 {
+		t.Fatalf("expected retries (got %d) and sleeps (got %d)", r.Retries(), slept)
+	}
+}
+
+func TestRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	mem := NewMem()
+	mem.Close()
+	calls := 0
+	r := NewRetry(mem, RetryOptions{
+		Attempts: 5,
+		Sleep:    func(time.Duration) {},
+		OnRetry:  func(string, int, error) { calls++ },
+	})
+	if err := r.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if calls != 0 || r.Retries() != 0 {
+		t.Fatalf("permanent error was retried %d times", r.Retries())
+	}
+}
+
+func TestRetryScanPassesThrough(t *testing.T) {
+	f := NewFault(NewMem(), FaultConfig{Seed: 2, ErrorRate: 1})
+	r := NewRetry(f, RetryOptions{Attempts: 5, Sleep: func(time.Duration) {}})
+	err := r.Scan(nil, func(k, v []byte) bool { return true })
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Scan err = %v, want the raw injected error", err)
+	}
+	if r.Retries() != 0 {
+		t.Fatal("Scan must not be retried")
+	}
+}
+
+func TestPolicyTierBreakerShortCircuits(t *testing.T) {
+	mem := NewMem()
+	f := NewFault(mem, FaultConfig{Seed: 7, ErrorRate: 1})
+	f.SetEnabled(false)
+	tier := NewPolicyTier(f, 0)
+	br := resilience.NewBreaker(resilience.BreakerOptions{Threshold: 2, Cooloff: time.Minute})
+	tier.SetBreaker(br)
+
+	k := testPolicyKey()
+	tier.Save(k, nil, 0, mustNode())
+	if _, ok := tier.Load(k, nil, 0); !ok {
+		t.Fatal("healthy tier should load the saved node")
+	}
+
+	// Two consecutive failures trip the shared breaker...
+	f.SetEnabled(true)
+	tier.Save(k, []byte{1}, 0, mustNode())
+	tier.Save(k, []byte{2}, 0, mustNode())
+	if br.State() != resilience.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", br.State())
+	}
+	before := mem.Stats().Gets
+	// ...after which loads are misses without touching the KV.
+	if _, ok := tier.Load(k, nil, 0); ok {
+		t.Fatal("open breaker must force a miss")
+	}
+	if mem.Stats().Gets != before {
+		t.Fatal("open breaker must not reach the backend")
+	}
+	if tier.BreakerSkips() == 0 {
+		t.Fatal("skips must be counted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/policy"
+	"repro/internal/resilience"
 )
 
 // PolicyTier adapts a KV into the policy cache's second tier: published
@@ -19,8 +20,15 @@ type PolicyTier struct {
 	kv KV
 	// readahead bounds how many nodes one PageIn streams into the LRU.
 	readahead int
+	// br, when set, circuit-breaks the tier: with the breaker open every
+	// Load/PageIn is a miss and every Save is skipped, so a dying store
+	// costs one Allow() check instead of an IO stall per node. The walk
+	// recomputes live — slower, never wrong.
+	br *resilience.Breaker
 	// saveErrs counts Save failures (absorbed per the Tier2 contract).
 	saveErrs atomic.Int64
+	// skipped counts operations short-circuited by an open breaker.
+	skipped atomic.Int64
 }
 
 // DefaultPolicyReadahead is the subtree page-in bound: enough to cover the
@@ -39,10 +47,28 @@ func NewPolicyTier(kv KV, readahead int) *PolicyTier {
 // SaveErrors reports how many Save calls failed (and were absorbed).
 func (t *PolicyTier) SaveErrors() int64 { return t.saveErrs.Load() }
 
+// SetBreaker attaches a circuit breaker (typically shared with the session
+// persist path, so one store-health verdict governs both). Call before the
+// tier starts serving.
+func (t *PolicyTier) SetBreaker(br *resilience.Breaker) { t.br = br }
+
+// BreakerSkips reports how many tier operations an open breaker
+// short-circuited.
+func (t *PolicyTier) BreakerSkips() int64 { return t.skipped.Load() }
+
 // Load implements policy.Tier2.
 func (t *PolicyTier) Load(k policy.Key, prefix []byte, rngPos uint64) (policy.Node, bool) {
+	if !t.br.Allow() {
+		t.skipped.Add(1)
+		return policy.Node{}, false
+	}
 	v, ok, err := t.kv.Get(PolicyNodeKey(k.Instance, k.Version, k.Strategy, k.Seed, prefix, rngPos))
-	if err != nil || !ok {
+	if err != nil {
+		t.br.Failure(err)
+		return policy.Node{}, false
+	}
+	t.br.Success()
+	if !ok {
 		return policy.Node{}, false
 	}
 	n, err := DecodePolicyNode(v)
@@ -56,10 +82,14 @@ func (t *PolicyTier) Load(k policy.Key, prefix []byte, rngPos uint64) (policy.No
 // subtree under the answer prefix into the LRU, in key order (the node at
 // the prefix itself first for deterministic trees, then descendants).
 func (t *PolicyTier) PageIn(k policy.Key, prefix []byte, insert func(prefix []byte, rngPos uint64, n policy.Node) bool) {
+	if !t.br.Allow() {
+		t.skipped.Add(1)
+		return
+	}
 	treePrefix := PolicyTreePrefix(k.Instance, k.Version, k.Strategy, k.Seed)
 	scanPrefix := append(append([]byte(nil), treePrefix...), prefix...)
 	left := t.readahead
-	_ = t.kv.Scan(scanPrefix, func(key, value []byte) bool {
+	err := t.kv.Scan(scanPrefix, func(key, value []byte) bool {
 		answerPrefix, rngPos, err := SplitPolicyNodeKey(treePrefix, key)
 		if err != nil {
 			return true // not a well-formed node key; skip
@@ -74,13 +104,25 @@ func (t *PolicyTier) PageIn(k policy.Key, prefix []byte, insert func(prefix []by
 		left--
 		return left > 0
 	})
+	if err != nil {
+		t.br.Failure(err)
+	} else {
+		t.br.Success()
+	}
 }
 
 // Save implements policy.Tier2: write-through of one published node.
 func (t *PolicyTier) Save(k policy.Key, prefix []byte, rngPos uint64, n policy.Node) {
+	if !t.br.Allow() {
+		t.skipped.Add(1)
+		return
+	}
 	key := PolicyNodeKey(k.Instance, k.Version, k.Strategy, k.Seed, prefix, rngPos)
 	if err := t.kv.Put(key, EncodePolicyNode(nil, n)); err != nil {
 		t.saveErrs.Add(1)
+		t.br.Failure(err)
+	} else {
+		t.br.Success()
 	}
 }
 

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// RetryOptions configures a Retry wrapper; zero values select the
+// defaults.
+type RetryOptions struct {
+	// Attempts is the total number of tries per operation (default 3; 1
+	// means no retries).
+	Attempts int
+	// Base and Max bound the jittered exponential backoff between attempts
+	// (defaults 2ms and 50ms — store retries sit on the answer path, so the
+	// budget is tight; persistent failure is the breaker's job, not ours).
+	Base, Max time.Duration
+	// Seed initializes the jitter PRNG.
+	Seed int64
+	// Sleep overrides the inter-attempt sleep (tests); nil means time.Sleep.
+	Sleep func(time.Duration)
+	// OnRetry, when non-nil, observes each retry (op name, 1-based retry
+	// number, the error being retried).
+	OnRetry func(op string, attempt int, err error)
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Base <= 0 {
+		o.Base = 2 * time.Millisecond
+	}
+	if o.Max <= 0 {
+		o.Max = 50 * time.Millisecond
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Retry wraps a KV with jittered-backoff retries for transient errors.
+// ErrClosed and ErrCorrupt are permanent and never retried. Scan is
+// deliberately NOT retried: a scan that failed after visiting some records
+// would re-deliver them on the retry, and callers like restore-on-boot
+// treat each visited record as new — re-scanning would duplicate sessions.
+// Scan callers own their retry semantics.
+type Retry struct {
+	inner KV
+	opts  RetryOptions
+	bo    resilience.Backoff
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	retries atomic.Int64
+}
+
+// NewRetry wraps inner with retry semantics.
+func NewRetry(inner KV, opts RetryOptions) *Retry {
+	opts = opts.withDefaults()
+	return &Retry{
+		inner: inner,
+		opts:  opts,
+		bo:    resilience.Backoff{Base: opts.Base, Max: opts.Max},
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Transient reports whether err is worth retrying: any store error except
+// the permanent sentinels ErrClosed (the backend is gone) and ErrCorrupt
+// (the bytes will not get better).
+func Transient(err error) bool {
+	return err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrCorrupt)
+}
+
+// Retries returns how many retry attempts (not counting first tries) the
+// wrapper has issued.
+func (r *Retry) Retries() int64 { return r.retries.Load() }
+
+func (r *Retry) delay(attempt int) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bo.Delay(attempt, r.rng)
+}
+
+func (r *Retry) do(op string, fn func() error) error {
+	err := fn()
+	for attempt := 1; attempt < r.opts.Attempts && Transient(err); attempt++ {
+		if r.opts.OnRetry != nil {
+			r.opts.OnRetry(op, attempt, err)
+		}
+		r.retries.Add(1)
+		r.opts.Sleep(r.delay(attempt - 1))
+		err = fn()
+	}
+	return err
+}
+
+// Get implements KV.
+func (r *Retry) Get(key []byte) (val []byte, ok bool, err error) {
+	err = r.do("get", func() error {
+		var e error
+		val, ok, e = r.inner.Get(key)
+		return e
+	})
+	return val, ok, err
+}
+
+// Put implements KV. Re-issuing a Put is safe: it is a full-record
+// overwrite, so a retry after a torn write replaces the garbage.
+func (r *Retry) Put(key, value []byte) error {
+	return r.do("put", func() error { return r.inner.Put(key, value) })
+}
+
+// Delete implements KV; deletes are idempotent.
+func (r *Retry) Delete(key []byte) error {
+	return r.do("delete", func() error { return r.inner.Delete(key) })
+}
+
+// Scan implements KV with NO retry (see the type comment).
+func (r *Retry) Scan(prefix []byte, fn func(key, value []byte) bool) error {
+	return r.inner.Scan(prefix, fn)
+}
+
+// Batch implements KV; the whole batch re-applies, which is safe for the
+// same overwrite reason as Put.
+func (r *Retry) Batch(ops []Op) error {
+	return r.do("batch", func() error { return r.inner.Batch(ops) })
+}
+
+// Sync implements KV.
+func (r *Retry) Sync() error {
+	return r.do("sync", func() error { return r.inner.Sync() })
+}
+
+// Stats implements KV, passing through to the inner backend.
+func (r *Retry) Stats() Stats { return r.inner.Stats() }
+
+// Close implements KV.
+func (r *Retry) Close() error { return r.inner.Close() }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/pool"
+	"repro/internal/resilience"
 	"repro/internal/store"
 	"repro/internal/strategy"
 )
@@ -59,8 +60,24 @@ func NewPolicyCache(maxBytes int64) *PolicyCache {
 // restarts — the byte bound then sizes the working set, not the tree.
 // readahead bounds how many nodes one miss pages in (≤ 0 selects the
 // default). Attach before sharing the cache across sessions.
-func (pc *PolicyCache) AttachStore(kv store.KV, readahead int) {
-	pc.c.SetTier2(timedTier{inner: store.NewPolicyTier(kv, readahead), pc: pc})
+func (pc *PolicyCache) AttachStore(kv store.KV, readahead int, opts ...StoreTierOption) {
+	tier := store.NewPolicyTier(kv, readahead)
+	for _, opt := range opts {
+		opt(tier)
+	}
+	pc.c.SetTier2(timedTier{inner: tier, pc: pc})
+}
+
+// StoreTierOption customizes the store-backed tier built by AttachStore.
+type StoreTierOption func(*store.PolicyTier)
+
+// WithTierBreaker circuit-breaks the store tier: while the breaker is open
+// every lookup is an LRU-only miss and every write-through is skipped, so a
+// failing store degrades the cache to live recomputation instead of
+// stalling the question path. Share the breaker with the session persist
+// path so one store-health verdict governs both.
+func WithTierBreaker(br *resilience.Breaker) StoreTierOption {
+	return func(t *store.PolicyTier) { t.SetBreaker(br) }
 }
 
 // SetTelemetry attaches a telemetry sink to the cache: every tier-2
