@@ -137,6 +137,25 @@ func (b *Breaker) Success() {
 	}
 }
 
+// CancelProbe releases an admission that never reached the dependency:
+// the caller got true from Allow but the work it was admitted for vanished
+// before any call was made (nothing left to do, target busy), so neither
+// Success nor Failure applies. In the half-open state this frees the
+// single probe slot for the next caller; in any other state it is a
+// no-op. Every Allow()=true must be resolved by exactly one of Success,
+// Failure, or CancelProbe — an unresolved half-open probe wedges the
+// breaker half-open forever.
+func (b *Breaker) CancelProbe() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
 // Failure reports a failed call. A half-open probe failure re-opens
 // immediately; in the closed state the Threshold-th consecutive failure
 // trips the breaker.

@@ -43,10 +43,17 @@ func NewGate(limit, queueLimit int) *Gate {
 // Acquire claims a slot, waiting in the bounded queue if all slots are
 // busy. It returns a release func (never nil on success) that must be
 // called exactly once, or an error: ErrSaturated when the queue is full,
-// or ctx.Err() if the context expired while waiting.
+// or ctx.Err() if the context is already expired or expires while
+// waiting.
 func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 	if g == nil {
 		return func() {}, nil
+	}
+	// A dead request must not occupy a slot: without this check the
+	// fast-path select below could admit it before the handler ever looks
+	// at ctx.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	select {
 	case g.tokens <- struct{}{}:

@@ -101,12 +101,56 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelProbe: an admitted call whose work vanished before it
+// touched the dependency must release the half-open probe slot —
+// otherwise the breaker wedges half-open forever and every later Allow
+// is rejected.
+func TestBreakerCancelProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerOptions{
+		Threshold: 1,
+		Cooloff:   time.Second,
+		Now:       func() time.Time { return now },
+	})
+	b.Failure(errors.New("boom"))
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooloff elapsed: probe should be allowed")
+	}
+	if b.Allow() {
+		t.Fatal("probe outstanding: second Allow must be rejected")
+	}
+	b.CancelProbe()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after canceled probe = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("canceled probe must free the half-open slot for the next caller")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+
+	// Outside half-open CancelProbe is a no-op: the breaker stays closed
+	// and allowing.
+	b.CancelProbe()
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("CancelProbe on a closed breaker must be a no-op")
+	}
+}
+
 func TestBreakerNilSafe(t *testing.T) {
 	var b *Breaker
 	if !b.Allow() {
 		t.Fatal("nil breaker must allow")
 	}
 	b.Success()
+	b.CancelProbe()
 	b.Failure(errors.New("x"))
 	if b.State() != BreakerClosed || b.ConsecutiveFailures() != 0 || b.LastError() != "" {
 		t.Fatal("nil breaker must look closed and empty")
@@ -180,6 +224,25 @@ func TestGateWaiterRespectsContext(t *testing.T) {
 		t.Fatalf("QueueDepth after abandoned wait = %d, want 0", got)
 	}
 	// An abandoned wait is not a shed: the server did not refuse it.
+	if got := g.Shed(); got != 0 {
+		t.Fatalf("Shed = %d, want 0", got)
+	}
+}
+
+// TestGateRejectsExpiredContext: a request whose context is already dead
+// must be rejected up front, not admitted into a slot the handler would
+// immediately abandon.
+func TestGateRejectsExpiredContext(t *testing.T) {
+	g := NewGate(1, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if g.InFlight() != 0 || g.Admitted() != 0 {
+		t.Fatalf("expired request consumed a slot: inflight=%d admitted=%d", g.InFlight(), g.Admitted())
+	}
+	// An expired request is not a shed: the server did not refuse it.
 	if got := g.Shed(); got != 0 {
 		t.Fatalf("Shed = %d, want 0", got)
 	}

@@ -330,6 +330,56 @@ func TestRequestTimeout503(t *testing.T) {
 	}
 }
 
+// TestHalfOpenProbeBusyDoesNotWedge: while the breaker is half-open, the
+// persist worker's probe can land on a session that is mid-operation
+// (TryLock fails → persistBusy). That probe never reaches the store, so
+// it must be released — the regression was probing=true leaking, wedging
+// the breaker half-open permanently: persists queued forever and /readyz
+// stayed 503 until restart. persistBusy is likely during an outage since
+// sessions are actively locked while answering.
+func TestHalfOpenProbeBusyDoesNotWedge(t *testing.T) {
+	inner := store.NewMem()
+	fault := store.NewFault(inner, store.FaultConfig{Seed: 11, ErrorRate: 1})
+	fault.SetEnabled(false)
+	breaker := resilience.NewBreaker(resilience.BreakerOptions{Threshold: 1, Cooloff: 5 * time.Millisecond})
+	m, err := NewManager(testRegistry(t), Options{Store: fault, StoreBreaker: breaker})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A dead store trips the threshold-1 breaker on the create write-through
+	// and queues the session for write-behind retry.
+	fault.SetEnabled(true)
+	info, err := m.Create(Params{Instance: "flights"})
+	if err != nil {
+		t.Fatalf("create must survive a dead store: %v", err)
+	}
+
+	// Hold the session's lock across several cooloffs: every half-open
+	// probe the worker takes hits persistBusy while the store stays dead,
+	// then heals mid-hold.
+	m.mu.Lock()
+	ms := m.sessions[info.ID]
+	m.mu.Unlock()
+	ms.mu.Lock()
+	time.Sleep(50 * time.Millisecond)
+	fault.SetEnabled(false)
+	ms.mu.Unlock()
+
+	// With the session unlocked and the store healed, the next probe must
+	// close the breaker and drain the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for breaker.State() != resilience.BreakerClosed || m.pq.depth() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker wedged: state=%v queue_depth=%d", breaker.State(), m.pq.depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
 // TestReadyzTransitions walks /readyz through healthy → degraded →
 // recovered as the store fails and heals.
 func TestReadyzTransitions(t *testing.T) {

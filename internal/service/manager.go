@@ -1217,9 +1217,11 @@ func (m *Manager) StartJanitor(interval time.Duration) (stop func()) {
 //
 // With a store, Close also drains the write-behind queue: every session is
 // persisted directly (bypassing the breaker — shutdown is the final
-// probe), and failures are retried with backoff until they succeed or the
-// context expires. An error return means some sessions exist only in the
-// process's dying memory — the operator's signal to keep the disk.
+// probe), and store failures are retried with backoff until they succeed
+// or the context expires; sessions that fail to snapshot are not retried
+// (the failure is deterministic) but still produce an error. An error
+// return means some sessions exist only in the process's dying memory —
+// the operator's signal to keep the disk.
 func (m *Manager) Close(ctx context.Context) error {
 	m.mu.Lock()
 	if m.closed {
@@ -1237,6 +1239,7 @@ func (m *Manager) Close(ctx context.Context) error {
 		m.stopPersist()
 	}
 	var failed []*managed
+	lost := 0 // unsnapshotable sessions: retrying cannot help, but report them
 	for _, ms := range all {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -1244,7 +1247,11 @@ func (m *Manager) Close(ctx context.Context) error {
 		ms.mu.Lock()
 		if !ms.gone {
 			if m.opts.Store != nil {
-				if !m.persistStoreDirect(ms) {
+				switch m.persistStoreDirect(ms) {
+				case persistOK:
+				case persistUnsnapshotable:
+					lost++
+				default:
 					failed = append(failed, ms)
 				}
 			} else {
@@ -1267,9 +1274,13 @@ func (m *Manager) Close(ctx context.Context) error {
 		still := failed[:0]
 		for _, ms := range failed {
 			ms.mu.Lock()
-			ok := m.persistStoreDirect(ms)
+			out := m.persistStoreDirect(ms)
 			ms.mu.Unlock()
-			if !ok {
+			switch out {
+			case persistOK:
+			case persistUnsnapshotable:
+				lost++
+			default:
 				still = append(still, ms)
 			}
 		}
@@ -1280,6 +1291,9 @@ func (m *Manager) Close(ctx context.Context) error {
 		if err := m.opts.Store.Sync(); err != nil {
 			return fmt.Errorf("service: syncing store: %w", err)
 		}
+	}
+	if lost > 0 {
+		return fmt.Errorf("service: %d session(s) could not be snapshotted at shutdown", lost)
 	}
 	return nil
 }

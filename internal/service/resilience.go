@@ -146,6 +146,14 @@ func (m *Manager) startPersistWorker() (stop func()) {
 			switch m.repersist(id) {
 			case persistOK, persistGone:
 				attempt = 0
+			case persistUnsnapshotable:
+				// A session-state problem, not store health: retrying cannot
+				// heal it, so drop the id instead of re-queueing forever (a
+				// permanently non-empty queue would report the node degraded
+				// over a non-store fault). The RAM copy keeps serving and any
+				// later answer re-queues a fresh snapshot attempt.
+				m.log.Error("dropping unsnapshotable session from persist retry queue", "session", id)
+				attempt = 0
 			case persistBusy:
 				// The session is mid-operation; its own completion path will
 				// persist. Re-queue cheaply and yield.
@@ -178,9 +186,14 @@ const (
 	persistGone
 	persistBusy
 	persistFailed
+	persistUnsnapshotable
 )
 
-// repersist re-persists one queued session by id.
+// repersist re-persists one queued session by id. The caller's Allow()
+// already admitted this attempt (in half-open, as the single probe), so
+// every path that does not reach the store must CancelProbe — otherwise
+// a busy or deleted session would leak the probe and wedge the breaker
+// half-open permanently.
 func (m *Manager) repersist(id string) persistOutcome {
 	m.mu.Lock()
 	ms := m.sessions[id]
@@ -188,22 +201,22 @@ func (m *Manager) repersist(id string) persistOutcome {
 	if ms == nil {
 		// Deleted or already evicted post-persist; nothing to save (eviction
 		// only happens after a successful persist).
+		m.breaker.CancelProbe()
 		return persistGone
 	}
 	if !ms.mu.TryLock() {
+		m.breaker.CancelProbe()
 		return persistBusy
 	}
 	defer ms.mu.Unlock()
 	if ms.gone {
+		m.breaker.CancelProbe()
 		return persistGone
 	}
 	// Direct, not breaker-gated: the worker loop's Allow() already took the
 	// slot (in half-open, the single probe) — re-checking here would consume
 	// the probe without ever resolving it, wedging the breaker half-open.
-	if m.persistStoreDirect(ms) {
-		return persistOK
-	}
-	return persistFailed
+	return m.persistStoreDirect(ms)
 }
 
 // persistStoreLocked writes the session record through the breaker;
@@ -216,29 +229,32 @@ func (m *Manager) persistStoreLocked(ms *managed) bool {
 		m.pq.add(ms.id)
 		return false
 	}
-	return m.persistStoreDirect(ms)
+	return m.persistStoreDirect(ms) == persistOK
 }
 
 // persistStoreDirect writes the record unconditionally (no breaker gate —
 // used by shutdown drain and half-open probes via persistStoreLocked),
 // still reporting the outcome to the breaker. Callers hold ms.mu.
-func (m *Manager) persistStoreDirect(ms *managed) bool {
+func (m *Manager) persistStoreDirect(ms *managed) persistOutcome {
 	snap, err := ms.snapshotLocked()
 	if err != nil {
-		// A snapshot failure is a session-state problem, not store health;
-		// log it and leave the breaker alone.
+		// A snapshot failure is a session-state problem, not store health:
+		// the store was never touched, so release the probe this admission
+		// may have been instead of leaking it (which would wedge the breaker
+		// half-open).
+		m.breaker.CancelProbe()
 		m.log.Warn("snapshotting session failed", "session", ms.id, "err", err)
-		return false
+		return persistUnsnapshotable
 	}
 	if err := m.opts.Store.Put(store.SessionKey(ms.id), encodeServiceSnapshot(snap)); err != nil {
 		m.breaker.Failure(err)
 		m.pq.add(ms.id)
 		m.log.Warn("persisting session failed; queued for retry",
 			"session", ms.id, "err", err, "queue_depth", m.pq.depth())
-		return false
+		return persistFailed
 	}
 	m.breaker.Success()
-	return true
+	return persistOK
 }
 
 // Health is the /readyz report: overall status plus per-component detail.
@@ -279,11 +295,19 @@ type ComponentHealth struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// degradedQueueDepth is how many pending re-persists it takes to degrade
+// /readyz while the breaker is still closed. A closed breaker with a short
+// queue is a node absorbing transient faults as designed; flipping
+// readiness over every blip (and back when the worker drains one id)
+// would churn load balancers over a healthy node.
+const degradedQueueDepth = 16
+
 // Health reports the node's serving health. The store is degraded while
-// its breaker is not closed or re-persists are pending; the registry while
-// any instance load has stuck in error. Boot-restore failures are reported
-// ("incomplete") but do not degrade the node forever — the snapshots are
-// gone, flapping /readyz over them helps no one.
+// its breaker is not closed or the re-persist backlog is substantial
+// (>= degradedQueueDepth); the registry while any instance load has stuck
+// in error. Boot-restore failures are reported ("incomplete") but do not
+// degrade the node forever — the snapshots are gone, flapping /readyz over
+// them helps no one.
 func (m *Manager) Health() Health {
 	h := Health{Status: "ok"}
 	if m.opts.Store != nil {
@@ -299,7 +323,7 @@ func (m *Manager) Health() Health {
 			Recoveries:          recoveries,
 			LastError:           m.breaker.LastError(),
 		}
-		if sh.Breaker != "closed" || sh.QueueDepth > 0 {
+		if sh.Breaker != "closed" || sh.QueueDepth >= degradedQueueDepth {
 			sh.Status = "degraded"
 			h.Status = "degraded"
 		}
